@@ -1,0 +1,142 @@
+//! Benchmarks for the cooperative chase itself: forward-chase throughput on
+//! the travel schema, backward-chase cascades, and the effect of the user's
+//! unify-versus-expand behaviour on chase length (an ablation the paper's
+//! design discussion motivates but does not measure).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use youtopia_core::{InitialOp, RandomResolver, UnifyResolver, UpdateExchange};
+use youtopia_mappings::MappingSet;
+use youtopia_storage::{Database, UpdateId, Value};
+
+fn travel(rows: usize) -> (Database, MappingSet) {
+    let mut db = Database::new();
+    db.add_relation("C", ["city"]).unwrap();
+    db.add_relation("S", ["code", "location", "city_served"]).unwrap();
+    db.add_relation("A", ["location", "name"]).unwrap();
+    db.add_relation("T", ["attraction", "company", "tour_start"]).unwrap();
+    db.add_relation("R", ["company", "attraction", "review"]).unwrap();
+    let mut mappings = MappingSet::new();
+    mappings
+        .add_parsed_many(
+            db.catalog(),
+            "
+            sigma1: C(c) -> exists a, l. S(a, l, c)
+            sigma2: S(a, c, c2) -> C(c) & C(c2)
+            sigma3: A(l, n) & T(n, c, cs) -> exists r. R(c, n, r)
+            ",
+        )
+        .unwrap();
+    let u = UpdateId(0);
+    for i in 0..rows {
+        db.insert_by_name("A", &[&format!("loc{i}"), &format!("attr{i}")], u);
+        db.insert_by_name("T", &[&format!("attr{i}"), &format!("co{i}"), &format!("city{i}")], u);
+        db.insert_by_name("R", &[&format!("co{i}"), &format!("attr{i}"), "ok"], u);
+    }
+    (db, mappings)
+}
+
+fn bench_forward_chase_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/forward_insert_tour");
+    group.sample_size(15);
+    for rows in [50usize, 200, 800] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            b.iter_batched(
+                || {
+                    let (db, mappings) = travel(rows);
+                    UpdateExchange::new(db, mappings)
+                },
+                |mut exchange| {
+                    let mut user = RandomResolver::seeded(1);
+                    exchange
+                        .insert_constants("T", &["attr1", "brand-new-co", "somewhere"], &mut user)
+                        .unwrap();
+                    black_box(exchange.db().total_visible(UpdateId::OMNISCIENT))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward_chase_delete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/backward_delete_review");
+    group.sample_size(15);
+    for rows in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            b.iter_batched(
+                || {
+                    let (db, mappings) = travel(rows);
+                    let r = db.relation_id("R").unwrap();
+                    let victim = db.scan(r, UpdateId::OMNISCIENT)[rows / 2].0;
+                    (UpdateExchange::new(db, mappings), r, victim)
+                },
+                |(mut exchange, r, victim)| {
+                    let mut user = RandomResolver::seeded(3);
+                    exchange
+                        .run_update(InitialOp::Delete { relation: r, tuple: victim }, &mut user)
+                        .unwrap();
+                    black_box(exchange.db().visible_count(r, UpdateId::OMNISCIENT))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_resolver_ablation(c: &mut Criterion) {
+    // How much chase work does the user's behaviour cause? A unifying user
+    // keeps the cyclic C/S mappings tight; a random user sometimes expands,
+    // lengthening the chase.
+    let mut group = c.benchmark_group("chase/resolver_ablation_city_insert");
+    group.sample_size(15);
+    group.bench_function("unify_resolver", |b| {
+        b.iter_batched(
+            || {
+                let (db, mappings) = travel(50);
+                UpdateExchange::new(db, mappings)
+            },
+            |mut exchange| {
+                let mut user = UnifyResolver;
+                for i in 0..5 {
+                    exchange
+                        .insert(
+                            "C",
+                            vec![Value::constant(&format!("city{i}"))],
+                            &mut user,
+                        )
+                        .unwrap();
+                }
+                black_box(exchange.db().total_visible(UpdateId::OMNISCIENT))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("random_resolver", |b| {
+        b.iter_batched(
+            || {
+                let (db, mappings) = travel(50);
+                UpdateExchange::new(db, mappings)
+            },
+            |mut exchange| {
+                let mut user = RandomResolver::seeded(11);
+                for i in 0..5 {
+                    exchange
+                        .insert(
+                            "C",
+                            vec![Value::constant(&format!("city{i}"))],
+                            &mut user,
+                        )
+                        .unwrap();
+                }
+                black_box(exchange.db().total_visible(UpdateId::OMNISCIENT))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_chase_insert, bench_backward_chase_delete, bench_resolver_ablation);
+criterion_main!(benches);

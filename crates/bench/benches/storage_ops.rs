@@ -1,0 +1,89 @@
+//! Micro-benchmarks for the storage substrate: inserts, visibility-filtered
+//! scans, index probes, null-replacement and specificity checks.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use youtopia_storage::{is_more_specific, Database, NullId, UpdateId, Value, Write};
+
+fn populated(rows: usize) -> Database {
+    let mut db = Database::new();
+    db.add_relation("R", ["a", "b", "c"]).unwrap();
+    let rel = db.relation_id("R").unwrap();
+    for i in 0..rows {
+        db.apply(
+            &Write::Insert {
+                relation: rel,
+                values: vec![
+                    Value::constant(&format!("k{}", i % 50)),
+                    Value::constant(&format!("v{i}")),
+                    Value::Null(NullId(i as u64)),
+                ],
+            },
+            UpdateId(1 + (i % 7) as u64),
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    c.bench_function("storage/insert_1k_tuples", |b| {
+        b.iter(|| {
+            let db = populated(1_000);
+            black_box(db.total_visible(UpdateId::OMNISCIENT))
+        })
+    });
+}
+
+fn bench_scans_and_probes(c: &mut Criterion) {
+    let db = populated(2_000);
+    let rel = db.relation_id("R").unwrap();
+    let mut group = c.benchmark_group("storage/read");
+    group.bench_function("scan_visible", |b| {
+        b.iter(|| black_box(db.scan(rel, UpdateId::OMNISCIENT).len()))
+    });
+    group.bench_function("scan_low_visibility", |b| {
+        b.iter(|| black_box(db.scan(rel, UpdateId(2)).len()))
+    });
+    group.bench_function("index_probe", |b| {
+        b.iter(|| {
+            black_box(db.candidates(rel, 0, Value::constant("k7"), UpdateId::OMNISCIENT).len())
+        })
+    });
+    group.bench_function("null_occurrences", |b| {
+        b.iter(|| black_box(db.null_occurrences(NullId(500), UpdateId::OMNISCIENT).len()))
+    });
+    group.finish();
+}
+
+fn bench_null_replacement(c: &mut Criterion) {
+    c.bench_function("storage/null_replace_in_2k", |b| {
+        b.iter_batched(
+            || populated(2_000),
+            |mut db| {
+                db.apply(
+                    &Write::NullReplace { null: NullId(100), replacement: Value::constant("done") },
+                    UpdateId(9),
+                )
+                .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_specificity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/specificity");
+    for arity in [2usize, 4, 8] {
+        let general: Vec<Value> = (0..arity).map(|i| Value::Null(NullId(i as u64 % 3))).collect();
+        let specific: Vec<Value> = (0..arity)
+            .map(|i| Value::constant(&format!("c{}", i % 3)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(arity), &arity, |b, _| {
+            b.iter(|| black_box(is_more_specific(&specific, &general)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_scans_and_probes, bench_null_replacement, bench_specificity);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Benchmarks comparing the three cascading-abort trackers on small versions
+//! of the Section 6 workloads (the full sweeps are produced by the `fig3` and
+//! `fig4` binaries; these benches measure the *per-run cost* of each tracker,
+//! which underlies the "slowdown of PRECISE" panel of the figures).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use youtopia_concurrency::TrackerKind;
+use youtopia_workload::{build_fixture, run_single, ExperimentConfig, WorkloadKind};
+
+fn bench_config() -> ExperimentConfig {
+    let mut config = ExperimentConfig::tiny();
+    config.workload_updates = 15;
+    config.initial_tuples = 60;
+    config
+}
+
+fn bench_trackers_all_insert(c: &mut Criterion) {
+    let config = bench_config();
+    let fixture = build_fixture(&config).expect("fixture builds");
+    let mapping_count = *config.mapping_counts.last().unwrap();
+    let mut group = c.benchmark_group("trackers/all_insert_workload");
+    group.sample_size(10);
+    for tracker in [TrackerKind::Naive, TrackerKind::Coarse, TrackerKind::Precise] {
+        group.bench_with_input(BenchmarkId::from_parameter(tracker.name()), &tracker, |b, &tracker| {
+            b.iter(|| {
+                let metrics = run_single(
+                    &fixture,
+                    &config,
+                    WorkloadKind::AllInserts,
+                    mapping_count,
+                    tracker,
+                    0,
+                )
+                .expect("run terminates");
+                black_box(metrics.aborts)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trackers_mixed(c: &mut Criterion) {
+    let config = bench_config();
+    let fixture = build_fixture(&config).expect("fixture builds");
+    let mapping_count = *config.mapping_counts.last().unwrap();
+    let mut group = c.benchmark_group("trackers/mixed_workload");
+    group.sample_size(10);
+    for tracker in [TrackerKind::Coarse, TrackerKind::Precise] {
+        group.bench_with_input(BenchmarkId::from_parameter(tracker.name()), &tracker, |b, &tracker| {
+            b.iter(|| {
+                let metrics =
+                    run_single(&fixture, &config, WorkloadKind::Mixed, mapping_count, tracker, 0)
+                        .expect("run terminates");
+                black_box(metrics.aborts)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mapping_density(c: &mut Criterion) {
+    // Per-run cost as mapping density grows (the x axis of the figures),
+    // under the COARSE tracker.
+    let config = bench_config();
+    let fixture = build_fixture(&config).expect("fixture builds");
+    let mut group = c.benchmark_group("trackers/coarse_by_density");
+    group.sample_size(10);
+    for &count in &config.mapping_counts {
+        group.bench_with_input(BenchmarkId::from_parameter(count), &count, |b, &count| {
+            b.iter(|| {
+                let metrics = run_single(
+                    &fixture,
+                    &config,
+                    WorkloadKind::AllInserts,
+                    count,
+                    TrackerKind::Coarse,
+                    0,
+                )
+                .expect("run terminates");
+                black_box(metrics.steps)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trackers_all_insert, bench_trackers_mixed, bench_mapping_density);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Write and read logs kept by the optimistic scheduler (Algorithm 4).
+
+use std::collections::HashMap;
+
+use youtopia_core::ReadQuery;
+use youtopia_storage::{AppliedWrite, TupleChange, UpdateId};
+
+/// The log of all writes performed so far, used to compute read dependencies
+/// (`COARSE` scans it at relation granularity, `PRECISE` re-checks each entry
+/// exactly) and to answer "which updates wrote to relation R".
+#[derive(Clone, Debug, Default)]
+pub struct WriteLog {
+    entries: Vec<AppliedWrite>,
+}
+
+impl WriteLog {
+    /// Creates an empty log.
+    pub fn new() -> WriteLog {
+        WriteLog::default()
+    }
+
+    /// Appends the writes of a chase step.
+    pub fn push_all(&mut self, writes: &[AppliedWrite]) {
+        self.entries.extend(writes.iter().cloned());
+    }
+
+    /// All logged writes.
+    pub fn entries(&self) -> &[AppliedWrite] {
+        &self.entries
+    }
+
+    /// Writes performed by updates with a number strictly below `reader`
+    /// (the only writes that can create read dependencies for `reader`).
+    pub fn entries_before(&self, reader: UpdateId) -> impl Iterator<Item = &AppliedWrite> {
+        self.entries.iter().filter(move |w| w.update < reader)
+    }
+
+    /// Tuple-level changes performed by updates below `reader`.
+    pub fn changes_before(&self, reader: UpdateId) -> impl Iterator<Item = (&AppliedWrite, &TupleChange)> {
+        self.entries_before(reader).flat_map(|w| w.changes.iter().map(move |c| (w, c)))
+    }
+
+    /// Drops every write logged for `update` (called when the update aborts —
+    /// its writes have been rolled back and no longer create dependencies).
+    pub fn remove_update(&mut self, update: UpdateId) {
+        self.entries.retain(|w| w.update != update);
+    }
+
+    /// Number of logged writes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The stored read queries of every update (Algorithm 4: "store Q for future
+/// checks").
+#[derive(Clone, Debug, Default)]
+pub struct ReadLog {
+    by_update: HashMap<UpdateId, Vec<ReadQuery>>,
+}
+
+impl ReadLog {
+    /// Creates an empty log.
+    pub fn new() -> ReadLog {
+        ReadLog::default()
+    }
+
+    /// Logs the read queries an update performed in one step.
+    pub fn record(&mut self, update: UpdateId, reads: impl IntoIterator<Item = ReadQuery>) {
+        self.by_update.entry(update).or_default().extend(reads);
+    }
+
+    /// The stored read queries of one update.
+    pub fn reads_of(&self, update: UpdateId) -> &[ReadQuery] {
+        self.by_update.get(&update).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Updates (other than the writer) with stored reads and a number strictly
+    /// greater than `writer` — the candidates for a direct conflict, in
+    /// ascending order.
+    pub fn readers_above(&self, writer: UpdateId) -> Vec<UpdateId> {
+        let mut ids: Vec<UpdateId> =
+            self.by_update.iter().filter(|(id, reads)| **id > writer && !reads.is_empty()).map(|(id, _)| *id).collect();
+        ids.sort();
+        ids
+    }
+
+    /// Clears the stored reads of an update (called when it aborts and
+    /// restarts from scratch).
+    pub fn clear(&mut self, update: UpdateId) {
+        self.by_update.remove(&update);
+    }
+
+    /// Total number of stored read queries.
+    pub fn len(&self) -> usize {
+        self.by_update.values().map(Vec::len).sum()
+    }
+
+    /// Whether no reads are stored at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_storage::{NullId, RelationId, Value, Write};
+
+    fn applied(update: u64, seq: u64) -> AppliedWrite {
+        AppliedWrite {
+            update: UpdateId(update),
+            seq,
+            write: Write::Insert { relation: RelationId(0), values: vec![Value::constant("v")] },
+            changes: vec![TupleChange::Inserted {
+                relation: RelationId(0),
+                tuple: youtopia_storage::TupleId(seq),
+                values: vec![Value::constant("v")].into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn write_log_filters_by_reader() {
+        let mut log = WriteLog::new();
+        log.push_all(&[applied(1, 1), applied(3, 2), applied(5, 3)]);
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+        assert_eq!(log.entries_before(UpdateId(4)).count(), 2);
+        assert_eq!(log.changes_before(UpdateId(4)).count(), 2);
+        assert_eq!(log.entries_before(UpdateId(1)).count(), 0);
+        log.remove_update(UpdateId(3));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entries().len(), 2);
+    }
+
+    #[test]
+    fn read_log_tracks_readers() {
+        let mut log = ReadLog::new();
+        assert!(log.is_empty());
+        log.record(UpdateId(2), vec![ReadQuery::NullOccurrences { null: NullId(1) }]);
+        log.record(UpdateId(5), vec![ReadQuery::NullOccurrences { null: NullId(2) }]);
+        log.record(UpdateId(5), vec![ReadQuery::NullOccurrences { null: NullId(3) }]);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.reads_of(UpdateId(5)).len(), 2);
+        assert_eq!(log.reads_of(UpdateId(9)).len(), 0);
+        assert_eq!(log.readers_above(UpdateId(1)), vec![UpdateId(2), UpdateId(5)]);
+        assert_eq!(log.readers_above(UpdateId(2)), vec![UpdateId(5)]);
+        log.clear(UpdateId(5));
+        assert_eq!(log.readers_above(UpdateId(1)), vec![UpdateId(2)]);
+    }
+}

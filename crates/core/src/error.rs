@@ -1,0 +1,70 @@
+//! Error types for the chase layer.
+
+use std::fmt;
+
+use youtopia_storage::{StorageError, UpdateId};
+
+/// Errors raised while executing a Youtopia update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaseError {
+    /// An underlying storage error.
+    Storage(StorageError),
+    /// A frontier decision did not match the pending request (wrong arity,
+    /// unification with a tuple that is not more specific, empty deletion
+    /// subset, conflicting unifications, …).
+    InvalidDecision(String),
+    /// [`crate::update::UpdateExecution::step`] was called while the update
+    /// was not ready (awaiting a frontier operation, or already terminated).
+    NotReady(UpdateId),
+    /// [`crate::update::UpdateExecution::resolve_frontier`] was called while
+    /// no frontier request was pending.
+    NoPendingFrontier(UpdateId),
+    /// The configured step limit was exceeded (safety valve for chases that a
+    /// resolver never terminates).
+    StepLimitExceeded {
+        /// The update that exceeded the limit.
+        update: UpdateId,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::Storage(e) => write!(f, "storage error: {e}"),
+            ChaseError::InvalidDecision(msg) => write!(f, "invalid frontier decision: {msg}"),
+            ChaseError::NotReady(u) => write!(f, "update {u} is not ready to take a chase step"),
+            ChaseError::NoPendingFrontier(u) => {
+                write!(f, "update {u} has no pending frontier request")
+            }
+            ChaseError::StepLimitExceeded { update, limit } => {
+                write!(f, "update {update} exceeded the step limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+impl From<StorageError> for ChaseError {
+    fn from(e: StorageError) -> Self {
+        ChaseError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: ChaseError = StorageError::UnknownRelation(youtopia_storage::RelationId(1)).into();
+        assert!(e.to_string().contains("storage error"));
+        assert!(ChaseError::InvalidDecision("bad".into()).to_string().contains("bad"));
+        assert!(ChaseError::NotReady(UpdateId(3)).to_string().contains("u3"));
+        assert!(ChaseError::NoPendingFrontier(UpdateId(3)).to_string().contains("u3"));
+        let e = ChaseError::StepLimitExceeded { update: UpdateId(2), limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

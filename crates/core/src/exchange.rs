@@ -1,0 +1,332 @@
+//! A single-threaded update-exchange facade.
+//!
+//! [`UpdateExchange`] owns a database and a mapping set and runs one update at
+//! a time to completion, consulting a [`FrontierResolver`] whenever a chase
+//! blocks. This is the API the examples use, the workload generator uses to
+//! build the initial database of Section 6, and the simplest way to try the
+//! system (see `examples/quickstart.rs`).
+
+use youtopia_mappings::{satisfies_all, MappingSet};
+use youtopia_storage::{Database, NullId, RelationId, TupleId, UpdateId, Value};
+
+use crate::error::ChaseError;
+use crate::resolver::FrontierResolver;
+use crate::update::{InitialOp, UpdateExecution, UpdateState, UpdateStats};
+
+/// Summary of one completed update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// The update's priority number.
+    pub update: UpdateId,
+    /// Execution counters.
+    pub stats: UpdateStats,
+    /// Whether the update terminated (it always does unless the step limit
+    /// was hit).
+    pub terminated: bool,
+}
+
+/// Configuration of the single-threaded exchange.
+#[derive(Clone, Copy, Debug)]
+pub struct ExchangeConfig {
+    /// Safety valve: the maximum number of chase steps a single update may
+    /// take. Chases driven by resolvers that never unify (e.g.
+    /// [`crate::resolver::ExpandResolver`] under cyclic mappings) would
+    /// otherwise run forever.
+    pub max_steps_per_update: usize,
+}
+
+impl Default for ExchangeConfig {
+    fn default() -> Self {
+        ExchangeConfig { max_steps_per_update: 100_000 }
+    }
+}
+
+/// Owns a database plus mappings and runs updates one at a time.
+#[derive(Debug)]
+pub struct UpdateExchange {
+    db: Database,
+    mappings: MappingSet,
+    config: ExchangeConfig,
+    next_update: u64,
+}
+
+impl UpdateExchange {
+    /// Creates an exchange over an existing database and mapping set.
+    pub fn new(db: Database, mappings: MappingSet) -> UpdateExchange {
+        UpdateExchange { db, mappings, config: ExchangeConfig::default(), next_update: 1 }
+    }
+
+    /// Creates an exchange with a custom configuration.
+    pub fn with_config(db: Database, mappings: MappingSet, config: ExchangeConfig) -> UpdateExchange {
+        UpdateExchange { db, mappings, config, next_update: 1 }
+    }
+
+    /// The database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the database (e.g. to register relations or seed
+    /// tuples outside of update exchange).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The mapping set.
+    pub fn mappings(&self) -> &MappingSet {
+        &self.mappings
+    }
+
+    /// Mutable access to the mappings (users add mappings as the repository
+    /// grows).
+    pub fn mappings_mut(&mut self) -> &mut MappingSet {
+        &mut self.mappings
+    }
+
+    /// Consumes the exchange, returning its parts.
+    pub fn into_parts(self) -> (Database, MappingSet) {
+        (self.db, self.mappings)
+    }
+
+    /// The priority number the next update will receive.
+    pub fn next_update_id(&self) -> UpdateId {
+        UpdateId(self.next_update)
+    }
+
+    /// Whether the database currently satisfies every mapping.
+    pub fn is_consistent(&self) -> bool {
+        satisfies_all(&self.db.snapshot(UpdateId::OMNISCIENT), &self.mappings)
+    }
+
+    /// Runs a complete update — the initial operation plus the entire chase —
+    /// consulting `resolver` whenever the chase blocks on a frontier.
+    pub fn run_update(
+        &mut self,
+        op: InitialOp,
+        resolver: &mut dyn FrontierResolver,
+    ) -> Result<UpdateReport, ChaseError> {
+        let id = UpdateId(self.next_update);
+        self.next_update += 1;
+        let mut exec = UpdateExecution::new(id, op);
+        loop {
+            if exec.stats().steps >= self.config.max_steps_per_update {
+                return Err(ChaseError::StepLimitExceeded {
+                    update: id,
+                    limit: self.config.max_steps_per_update,
+                });
+            }
+            match exec.state() {
+                UpdateState::Terminated => break,
+                UpdateState::Ready => {
+                    exec.step(&mut self.db, &self.mappings)?;
+                }
+                UpdateState::AwaitingFrontier => {
+                    let request = exec.pending_frontier().expect("state is AwaitingFrontier").clone();
+                    let decision = {
+                        let snap = self.db.snapshot(id);
+                        resolver.resolve(&snap, &request)
+                    };
+                    exec.resolve_frontier(&self.mappings, decision)?;
+                }
+            }
+        }
+        Ok(UpdateReport { update: id, stats: exec.stats(), terminated: true })
+    }
+
+    /// Convenience: run an insertion given a relation name and values.
+    pub fn insert(
+        &mut self,
+        relation: &str,
+        values: Vec<Value>,
+        resolver: &mut dyn FrontierResolver,
+    ) -> Result<UpdateReport, ChaseError> {
+        let relation = self.relation(relation)?;
+        self.run_update(InitialOp::Insert { relation, values }, resolver)
+    }
+
+    /// Convenience: run an insertion of string constants.
+    pub fn insert_constants(
+        &mut self,
+        relation: &str,
+        values: &[&str],
+        resolver: &mut dyn FrontierResolver,
+    ) -> Result<UpdateReport, ChaseError> {
+        let values = values.iter().map(|v| Value::constant(v)).collect();
+        self.insert(relation, values, resolver)
+    }
+
+    /// Convenience: run a deletion.
+    pub fn delete(
+        &mut self,
+        relation: &str,
+        tuple: TupleId,
+        resolver: &mut dyn FrontierResolver,
+    ) -> Result<UpdateReport, ChaseError> {
+        let relation = self.relation(relation)?;
+        self.run_update(InitialOp::Delete { relation, tuple }, resolver)
+    }
+
+    /// Convenience: run a null-replacement.
+    pub fn replace_null(
+        &mut self,
+        null: NullId,
+        replacement: Value,
+        resolver: &mut dyn FrontierResolver,
+    ) -> Result<UpdateReport, ChaseError> {
+        self.run_update(InitialOp::NullReplace { null, replacement }, resolver)
+    }
+
+    fn relation(&self, name: &str) -> Result<RelationId, ChaseError> {
+        self.db
+            .relation_id(name)
+            .ok_or_else(|| ChaseError::InvalidDecision(format!("unknown relation `{name}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolver::{ExpandResolver, RandomResolver, UnifyResolver};
+    use youtopia_mappings::find_violations;
+
+    fn travel_exchange() -> UpdateExchange {
+        let mut db = Database::new();
+        db.add_relation("C", ["city"]).unwrap();
+        db.add_relation("S", ["code", "location", "city_served"]).unwrap();
+        db.add_relation("A", ["location", "name"]).unwrap();
+        db.add_relation("T", ["attraction", "company", "tour_start"]).unwrap();
+        db.add_relation("R", ["company", "attraction", "review"]).unwrap();
+        let mut mappings = MappingSet::new();
+        mappings
+            .add_parsed_many(
+                db.catalog(),
+                "
+                sigma1: C(c) -> exists a, l. S(a, l, c)
+                sigma2: S(a, c, c2) -> C(c) & C(c2)
+                sigma3: A(l, n) & T(n, c, cs) -> exists r. R(c, n, r)
+                ",
+            )
+            .unwrap();
+        UpdateExchange::new(db, mappings)
+    }
+
+    #[test]
+    fn consistency_is_restored_after_every_update() {
+        let mut ex = travel_exchange();
+        let mut resolver = RandomResolver::seeded(11);
+        assert!(ex.is_consistent());
+        ex.insert_constants("A", &["Geneva", "Geneva Winery"], &mut resolver).unwrap();
+        ex.insert_constants("T", &["Geneva Winery", "XYZ", "Syracuse"], &mut resolver).unwrap();
+        ex.insert_constants("C", &["Ithaca"], &mut resolver).unwrap();
+        assert!(ex.is_consistent());
+        assert!(find_violations(&ex.db().snapshot(UpdateId::OMNISCIENT), ex.mappings()).is_empty());
+        assert_eq!(ex.next_update_id(), UpdateId(4));
+    }
+
+    #[test]
+    fn cyclic_mappings_terminate_with_the_random_resolver() {
+        // σ1/σ2 form the C ↔ S cycle of Figure 2; the classical chase would
+        // not terminate, but the cooperative chase with a (simulated) user
+        // does.
+        let mut ex = travel_exchange();
+        let mut resolver = RandomResolver::seeded(3);
+        for i in 0..10 {
+            ex.insert_constants("C", &[&format!("City{i}")], &mut resolver).unwrap();
+        }
+        assert!(ex.is_consistent());
+    }
+
+    #[test]
+    fn unify_resolver_keeps_the_database_small() {
+        let mut ex = travel_exchange();
+        let mut unify = UnifyResolver;
+        ex.insert_constants("C", &["Ithaca"], &mut unify).unwrap();
+        ex.insert_constants("C", &["Syracuse"], &mut unify).unwrap();
+        let s = ex.db().relation_id("S").unwrap();
+        let c = ex.db().relation_id("C").unwrap();
+        // Each city gets one suggested-airport row (from σ1); σ2 then reuses
+        // existing cities through unification.
+        assert!(ex.db().visible_count(s, UpdateId::OMNISCIENT) <= 2);
+        assert!(ex.db().visible_count(c, UpdateId::OMNISCIENT) <= 3);
+        assert!(ex.is_consistent());
+    }
+
+    #[test]
+    fn expand_resolver_hits_the_step_limit_on_cyclic_mappings() {
+        // Always expanding reproduces the classical chase's divergence on the
+        // C ↔ S cycle; the exchange's step limit turns that into an error
+        // instead of a hang.
+        let mut db = Database::new();
+        db.add_relation("C", ["city"]).unwrap();
+        db.add_relation("S", ["code", "location", "city_served"]).unwrap();
+        let mut mappings = MappingSet::new();
+        mappings
+            .add_parsed_many(
+                db.catalog(),
+                "
+                sigma1: C(c) -> exists a, l. S(a, l, c)
+                sigma2: S(a, c, c2) -> C(c) & C(c2)
+                ",
+            )
+            .unwrap();
+        let mut ex = UpdateExchange::with_config(
+            db,
+            mappings,
+            ExchangeConfig { max_steps_per_update: 200 },
+        );
+        let mut expand = ExpandResolver;
+        let err = ex.insert_constants("C", &["Ithaca"], &mut expand);
+        assert!(matches!(err, Err(ChaseError::StepLimitExceeded { .. })));
+    }
+
+    #[test]
+    fn deletions_cascade_through_the_backward_chase() {
+        let mut ex = travel_exchange();
+        let mut resolver = RandomResolver::seeded(5);
+        ex.insert_constants("A", &["Geneva", "Geneva Winery"], &mut resolver).unwrap();
+        ex.insert_constants("T", &["Geneva Winery", "XYZ", "Syracuse"], &mut resolver).unwrap();
+        assert!(ex.is_consistent());
+
+        let r = ex.db().relation_id("R").unwrap();
+        let review = ex.db().scan(r, UpdateId::OMNISCIENT)[0].0;
+        let report = ex.delete("R", review, &mut resolver).unwrap();
+        assert!(report.terminated);
+        assert!(ex.is_consistent());
+        // Something on the LHS had to go.
+        let a = ex.db().relation_id("A").unwrap();
+        let t = ex.db().relation_id("T").unwrap();
+        let total = ex.db().visible_count(a, UpdateId::OMNISCIENT)
+            + ex.db().visible_count(t, UpdateId::OMNISCIENT);
+        assert!(total < 2);
+    }
+
+    #[test]
+    fn null_replacement_updates_run_to_completion() {
+        let mut ex = travel_exchange();
+        let mut resolver = RandomResolver::seeded(9);
+        ex.insert_constants("A", &["Niagara Falls", "Niagara Falls"], &mut resolver).unwrap();
+        // Insert a tour with an unknown company.
+        let x = ex.db_mut().fresh_null();
+        let t_values = vec![
+            Value::constant("Niagara Falls"),
+            Value::Null(x),
+            Value::constant("Toronto"),
+        ];
+        ex.insert("T", t_values, &mut resolver).unwrap();
+        assert!(ex.is_consistent());
+        // Completing the null keeps the database consistent.
+        let report = ex.replace_null(x, Value::constant("ABC Tours"), &mut resolver).unwrap();
+        assert!(report.terminated);
+        assert!(ex.is_consistent());
+    }
+
+    #[test]
+    fn unknown_relation_names_are_rejected() {
+        let mut ex = travel_exchange();
+        let mut resolver = RandomResolver::seeded(1);
+        assert!(ex.insert_constants("Nope", &["x"], &mut resolver).is_err());
+        let (db, mappings) = ex.into_parts();
+        assert_eq!(db.catalog().len(), 5);
+        assert_eq!(mappings.len(), 3);
+    }
+}

@@ -1,0 +1,66 @@
+//! # youtopia-core
+//!
+//! The paper's primary contribution: **cooperative update exchange** — a chase
+//! that combines deterministic constraint repair with human intervention
+//! (Sections 2.1–2.4 of *Cooperative Update Exchange in the Youtopia System*,
+//! VLDB 2009).
+//!
+//! * The **forward chase** repairs LHS-violations by generating the missing
+//!   RHS tuples; when a generated tuple has an existing, *more specific*
+//!   counterpart the chase stops and emits **positive frontier tuples**, which
+//!   a user resolves by **expanding** or **unifying** them
+//!   ([`frontier`], [`update`]).
+//! * The **backward chase** repairs RHS-violations by deleting witness
+//!   tuples; with more than one candidate it emits **negative frontier
+//!   tuples** and the user picks the subset to delete.
+//! * An update (Definition 2.6) is executed as a sequence of **chase steps**
+//!   (Algorithm 2), each exposing its writes and read queries — the interface
+//!   the optimistic concurrency control of `youtopia-concurrency` builds on.
+//! * [`resolver`] supplies the human decisions; [`RandomResolver`] is the
+//!   simulated user of the Section 6 experiments.
+//! * [`UpdateExchange`] is a single-threaded facade used by the examples and
+//!   the workload generator.
+//!
+//! ```
+//! use youtopia_core::{RandomResolver, UpdateExchange};
+//! use youtopia_mappings::MappingSet;
+//! use youtopia_storage::Database;
+//!
+//! let mut db = Database::new();
+//! db.add_relation("A", ["location", "name"]).unwrap();
+//! db.add_relation("T", ["attraction", "company", "tour_start"]).unwrap();
+//! db.add_relation("R", ["company", "attraction", "review"]).unwrap();
+//! let mut mappings = MappingSet::new();
+//! mappings
+//!     .add_parsed(db.catalog(), "sigma3: A(l, n) & T(n, c, cs) -> exists r. R(c, n, r)")
+//!     .unwrap();
+//!
+//! let mut exchange = UpdateExchange::new(db, mappings);
+//! let mut user = RandomResolver::seeded(0);
+//! exchange.insert_constants("A", &["Niagara Falls", "Niagara Falls"], &mut user).unwrap();
+//! exchange.insert_constants("T", &["Niagara Falls", "ABC Tours", "Toronto"], &mut user).unwrap();
+//! // σ3 fired: the review table now holds a placeholder with a labeled null.
+//! assert!(exchange.is_consistent());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod exchange;
+pub mod frontier;
+pub mod querying;
+pub mod read_query;
+pub mod resolver;
+pub mod update;
+
+pub use error::ChaseError;
+pub use exchange::{ExchangeConfig, UpdateExchange, UpdateReport};
+pub use frontier::{
+    FrontierDecision, FrontierRequest, FrontierTuple, NegativeFrontier, PositiveAction,
+    PositiveFrontier,
+};
+pub use querying::{answer, keyword_search, AnswerRow, KeywordHit, QuerySemantics, RepositoryQuery};
+pub use read_query::{more_specific_tuples, ReadQuery};
+pub use resolver::{ExpandResolver, FrontierResolver, RandomResolver, ScriptedResolver, UnifyResolver};
+pub use update::{InitialOp, StepOutcome, UpdateExecution, UpdateState, UpdateStats};

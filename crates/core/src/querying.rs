@@ -1,0 +1,242 @@
+//! Querying the repository over incomplete data (Section 1.2).
+//!
+//! A Youtopia repository routinely contains labeled nulls, so its query engine
+//! offers two answer semantics:
+//!
+//! * a **certain** semantics "that guarantees correctness while potentially
+//!   omitting some results" — for conjunctive queries over a database with
+//!   labeled nulls (a naïve table) the certain answers are exactly the
+//!   null-free rows obtained by evaluating the query directly;
+//! * a **best-effort** semantics "that includes all potentially relevant
+//!   results at the risk of some incorrectness" — every homomorphic answer,
+//!   including rows that mention labeled nulls.
+//!
+//! The module also provides the keyword-search entry point mentioned in the
+//! same section: scanning the repository for tuples whose constants contain a
+//! keyword.
+
+use std::collections::BTreeSet;
+
+use youtopia_storage::{evaluate, Atom, Bindings, DataView, RelationId, Symbol, TupleId, Value};
+
+/// Which answer semantics to use when querying incomplete data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QuerySemantics {
+    /// Only answers guaranteed to hold in every completion of the incomplete
+    /// database (no labeled nulls in the projected columns).
+    Certain,
+    /// All answers produced by homomorphisms into the current database,
+    /// including ones that mention labeled nulls.
+    BestEffort,
+}
+
+/// A structured (conjunctive) query against the repository: a set of atoms and
+/// the distinguished variables to project onto.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepositoryQuery {
+    /// The query body (joined atoms).
+    pub atoms: Vec<Atom>,
+    /// The projected (distinguished) variables, in output order.
+    pub distinguished: Vec<Symbol>,
+}
+
+impl RepositoryQuery {
+    /// Creates a query projecting the given variable names.
+    pub fn new(atoms: Vec<Atom>, distinguished: &[&str]) -> RepositoryQuery {
+        RepositoryQuery {
+            atoms,
+            distinguished: distinguished.iter().map(|v| Symbol::intern(v)).collect(),
+        }
+    }
+}
+
+/// One answer row.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AnswerRow {
+    /// The projected values, in the order of
+    /// [`RepositoryQuery::distinguished`].
+    pub values: Vec<Value>,
+    /// Whether the row is a certain answer (contains no labeled nulls).
+    pub certain: bool,
+}
+
+/// Answers a repository query under the chosen semantics. Rows are
+/// de-duplicated and returned in a deterministic order.
+pub fn answer(view: &dyn DataView, query: &RepositoryQuery, semantics: QuerySemantics) -> Vec<AnswerRow> {
+    let mut rows: BTreeSet<AnswerRow> = BTreeSet::new();
+    for m in evaluate(view, &query.atoms, &Bindings::new(), None) {
+        let values: Vec<Value> = query
+            .distinguished
+            .iter()
+            // A distinguished variable that does not occur in the body can never
+            // be bound; surface it as a (stable) constant named after itself.
+            .map(|v| m.bindings.get(v).copied().unwrap_or(Value::Const(*v)))
+            .collect();
+        let certain = values.iter().all(Value::is_const);
+        if semantics == QuerySemantics::Certain && !certain {
+            continue;
+        }
+        rows.insert(AnswerRow { values, certain });
+    }
+    rows.into_iter().collect()
+}
+
+/// A keyword-search hit: a tuple with at least one constant containing the
+/// keyword (case-insensitive).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeywordHit {
+    /// The relation the tuple belongs to.
+    pub relation: RelationId,
+    /// The matching tuple.
+    pub tuple: TupleId,
+    /// Attribute positions whose constants matched.
+    pub columns: Vec<usize>,
+}
+
+/// Scans every relation for tuples whose constants contain `keyword`
+/// (case-insensitive substring match) — the unstructured half of Youtopia's
+/// query interface.
+pub fn keyword_search(view: &dyn DataView, keyword: &str) -> Vec<KeywordHit> {
+    let needle = keyword.to_lowercase();
+    let mut hits = Vec::new();
+    if needle.is_empty() {
+        return hits;
+    }
+    for relation in view.catalog().relation_ids().collect::<Vec<_>>() {
+        for (tuple, data) in view.scan(relation) {
+            let columns: Vec<usize> = data
+                .iter()
+                .enumerate()
+                .filter_map(|(i, v)| match v {
+                    Value::Const(sym) if sym.as_str().to_lowercase().contains(&needle) => Some(i),
+                    _ => None,
+                })
+                .collect();
+            if !columns.is_empty() {
+                hits.push(KeywordHit { relation, tuple, columns });
+            }
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_storage::{Database, Term, UpdateId, Write};
+
+    fn incomplete_db() -> Database {
+        let mut db = Database::new();
+        db.add_relation("T", ["attraction", "company", "tour_start"]).unwrap();
+        db.add_relation("R", ["company", "attraction", "review"]).unwrap();
+        let u = UpdateId(0);
+        db.insert_by_name("T", &["Geneva Winery", "XYZ", "Syracuse"], u);
+        db.insert_by_name("R", &["XYZ", "Geneva Winery", "Great!"], u);
+        // The Niagara Falls tour has an unknown company and review (Figure 2).
+        let x1 = db.fresh_null();
+        let x2 = db.fresh_null();
+        let t = db.relation_id("T").unwrap();
+        let r = db.relation_id("R").unwrap();
+        db.apply(
+            &Write::Insert {
+                relation: t,
+                values: vec![
+                    Value::constant("Niagara Falls"),
+                    Value::Null(x1),
+                    Value::constant("Toronto"),
+                ],
+            },
+            u,
+        )
+        .unwrap();
+        db.apply(
+            &Write::Insert {
+                relation: r,
+                values: vec![Value::Null(x1), Value::constant("Niagara Falls"), Value::Null(x2)],
+            },
+            u,
+        )
+        .unwrap();
+        db
+    }
+
+    fn reviews_query(db: &Database) -> RepositoryQuery {
+        // "Which companies tour which attractions, and what is the review?"
+        let t = db.relation_id("T").unwrap();
+        let r = db.relation_id("R").unwrap();
+        RepositoryQuery::new(
+            vec![
+                Atom::new(t, vec![Term::var("n"), Term::var("c"), Term::var("s")]),
+                Atom::new(r, vec![Term::var("c"), Term::var("n"), Term::var("rev")]),
+            ],
+            &["n", "c", "rev"],
+        )
+    }
+
+    #[test]
+    fn certain_answers_omit_rows_with_nulls() {
+        let db = incomplete_db();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let query = reviews_query(&db);
+        let certain = answer(&snap, &query, QuerySemantics::Certain);
+        assert_eq!(certain.len(), 1);
+        assert!(certain[0].certain);
+        assert_eq!(certain[0].values[0], Value::constant("Geneva Winery"));
+        assert_eq!(certain[0].values[2], Value::constant("Great!"));
+    }
+
+    #[test]
+    fn best_effort_answers_include_incomplete_rows() {
+        let db = incomplete_db();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let query = reviews_query(&db);
+        let all = answer(&snap, &query, QuerySemantics::BestEffort);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all.iter().filter(|r| r.certain).count(), 1);
+        let incomplete = all.iter().find(|r| !r.certain).unwrap();
+        assert_eq!(incomplete.values[0], Value::constant("Niagara Falls"));
+        assert!(incomplete.values[1].is_null(), "the unknown company is reported as a null");
+    }
+
+    #[test]
+    fn answers_are_deduplicated_and_ordered() {
+        let mut db = incomplete_db();
+        // A duplicate review row yields the same projected answer only once.
+        db.insert_by_name("R", &["XYZ", "Geneva Winery", "Great!"], UpdateId(0));
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let query = reviews_query(&db);
+        let certain = answer(&snap, &query, QuerySemantics::Certain);
+        assert_eq!(certain.len(), 1);
+        let best = answer(&snap, &query, QuerySemantics::BestEffort);
+        let mut sorted = best.clone();
+        sorted.sort();
+        assert_eq!(best, sorted);
+    }
+
+    #[test]
+    fn unbound_distinguished_variables_do_not_panic() {
+        let db = incomplete_db();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let t = db.relation_id("T").unwrap();
+        let query = RepositoryQuery::new(
+            vec![Atom::new(t, vec![Term::var("n"), Term::var("c"), Term::var("s")])],
+            &["n", "ghost"],
+        );
+        let rows = answer(&snap, &query, QuerySemantics::BestEffort);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn keyword_search_finds_constants_case_insensitively() {
+        let db = incomplete_db();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let hits = keyword_search(&snap, "geneva");
+        assert_eq!(hits.len(), 2, "the winery appears in T and R");
+        assert!(hits.iter().all(|h| !h.columns.is_empty()));
+        assert!(keyword_search(&snap, "zzzz-nothing").is_empty());
+        assert!(keyword_search(&snap, "").is_empty());
+        // Labeled nulls never match keywords.
+        let hits = keyword_search(&snap, "x1");
+        assert!(hits.is_empty());
+    }
+}

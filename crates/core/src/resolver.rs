@@ -1,0 +1,316 @@
+//! Frontier resolvers: the "human in the loop" abstraction.
+//!
+//! The chase blocks on frontier requests until a user answers them. A
+//! [`FrontierResolver`] supplies those answers. Examples and interactive
+//! front-ends implement it with real user input; the experiments of Section 6
+//! use [`RandomResolver`], which "chooses an option uniformly at random among
+//! all available alternatives", and which has the additional benefit of making
+//! every chase terminate even under cyclic mappings.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use youtopia_storage::DataView;
+
+use crate::frontier::{FrontierDecision, FrontierRequest, PositiveAction};
+
+/// Supplies frontier decisions for blocked chases.
+pub trait FrontierResolver {
+    /// Decides how to resolve `request`. `view` is the blocked update's
+    /// current snapshot of the database, provided so resolvers can inspect
+    /// context (provenance, candidate contents, …).
+    fn resolve(&mut self, view: &dyn DataView, request: &FrontierRequest) -> FrontierDecision;
+}
+
+/// The simulated user of Section 6: every choice is made uniformly at random
+/// among the legal alternatives.
+///
+/// * For each positive frontier tuple the alternatives are *expand* plus one
+///   *unify* per more-specific candidate.
+/// * For a negative frontier the resolver deletes a single candidate chosen
+///   uniformly at random (the minimal repair).
+///
+/// Because a unification is chosen sooner or later on every forward chase
+/// path, all chases terminate with probability 1 even when the mappings are
+/// cyclic.
+#[derive(Clone, Debug)]
+pub struct RandomResolver {
+    rng: StdRng,
+    /// Probability weight adjustments are not used by the paper; kept at the
+    /// uniform default.
+    expand_bias: f64,
+}
+
+impl RandomResolver {
+    /// Creates a resolver with the given seed (experiments are reproducible
+    /// under a fixed seed).
+    pub fn seeded(seed: u64) -> RandomResolver {
+        RandomResolver { rng: StdRng::seed_from_u64(seed), expand_bias: 0.0 }
+    }
+
+    /// Creates a resolver that favours expansion with the given extra
+    /// probability mass (0.0 = uniform, as in the paper). Used by ablation
+    /// benchmarks to study chase length as a function of user behaviour.
+    pub fn with_expand_bias(seed: u64, expand_bias: f64) -> RandomResolver {
+        RandomResolver { rng: StdRng::seed_from_u64(seed), expand_bias: expand_bias.clamp(0.0, 1.0) }
+    }
+}
+
+impl FrontierResolver for RandomResolver {
+    fn resolve(&mut self, _view: &dyn DataView, request: &FrontierRequest) -> FrontierDecision {
+        match request {
+            FrontierRequest::Positive(pf) => {
+                let mut actions = Vec::with_capacity(pf.tuples.len());
+                for tuple in &pf.tuples {
+                    if tuple.candidates.is_empty() {
+                        actions.push(PositiveAction::Expand);
+                        continue;
+                    }
+                    // Alternatives: expand, or unify with any of the candidates.
+                    let alternatives = tuple.candidates.len() + 1;
+                    let expand = if self.expand_bias > 0.0 {
+                        self.rng.gen_bool(self.expand_bias)
+                    } else {
+                        self.rng.gen_range(0..alternatives) == 0
+                    };
+                    if expand {
+                        actions.push(PositiveAction::Expand);
+                    } else {
+                        let (with, _) = tuple
+                            .candidates
+                            .choose(&mut self.rng)
+                            .expect("candidates checked non-empty");
+                        actions.push(PositiveAction::Unify { with: *with });
+                    }
+                }
+                FrontierDecision::Positive(actions)
+            }
+            FrontierRequest::Negative(nf) => {
+                let (_, id, _) =
+                    nf.candidates.choose(&mut self.rng).expect("negative frontier is never empty");
+                FrontierDecision::Negative(vec![*id])
+            }
+        }
+    }
+}
+
+/// A resolver that always expands positive frontier tuples and deletes every
+/// negative frontier candidate. This mimics the *classical* chase (which never
+/// unifies); under cyclic mappings it may never terminate, which is exactly
+/// the behaviour Youtopia's cooperative model avoids. Useful in tests and in
+/// the ablation benchmarks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExpandResolver;
+
+impl FrontierResolver for ExpandResolver {
+    fn resolve(&mut self, _view: &dyn DataView, request: &FrontierRequest) -> FrontierDecision {
+        match request {
+            FrontierRequest::Positive(pf) => FrontierDecision::expand_all(pf),
+            FrontierRequest::Negative(nf) => {
+                FrontierDecision::Negative(nf.candidates.iter().map(|(_, id, _)| *id).collect())
+            }
+        }
+    }
+}
+
+/// A resolver that always unifies with the first candidate when one exists
+/// (and expands otherwise), and deletes only the first negative candidate.
+/// This is the most conservative user: it adds as little data as possible.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnifyResolver;
+
+impl FrontierResolver for UnifyResolver {
+    fn resolve(&mut self, _view: &dyn DataView, request: &FrontierRequest) -> FrontierDecision {
+        match request {
+            FrontierRequest::Positive(pf) => FrontierDecision::Positive(
+                pf.tuples
+                    .iter()
+                    .map(|t| match t.candidates.first() {
+                        Some((id, _)) => PositiveAction::Unify { with: *id },
+                        None => PositiveAction::Expand,
+                    })
+                    .collect(),
+            ),
+            FrontierRequest::Negative(nf) => FrontierDecision::delete_first(nf),
+        }
+    }
+}
+
+/// A resolver that replays a pre-recorded script of decisions, in order.
+/// Useful for tests and for reproducing an interactive session. Panics if the
+/// script runs out.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedResolver {
+    decisions: std::collections::VecDeque<FrontierDecision>,
+}
+
+impl ScriptedResolver {
+    /// Creates a scripted resolver from a decision sequence.
+    pub fn new(decisions: impl IntoIterator<Item = FrontierDecision>) -> ScriptedResolver {
+        ScriptedResolver { decisions: decisions.into_iter().collect() }
+    }
+
+    /// Remaining scripted decisions.
+    pub fn remaining(&self) -> usize {
+        self.decisions.len()
+    }
+}
+
+impl FrontierResolver for ScriptedResolver {
+    fn resolve(&mut self, _view: &dyn DataView, _request: &FrontierRequest) -> FrontierDecision {
+        self.decisions.pop_front().expect("scripted resolver ran out of decisions")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::{FrontierTuple, NegativeFrontier, PositiveFrontier};
+    use youtopia_mappings::{MappingId, Violation, ViolationKind};
+    use youtopia_storage::{Bindings, Database, RelationId, TupleId, UpdateId, Value};
+
+    fn dummy_violation() -> Violation {
+        Violation {
+            mapping: MappingId(0),
+            kind: ViolationKind::Lhs,
+            lhs_bindings: Bindings::new(),
+            witness: vec![],
+        }
+    }
+
+    fn positive_request(candidates: usize) -> FrontierRequest {
+        FrontierRequest::Positive(PositiveFrontier {
+            mapping: MappingId(0),
+            violation: dummy_violation(),
+            tuples: vec![FrontierTuple {
+                relation: RelationId(0),
+                values: vec![Value::constant("a")].into(),
+                fresh_nulls: vec![],
+                candidates: (0..candidates)
+                    .map(|i| (TupleId(i as u64), vec![Value::constant("c")].into()))
+                    .collect(),
+            }],
+        })
+    }
+
+    fn negative_request() -> FrontierRequest {
+        FrontierRequest::Negative(NegativeFrontier {
+            mapping: MappingId(0),
+            violation: dummy_violation(),
+            candidates: vec![
+                (0, TupleId(1), vec![Value::constant("a")].into()),
+                (1, TupleId(2), vec![Value::constant("b")].into()),
+            ],
+        })
+    }
+
+    fn view() -> Database {
+        Database::new()
+    }
+
+    #[test]
+    fn random_resolver_is_deterministic_under_a_seed() {
+        let db = view();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let request = positive_request(3);
+        let d1: Vec<FrontierDecision> =
+            (0..20).map(|_| RandomResolver::seeded(42)).map(|mut r| r.resolve(&snap, &request)).collect();
+        assert!(d1.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn random_resolver_explores_all_alternatives() {
+        let db = view();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let request = positive_request(2);
+        let mut resolver = RandomResolver::seeded(7);
+        let mut saw_expand = false;
+        let mut saw_unify = false;
+        for _ in 0..200 {
+            match resolver.resolve(&snap, &request) {
+                FrontierDecision::Positive(actions) => match &actions[0] {
+                    PositiveAction::Expand => saw_expand = true,
+                    PositiveAction::Unify { .. } => saw_unify = true,
+                },
+                _ => panic!("positive request"),
+            }
+        }
+        assert!(saw_expand && saw_unify);
+    }
+
+    #[test]
+    fn random_resolver_expands_when_there_are_no_candidates() {
+        let db = view();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let mut resolver = RandomResolver::seeded(1);
+        match resolver.resolve(&snap, &positive_request(0)) {
+            FrontierDecision::Positive(actions) => assert_eq!(actions, vec![PositiveAction::Expand]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn random_resolver_deletes_exactly_one_negative_candidate() {
+        let db = view();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let mut resolver = RandomResolver::seeded(3);
+        match resolver.resolve(&snap, &negative_request()) {
+            FrontierDecision::Negative(ids) => assert_eq!(ids.len(), 1),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn expand_and_unify_resolvers() {
+        let db = view();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        match ExpandResolver.resolve(&snap, &positive_request(2)) {
+            FrontierDecision::Positive(actions) => assert_eq!(actions, vec![PositiveAction::Expand]),
+            _ => panic!(),
+        }
+        match ExpandResolver.resolve(&snap, &negative_request()) {
+            FrontierDecision::Negative(ids) => assert_eq!(ids.len(), 2),
+            _ => panic!(),
+        }
+        match UnifyResolver.resolve(&snap, &positive_request(2)) {
+            FrontierDecision::Positive(actions) => {
+                assert!(matches!(actions[0], PositiveAction::Unify { .. }))
+            }
+            _ => panic!(),
+        }
+        match UnifyResolver.resolve(&snap, &negative_request()) {
+            FrontierDecision::Negative(ids) => assert_eq!(ids, vec![TupleId(1)]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn scripted_resolver_replays_in_order() {
+        let db = view();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let mut scripted = ScriptedResolver::new([
+            FrontierDecision::Negative(vec![TupleId(1)]),
+            FrontierDecision::Negative(vec![TupleId(2)]),
+        ]);
+        assert_eq!(scripted.remaining(), 2);
+        assert_eq!(scripted.resolve(&snap, &negative_request()), FrontierDecision::Negative(vec![TupleId(1)]));
+        assert_eq!(scripted.resolve(&snap, &negative_request()), FrontierDecision::Negative(vec![TupleId(2)]));
+        assert_eq!(scripted.remaining(), 0);
+    }
+
+    #[test]
+    fn expand_bias_forces_expansion() {
+        let db = view();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let mut resolver = RandomResolver::with_expand_bias(5, 1.0);
+        for _ in 0..50 {
+            match resolver.resolve(&snap, &positive_request(3)) {
+                FrontierDecision::Positive(actions) => {
+                    assert_eq!(actions, vec![PositiveAction::Expand])
+                }
+                _ => panic!(),
+            }
+        }
+    }
+}

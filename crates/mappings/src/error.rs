@@ -1,0 +1,64 @@
+//! Error types for the mappings layer.
+
+use std::fmt;
+
+/// Errors raised while constructing or parsing mappings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MappingError {
+    /// A tgd must have at least one atom on its left-hand side.
+    EmptyLhs(String),
+    /// A tgd must have at least one atom on its right-hand side.
+    EmptyRhs(String),
+    /// An atom's arity does not match its relation's schema.
+    AtomArityMismatch {
+        /// Mapping name.
+        mapping: String,
+        /// Relation name.
+        relation: String,
+        /// Arity expected by the catalog.
+        expected: usize,
+        /// Arity written in the atom.
+        actual: usize,
+    },
+    /// The parser encountered an unknown relation name.
+    UnknownRelation(String),
+    /// A syntax error with a human-readable explanation.
+    Parse(String),
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::EmptyLhs(name) => write!(f, "mapping `{name}` has an empty left-hand side"),
+            MappingError::EmptyRhs(name) => write!(f, "mapping `{name}` has an empty right-hand side"),
+            MappingError::AtomArityMismatch { mapping, relation, expected, actual } => write!(
+                f,
+                "mapping `{mapping}`: relation `{relation}` has arity {expected}, atom has {actual} terms"
+            ),
+            MappingError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            MappingError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_offender() {
+        assert!(MappingError::EmptyLhs("m".into()).to_string().contains('m'));
+        assert!(MappingError::EmptyRhs("m".into()).to_string().contains('m'));
+        assert!(MappingError::UnknownRelation("Zed".into()).to_string().contains("Zed"));
+        assert!(MappingError::Parse("oops".into()).to_string().contains("oops"));
+        let e = MappingError::AtomArityMismatch {
+            mapping: "σ1".into(),
+            relation: "S".into(),
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("arity 3"));
+    }
+}

@@ -1,0 +1,349 @@
+//! The mapping graph: cycle detection and weak acyclicity.
+//!
+//! Classical update-exchange systems (Orchestra, Piazza, …) restrict mappings
+//! to be acyclic — usually *weakly acyclic* — because the standard tgd chase
+//! is only guaranteed to terminate under such restrictions. Youtopia lifts the
+//! restriction (Section 1.3); this module provides the analyses so that
+//! examples, tests and benchmarks can demonstrate the difference.
+
+use std::collections::{HashMap, HashSet};
+
+use youtopia_storage::{RelationId, Term};
+
+use crate::tgd::MappingSet;
+
+/// The relation-level mapping graph: an edge `R → S` exists when some mapping
+/// has `R` on its left-hand side and `S` on its right-hand side.
+#[derive(Clone, Debug, Default)]
+pub struct MappingGraph {
+    edges: HashMap<RelationId, HashSet<RelationId>>,
+    nodes: HashSet<RelationId>,
+}
+
+impl MappingGraph {
+    /// Builds the graph of a mapping set.
+    pub fn new(mappings: &MappingSet) -> MappingGraph {
+        let mut graph = MappingGraph::default();
+        for tgd in mappings.iter() {
+            for lhs in tgd.lhs_relations() {
+                graph.nodes.insert(lhs);
+                for rhs in tgd.rhs_relations() {
+                    graph.nodes.insert(rhs);
+                    graph.edges.entry(lhs).or_default().insert(rhs);
+                }
+            }
+        }
+        graph
+    }
+
+    /// Successors of a relation.
+    pub fn successors(&self, relation: RelationId) -> impl Iterator<Item = RelationId> + '_ {
+        self.edges.get(&relation).into_iter().flatten().copied()
+    }
+
+    /// Number of relations participating in some mapping.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(HashSet::len).sum()
+    }
+
+    /// Whether the graph contains a directed cycle.
+    pub fn has_cycle(&self) -> bool {
+        // Iterative DFS with colouring.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour: HashMap<RelationId, Colour> =
+            self.nodes.iter().map(|&n| (n, Colour::White)).collect();
+        let mut nodes: Vec<RelationId> = self.nodes.iter().copied().collect();
+        nodes.sort();
+        for start in nodes {
+            if colour[&start] != Colour::White {
+                continue;
+            }
+            // Stack of (node, next-successor-index).
+            let mut stack = vec![(start, self.sorted_successors(start), 0usize)];
+            colour.insert(start, Colour::Grey);
+            while let Some((node, succs, idx)) = stack.last().cloned() {
+                if idx < succs.len() {
+                    stack.last_mut().expect("non-empty").2 += 1;
+                    let next = succs[idx];
+                    match colour[&next] {
+                        Colour::Grey => return true,
+                        Colour::White => {
+                            colour.insert(next, Colour::Grey);
+                            stack.push((next, self.sorted_successors(next), 0));
+                        }
+                        Colour::Black => {}
+                    }
+                } else {
+                    colour.insert(node, Colour::Black);
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+
+    fn sorted_successors(&self, node: RelationId) -> Vec<RelationId> {
+        let mut s: Vec<RelationId> = self.successors(node).collect();
+        s.sort();
+        s
+    }
+
+    /// Strongly connected components with more than one node (or a self-loop):
+    /// the relation groups across which a classical chase could cascade
+    /// indefinitely.
+    pub fn cyclic_components(&self) -> Vec<Vec<RelationId>> {
+        // Tarjan's algorithm, iterative-friendly scale (graphs here are tiny).
+        struct State {
+            index: usize,
+            indices: HashMap<RelationId, usize>,
+            lowlink: HashMap<RelationId, usize>,
+            stack: Vec<RelationId>,
+            on_stack: HashSet<RelationId>,
+            components: Vec<Vec<RelationId>>,
+        }
+        fn strongconnect(graph: &MappingGraph, v: RelationId, st: &mut State) {
+            st.indices.insert(v, st.index);
+            st.lowlink.insert(v, st.index);
+            st.index += 1;
+            st.stack.push(v);
+            st.on_stack.insert(v);
+            for w in graph.sorted_successors(v) {
+                if !st.indices.contains_key(&w) {
+                    strongconnect(graph, w, st);
+                    let low = st.lowlink[&w].min(st.lowlink[&v]);
+                    st.lowlink.insert(v, low);
+                } else if st.on_stack.contains(&w) {
+                    let low = st.indices[&w].min(st.lowlink[&v]);
+                    st.lowlink.insert(v, low);
+                }
+            }
+            if st.lowlink[&v] == st.indices[&v] {
+                let mut component = Vec::new();
+                while let Some(w) = st.stack.pop() {
+                    st.on_stack.remove(&w);
+                    component.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                component.sort();
+                st.components.push(component);
+            }
+        }
+        let mut st = State {
+            index: 0,
+            indices: HashMap::new(),
+            lowlink: HashMap::new(),
+            stack: Vec::new(),
+            on_stack: HashSet::new(),
+            components: Vec::new(),
+        };
+        let mut nodes: Vec<RelationId> = self.nodes.iter().copied().collect();
+        nodes.sort();
+        for n in nodes {
+            if !st.indices.contains_key(&n) {
+                strongconnect(self, n, &mut st);
+            }
+        }
+        st.components
+            .into_iter()
+            .filter(|c| {
+                c.len() > 1 || (c.len() == 1 && self.edges.get(&c[0]).is_some_and(|s| s.contains(&c[0])))
+            })
+            .collect()
+    }
+}
+
+/// Decides *weak acyclicity* of a mapping set — the classical sufficient
+/// condition for chase termination (Fagin et al.), which Youtopia does **not**
+/// require. The test builds the position dependency graph: nodes are
+/// positions `(R, i)`; a mapping with frontier variable `x` at LHS position
+/// `p` adds a regular edge to every RHS position holding `x`, and a *special*
+/// edge to every RHS position holding an existential variable. The set is
+/// weakly acyclic iff no cycle goes through a special edge.
+pub fn is_weakly_acyclic(mappings: &MappingSet) -> bool {
+    type Pos = (RelationId, usize);
+    let mut regular: HashMap<Pos, HashSet<Pos>> = HashMap::new();
+    let mut special: HashMap<Pos, HashSet<Pos>> = HashMap::new();
+    let mut nodes: HashSet<Pos> = HashSet::new();
+
+    for tgd in mappings.iter() {
+        for var in tgd.frontier_vars() {
+            // LHS positions of this variable.
+            let mut lhs_positions = Vec::new();
+            for atom in &tgd.lhs {
+                for (i, term) in atom.terms.iter().enumerate() {
+                    if matches!(term, Term::Var(v) if v == var) {
+                        lhs_positions.push((atom.relation, i));
+                    }
+                }
+            }
+            // RHS positions of the same variable (regular edges) and of
+            // existential variables (special edges).
+            for atom in &tgd.rhs {
+                for (i, term) in atom.terms.iter().enumerate() {
+                    let target = (atom.relation, i);
+                    match term {
+                        Term::Var(v) if v == var => {
+                            for &src in &lhs_positions {
+                                nodes.insert(src);
+                                nodes.insert(target);
+                                regular.entry(src).or_default().insert(target);
+                            }
+                        }
+                        Term::Var(v) if tgd.existential_vars().contains(v) => {
+                            for &src in &lhs_positions {
+                                nodes.insert(src);
+                                nodes.insert(target);
+                                special.entry(src).or_default().insert(target);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    // A mapping set is weakly acyclic iff the position graph has no cycle
+    // containing a special edge. Equivalently: for every special edge (u, v),
+    // v must not reach u through the combined graph.
+    let combined_successors = |p: Pos| -> Vec<Pos> {
+        let mut out: Vec<Pos> = Vec::new();
+        if let Some(s) = regular.get(&p) {
+            out.extend(s.iter().copied());
+        }
+        if let Some(s) = special.get(&p) {
+            out.extend(s.iter().copied());
+        }
+        out
+    };
+    let reaches = |from: Pos, to: Pos| -> bool {
+        let mut seen = HashSet::new();
+        let mut stack = vec![from];
+        while let Some(p) = stack.pop() {
+            if p == to {
+                return true;
+            }
+            if seen.insert(p) {
+                stack.extend(combined_successors(p));
+            }
+        }
+        false
+    };
+    for (u, targets) in &special {
+        for v in targets {
+            if reaches(*v, *u) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_storage::Database;
+
+    fn catalog() -> Database {
+        let mut db = Database::new();
+        db.add_relation("C", ["city"]).unwrap();
+        db.add_relation("S", ["code", "location", "city_served"]).unwrap();
+        db.add_relation("A", ["location", "name"]).unwrap();
+        db.add_relation("T", ["attraction", "company", "tour_start"]).unwrap();
+        db.add_relation("R", ["company", "attraction", "review"]).unwrap();
+        db.add_relation("Person", ["name"]).unwrap();
+        db.add_relation("Father", ["child", "father"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn figure2_cycle_between_c_and_s_is_detected() {
+        let db = catalog();
+        let mut set = MappingSet::new();
+        set.add_parsed_many(
+            db.catalog(),
+            "
+            sigma1: C(c) -> exists a, l. S(a, l, c)
+            sigma2: S(a, c, c2) -> C(c) & C(c2)
+            ",
+        )
+        .unwrap();
+        let graph = MappingGraph::new(&set);
+        assert!(graph.has_cycle());
+        assert_eq!(graph.node_count(), 2);
+        assert_eq!(graph.edge_count(), 2);
+        let comps = graph.cyclic_components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 2);
+        // σ1 introduces fresh existential values into the C/S cycle: not
+        // weakly acyclic, so the classical chase may not terminate.
+        assert!(!is_weakly_acyclic(&set));
+    }
+
+    #[test]
+    fn acyclic_mapping_sets_are_recognised() {
+        let db = catalog();
+        let mut set = MappingSet::new();
+        set.add_parsed_many(
+            db.catalog(),
+            "
+            sigma3: A(l, n) & T(n, c, cs) -> exists r. R(c, n, r)
+            ",
+        )
+        .unwrap();
+        let graph = MappingGraph::new(&set);
+        assert!(!graph.has_cycle());
+        assert!(graph.cyclic_components().is_empty());
+        assert!(is_weakly_acyclic(&set));
+        assert_eq!(graph.successors(db.relation_id("A").unwrap()).count(), 1);
+    }
+
+    #[test]
+    fn genealogy_self_cycle() {
+        let db = catalog();
+        let mut set = MappingSet::new();
+        set.add_parsed(db.catalog(), "anc: Person(x) -> exists y. Father(x, y) & Person(y)")
+            .unwrap();
+        let graph = MappingGraph::new(&set);
+        assert!(graph.has_cycle());
+        let comps = graph.cyclic_components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![db.relation_id("Person").unwrap()]);
+        assert!(!is_weakly_acyclic(&set));
+    }
+
+    #[test]
+    fn copy_cycles_without_existentials_are_weakly_acyclic() {
+        // C(c) -> S'(c) and back with no existential variables: cyclic at the
+        // relation level but weakly acyclic (the classical chase terminates).
+        let mut db = Database::new();
+        db.add_relation("P", ["a"]).unwrap();
+        db.add_relation("Q", ["a"]).unwrap();
+        let mut set = MappingSet::new();
+        set.add_parsed_many(db.catalog(), "P(x) -> Q(x)\nQ(x) -> P(x)").unwrap();
+        let graph = MappingGraph::new(&set);
+        assert!(graph.has_cycle());
+        assert!(is_weakly_acyclic(&set));
+    }
+
+    #[test]
+    fn empty_mapping_set_is_trivially_acyclic() {
+        let set = MappingSet::new();
+        let graph = MappingGraph::new(&set);
+        assert!(!graph.has_cycle());
+        assert_eq!(graph.node_count(), 0);
+        assert!(is_weakly_acyclic(&set));
+    }
+}

@@ -1,0 +1,44 @@
+//! # youtopia-mappings
+//!
+//! Schema mappings (tuple-generating dependencies) for the Youtopia
+//! reproduction: the mapping AST and textual parser, violation detection with
+//! witnesses (Definitions 2.1–2.2), the violation queries a chase step poses
+//! (Section 4.2, Example 4.1), delta evaluation of those queries against
+//! individual writes (used by conflict detection and the `PRECISE` tracker),
+//! and mapping-graph analyses (cycles, weak acyclicity) that contrast
+//! Youtopia's unrestricted mappings with classical update exchange.
+//!
+//! ```
+//! use youtopia_storage::{Database, UpdateId};
+//! use youtopia_mappings::{MappingSet, find_violations};
+//!
+//! let mut db = Database::new();
+//! db.add_relation("C", ["city"]).unwrap();
+//! db.add_relation("S", ["code", "location", "city_served"]).unwrap();
+//! let mut mappings = MappingSet::new();
+//! mappings.add_parsed(db.catalog(), "sigma1: C(c) -> exists a, l. S(a, l, c)").unwrap();
+//!
+//! db.insert_by_name("C", &["Ithaca"], UpdateId(1));
+//! let snapshot = db.snapshot(UpdateId::OMNISCIENT);
+//! assert_eq!(find_violations(&snapshot, &mappings).len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod error;
+pub mod graph;
+pub mod parser;
+pub mod tgd;
+pub mod violation;
+
+pub use delta::{change_affects_query, evaluate_with_change, evaluate_without_change};
+pub use error::MappingError;
+pub use graph::{is_weakly_acyclic, MappingGraph};
+pub use parser::{parse_tgd, ParsedTgd};
+pub use tgd::{MappingId, MappingSet, Tgd};
+pub use violation::{
+    find_all_violations, find_violations, satisfies_all, violation_queries_for_change,
+    violations_from_change, Violation, ViolationKind, ViolationQuery, ViolationSeed,
+};

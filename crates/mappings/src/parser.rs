@@ -1,0 +1,377 @@
+//! A small textual syntax for mappings.
+//!
+//! ```text
+//! σ3: A(l, n) & T(n, c, cs) -> exists r. R(c, n, r)
+//! ```
+//!
+//! * An optional mapping name is terminated by `:`.
+//! * Atoms are `Relation(term, …)`; atoms are joined with `&`, `,` or `∧`.
+//! * The implication arrow is `->` or `→`.
+//! * An optional `exists v1, v2.` prefix may name the existential variables of
+//!   the right-hand side (purely documentary: any RHS-only variable is
+//!   existential regardless).
+//! * Quoted tokens (`'Geneva Winery'` or `"XYZ"`) are constants; bare tokens
+//!   are variables.
+
+use youtopia_storage::{Atom, Catalog, Term, Value};
+
+use crate::error::MappingError;
+use crate::tgd::{MappingId, MappingSet};
+
+/// The result of parsing a single tgd.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedTgd {
+    /// Optional mapping name (`σ3` in the example above).
+    pub name: Option<String>,
+    /// Left-hand side atoms.
+    pub lhs: Vec<Atom>,
+    /// Right-hand side atoms.
+    pub rhs: Vec<Atom>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Quoted(String),
+    LParen,
+    RParen,
+    Comma,
+    And,
+    Arrow,
+    Colon,
+    Dot,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, MappingError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '&' | '∧' => {
+                tokens.push(Token::And);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '→' => {
+                tokens.push(Token::Arrow);
+                i += 1;
+            }
+            '-' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Arrow);
+                    i += 2;
+                } else {
+                    return Err(MappingError::Parse(format!("unexpected character `-` at offset {i}")));
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != quote {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(MappingError::Parse("unterminated quoted constant".into()));
+                }
+                tokens.push(Token::Quoted(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            c if c.is_alphanumeric() || c == '_' || c == 'σ' => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j].is_alphanumeric() || chars[j] == '_' || chars[j] == 'σ')
+                {
+                    j += 1;
+                }
+                tokens.push(Token::Ident(chars[start..j].iter().collect()));
+                i = j;
+            }
+            other => {
+                return Err(MappingError::Parse(format!("unexpected character `{other}` at offset {i}")))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    catalog: &'a Catalog,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, token: &Token, what: &str) -> Result<(), MappingError> {
+        match self.bump() {
+            Some(ref t) if t == token => Ok(()),
+            other => Err(MappingError::Parse(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, MappingError> {
+        let name = match self.bump() {
+            Some(Token::Ident(name)) => name,
+            other => return Err(MappingError::Parse(format!("expected relation name, found {other:?}"))),
+        };
+        let relation = self
+            .catalog
+            .relation_id(&name)
+            .ok_or_else(|| MappingError::UnknownRelation(name.clone()))?;
+        self.expect(&Token::LParen, "`(`")?;
+        let mut terms = Vec::new();
+        loop {
+            match self.bump() {
+                Some(Token::Ident(v)) => terms.push(Term::var(&v)),
+                Some(Token::Quoted(c)) => terms.push(Term::Const(Value::constant(&c))),
+                other => {
+                    return Err(MappingError::Parse(format!("expected term, found {other:?}")))
+                }
+            }
+            match self.bump() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => {
+                    return Err(MappingError::Parse(format!("expected `,` or `)`, found {other:?}")))
+                }
+            }
+        }
+        let schema = self.catalog.schema(relation);
+        if schema.arity() != terms.len() {
+            return Err(MappingError::AtomArityMismatch {
+                mapping: String::new(),
+                relation: schema.name.clone(),
+                expected: schema.arity(),
+                actual: terms.len(),
+            });
+        }
+        Ok(Atom::new(relation, terms))
+    }
+
+    fn parse_atom_list(&mut self) -> Result<Vec<Atom>, MappingError> {
+        let mut atoms = vec![self.parse_atom()?];
+        while matches!(self.peek(), Some(Token::And) | Some(Token::Comma)) {
+            self.bump();
+            atoms.push(self.parse_atom()?);
+        }
+        Ok(atoms)
+    }
+}
+
+/// Parses a single tgd against the given catalog.
+pub fn parse_tgd(catalog: &Catalog, input: &str) -> Result<ParsedTgd, MappingError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0, catalog };
+
+    // Optional `name :` prefix: an identifier immediately followed by a colon.
+    let mut name = None;
+    if let (Some(Token::Ident(n)), Some(Token::Colon)) =
+        (parser.tokens.first().cloned(), parser.tokens.get(1))
+    {
+        name = Some(n);
+        parser.pos = 2;
+    }
+
+    let lhs = parser.parse_atom_list()?;
+    parser.expect(&Token::Arrow, "`->`")?;
+
+    // Optional `exists v1, v2.` prefix before the RHS.
+    if let Some(Token::Ident(word)) = parser.peek() {
+        if word == "exists" {
+            parser.bump();
+            loop {
+                match parser.bump() {
+                    Some(Token::Ident(_)) => {}
+                    other => {
+                        return Err(MappingError::Parse(format!(
+                            "expected existential variable, found {other:?}"
+                        )))
+                    }
+                }
+                match parser.bump() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::Dot) => break,
+                    other => {
+                        return Err(MappingError::Parse(format!("expected `,` or `.`, found {other:?}")))
+                    }
+                }
+            }
+        }
+    }
+
+    let rhs = parser.parse_atom_list()?;
+    if parser.peek().is_some() {
+        return Err(MappingError::Parse(format!(
+            "trailing input starting at {:?}",
+            parser.peek().unwrap()
+        )));
+    }
+    Ok(ParsedTgd { name, lhs, rhs })
+}
+
+impl MappingSet {
+    /// Parses a tgd and adds it to the set. Unnamed mappings are named
+    /// `σ<index>`.
+    pub fn add_parsed(&mut self, catalog: &Catalog, input: &str) -> Result<MappingId, MappingError> {
+        let parsed = parse_tgd(catalog, input)?;
+        let name = parsed.name.unwrap_or_else(|| format!("σ{}", self.len()));
+        self.add(name, parsed.lhs, parsed.rhs)
+    }
+
+    /// Parses several newline-separated tgds (empty lines and `#` comments are
+    /// skipped).
+    pub fn add_parsed_many(
+        &mut self,
+        catalog: &Catalog,
+        input: &str,
+    ) -> Result<Vec<MappingId>, MappingError> {
+        let mut ids = Vec::new();
+        for line in input.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            ids.push(self.add_parsed(catalog, line)?);
+        }
+        Ok(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_storage::Database;
+
+    fn travel_catalog() -> Database {
+        let mut db = Database::new();
+        db.add_relation("C", ["city"]).unwrap();
+        db.add_relation("S", ["code", "location", "city_served"]).unwrap();
+        db.add_relation("A", ["location", "name"]).unwrap();
+        db.add_relation("T", ["attraction", "company", "tour_start"]).unwrap();
+        db.add_relation("R", ["company", "attraction", "review"]).unwrap();
+        db.add_relation("V", ["city", "convention"]).unwrap();
+        db.add_relation("E", ["convention", "attraction"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn parses_the_paper_mappings() {
+        let db = travel_catalog();
+        let mut set = MappingSet::new();
+        let text = "
+            # Figure 2 mappings
+            sigma1: C(c) -> exists a, l. S(a, l, c)
+            sigma2: S(a, c, c2) -> C(c) & C(c2)
+            sigma3: A(l, n) & T(n, c, cs) -> exists r. R(c, n, r)
+            sigma4: V(cv, x) & T(n, c, cv) -> E(x, n)
+        ";
+        let ids = set.add_parsed_many(db.catalog(), text).unwrap();
+        assert_eq!(ids.len(), 4);
+        let s3 = set.by_name("sigma3").unwrap();
+        assert_eq!(s3.lhs.len(), 2);
+        assert_eq!(s3.rhs.len(), 1);
+        assert_eq!(s3.existential_vars().len(), 1);
+        assert!(set.validate(db.catalog()).is_ok());
+    }
+
+    #[test]
+    fn parses_constants_and_unicode_arrow() {
+        let db = travel_catalog();
+        let parsed = parse_tgd(db.catalog(), "T(n, 'XYZ', cs) → R('XYZ', n, r)").unwrap();
+        assert_eq!(parsed.name, None);
+        assert_eq!(parsed.lhs[0].terms[1], Term::Const(Value::constant("XYZ")));
+        assert_eq!(parsed.rhs[0].terms[0], Term::Const(Value::constant("XYZ")));
+    }
+
+    #[test]
+    fn name_prefix_is_optional() {
+        let db = travel_catalog();
+        let named = parse_tgd(db.catalog(), "m7: C(c) -> C(c)").unwrap();
+        assert_eq!(named.name.as_deref(), Some("m7"));
+        let unnamed = parse_tgd(db.catalog(), "C(c) -> C(c)").unwrap();
+        assert_eq!(unnamed.name, None);
+    }
+
+    #[test]
+    fn unknown_relation_is_reported() {
+        let db = travel_catalog();
+        let err = parse_tgd(db.catalog(), "Zed(x) -> C(x)").unwrap_err();
+        assert!(matches!(err, MappingError::UnknownRelation(name) if name == "Zed"));
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let db = travel_catalog();
+        let err = parse_tgd(db.catalog(), "C(a, b) -> C(a)").unwrap_err();
+        assert!(matches!(err, MappingError::AtomArityMismatch { expected: 1, actual: 2, .. }));
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        let db = travel_catalog();
+        assert!(parse_tgd(db.catalog(), "C(c) C(c)").is_err());
+        assert!(parse_tgd(db.catalog(), "C(c -> C(c)").is_err());
+        assert!(parse_tgd(db.catalog(), "C(c) -> C(c) trailing").is_err());
+        assert!(parse_tgd(db.catalog(), "C('unterminated) -> C(c)").is_err());
+        assert!(parse_tgd(db.catalog(), "C(c) - C(c)").is_err());
+        assert!(parse_tgd(db.catalog(), "").is_err());
+    }
+
+    #[test]
+    fn quoted_constants_may_contain_spaces() {
+        let db = travel_catalog();
+        let parsed = parse_tgd(db.catalog(), "A(l, 'Geneva Winery') -> A(l, 'Geneva Winery')").unwrap();
+        assert_eq!(parsed.lhs[0].terms[1], Term::Const(Value::constant("Geneva Winery")));
+    }
+
+    #[test]
+    fn add_parsed_assigns_default_names() {
+        let db = travel_catalog();
+        let mut set = MappingSet::new();
+        set.add_parsed(db.catalog(), "C(c) -> C(c)").unwrap();
+        assert_eq!(set.by_name("σ0").unwrap().lhs.len(), 1);
+    }
+
+    #[test]
+    fn comment_only_input_yields_no_mappings() {
+        let db = travel_catalog();
+        let mut set = MappingSet::new();
+        let ids = set.add_parsed_many(db.catalog(), "# nothing here\n\n").unwrap();
+        assert!(ids.is_empty());
+    }
+}

@@ -1,0 +1,534 @@
+//! Violations, witnesses and violation queries (Definitions 2.1 and 2.2,
+//! Section 4.2).
+
+use std::fmt;
+
+use youtopia_storage::{
+    evaluate, restrict, satisfiable, Bindings, DataView, TupleChange, TupleData, TupleId,
+};
+
+use crate::tgd::{MappingId, MappingSet, Tgd};
+
+/// Whether a violation was caused on the left-hand side (by an insertion or a
+/// null-replacement) or on the right-hand side (by a deletion). LHS-violations
+/// are repaired by the forward chase, RHS-violations by the backward chase
+/// (Section 2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ViolationKind {
+    /// The witness appeared (or changed) on the left-hand side.
+    Lhs,
+    /// A matching right-hand side tuple disappeared.
+    Rhs,
+}
+
+/// A violation of a mapping: an LHS match (the *witness*, Definition 2.2) that
+/// has no matching right-hand side.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// The violated mapping.
+    pub mapping: MappingId,
+    /// How the violation arose.
+    pub kind: ViolationKind,
+    /// Bindings of all LHS variables (frontier variables x̄ and LHS-only
+    /// variables ȳ).
+    pub lhs_bindings: Bindings,
+    /// The witness: ids of the tuples matching the LHS atoms, in atom order.
+    pub witness: Vec<TupleId>,
+}
+
+impl Violation {
+    /// Bindings restricted to the frontier variables x̄ — the assignment `a`
+    /// of Definition 2.1.
+    pub fn frontier_bindings(&self, tgd: &Tgd) -> Bindings {
+        restrict(&self.lhs_bindings, tgd.frontier_vars())
+    }
+
+    /// Checks whether the violation still holds on `view`: every witness tuple
+    /// must still be present with data matching the LHS atoms under the
+    /// recorded bindings, and the RHS must still be unsatisfiable for the
+    /// frontier assignment. The chase re-checks violations before repairing
+    /// them because earlier corrective writes (or other updates' writes) may
+    /// already have repaired or invalidated them.
+    pub fn still_violated(&self, view: &dyn DataView, tgd: &Tgd) -> bool {
+        if self.witness.len() != tgd.lhs.len() {
+            return false;
+        }
+        for (atom, tid) in tgd.lhs.iter().zip(self.witness.iter()) {
+            let Some(data) = view.tuple(atom.relation, *tid) else { return false };
+            match atom.match_tuple(&data, &self.lhs_bindings) {
+                // The tuple must still match without extending the bindings:
+                // if the data changed (null-replacement) this violation is
+                // stale and a fresh one has been detected from the change.
+                Some(extended) => {
+                    if extended != self.lhs_bindings {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        !satisfiable(view, &tgd.rhs, &self.frontier_bindings(tgd))
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "violation of {} ({:?}) with witness {:?}", self.mapping, self.kind, self.witness)
+    }
+}
+
+/// How a violation query is seeded by a written tuple (Section 4.2): the
+/// tuple's values become constants of the query, exactly like the bound
+/// `A.name = 'Geneva Winery' AND T.company = 'XYZ'` predicates of Example 4.1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationSeed {
+    /// Seeded by a tuple that appeared (insert / null-replacement result):
+    /// looks for new LHS matches consistent with binding the LHS atom at
+    /// `atom_index` to `values`.
+    Lhs {
+        /// Index of the LHS atom the written tuple matches.
+        atom_index: usize,
+        /// The written tuple's values.
+        values: TupleData,
+    },
+    /// Seeded by a tuple that disappeared (delete / null-replacement
+    /// original): looks for LHS matches whose RHS match may have relied on the
+    /// vanished tuple, via the RHS atom at `atom_index`.
+    Rhs {
+        /// Index of the RHS atom the vanished tuple matched.
+        atom_index: usize,
+        /// The vanished tuple's values.
+        values: TupleData,
+    },
+    /// No seed: scan for every violation of the mapping (used to validate an
+    /// initial database and by tests).
+    Full,
+}
+
+/// A *violation query*: the read query a chase step performs to discover the
+/// new violations of one mapping caused by one write (Section 4.2). These are
+/// the objects logged by the concurrency layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViolationQuery {
+    /// The mapping being checked.
+    pub mapping: MappingId,
+    /// How the query is seeded.
+    pub seed: ViolationSeed,
+}
+
+impl ViolationQuery {
+    /// Relations read by this query (LHS relations always; RHS relations are
+    /// read through the `NOT EXISTS` subquery). Used by the `COARSE`
+    /// dependency tracker.
+    pub fn relations_read(&self, mappings: &MappingSet) -> Vec<youtopia_storage::RelationId> {
+        mappings.get(self.mapping).relations()
+    }
+
+    /// Evaluates the query: the set of violations of the mapping consistent
+    /// with the seed.
+    pub fn evaluate(&self, view: &dyn DataView, mappings: &MappingSet) -> Vec<Violation> {
+        let tgd = mappings.get(self.mapping);
+        let (seed_bindings, kind) = match &self.seed {
+            ViolationSeed::Lhs { atom_index, values } => {
+                let Some(b) = tgd.lhs[*atom_index].match_tuple(values, &Bindings::new()) else {
+                    return Vec::new();
+                };
+                (b, ViolationKind::Lhs)
+            }
+            ViolationSeed::Rhs { atom_index, values } => {
+                let Some(b) = tgd.rhs[*atom_index].match_tuple(values, &Bindings::new()) else {
+                    return Vec::new();
+                };
+                // Only the frontier variables constrain the LHS search.
+                (restrict(&b, tgd.frontier_vars()), ViolationKind::Rhs)
+            }
+            ViolationSeed::Full => (Bindings::new(), ViolationKind::Lhs),
+        };
+        let mut out = Vec::new();
+        for m in evaluate(view, &tgd.lhs, &seed_bindings, None) {
+            let frontier = restrict(&m.bindings, tgd.frontier_vars());
+            if !satisfiable(view, &tgd.rhs, &frontier) {
+                out.push(Violation {
+                    mapping: self.mapping,
+                    kind,
+                    lhs_bindings: m.bindings,
+                    witness: m.tuples,
+                });
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Builds the violation queries a chase step must pose after performing
+/// `change` (Section 4.2): one query per (mapping, atom position) that the
+/// changed relation occurs in. Modifications are conservatively treated as a
+/// delete followed by an insert.
+pub fn violation_queries_for_change(
+    mappings: &MappingSet,
+    change: &TupleChange,
+) -> Vec<ViolationQuery> {
+    let mut queries = Vec::new();
+    let mut push_lhs = |values: &TupleData, relation| {
+        for &mid in mappings.with_lhs_relation(relation) {
+            let tgd = mappings.get(mid);
+            for (i, atom) in tgd.lhs.iter().enumerate() {
+                if atom.relation == relation {
+                    queries.push(ViolationQuery {
+                        mapping: mid,
+                        seed: ViolationSeed::Lhs { atom_index: i, values: values.clone() },
+                    });
+                }
+            }
+        }
+    };
+    match change {
+        TupleChange::Inserted { relation, values, .. } => push_lhs(values, *relation),
+        TupleChange::Modified { relation, new, .. } => push_lhs(new, *relation),
+        TupleChange::Deleted { .. } => {}
+    }
+    let mut push_rhs = |values: &TupleData, relation| {
+        for &mid in mappings.with_rhs_relation(relation) {
+            let tgd = mappings.get(mid);
+            for (i, atom) in tgd.rhs.iter().enumerate() {
+                if atom.relation == relation {
+                    queries.push(ViolationQuery {
+                        mapping: mid,
+                        seed: ViolationSeed::Rhs { atom_index: i, values: values.clone() },
+                    });
+                }
+            }
+        }
+    };
+    match change {
+        TupleChange::Deleted { relation, old, .. } => push_rhs(old, *relation),
+        TupleChange::Modified { relation, old, .. } => push_rhs(old, *relation),
+        TupleChange::Inserted { .. } => {}
+    }
+    queries
+}
+
+/// Evaluates every violation query for `change`, returning the queries (for
+/// read logging) and the distinct violations found.
+pub fn violations_from_change(
+    view: &dyn DataView,
+    mappings: &MappingSet,
+    change: &TupleChange,
+) -> (Vec<ViolationQuery>, Vec<Violation>) {
+    let queries = violation_queries_for_change(mappings, change);
+    let mut violations = Vec::new();
+    for q in &queries {
+        violations.extend(q.evaluate(view, mappings));
+    }
+    violations.sort();
+    violations.dedup();
+    (queries, violations)
+}
+
+/// All violations of a single mapping on `view`.
+pub fn find_all_violations(view: &dyn DataView, mappings: &MappingSet, mapping: MappingId) -> Vec<Violation> {
+    ViolationQuery { mapping, seed: ViolationSeed::Full }.evaluate(view, mappings)
+}
+
+/// All violations of every mapping on `view`.
+pub fn find_violations(view: &dyn DataView, mappings: &MappingSet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for tgd in mappings.iter() {
+        out.extend(find_all_violations(view, mappings, tgd.id));
+    }
+    out
+}
+
+/// Whether the database satisfies every mapping (no violations at all).
+pub fn satisfies_all(view: &dyn DataView, mappings: &MappingSet) -> bool {
+    mappings.iter().all(|tgd| find_all_violations(view, mappings, tgd.id).is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_storage::{Database, UpdateId, Value, Write};
+
+    /// Builds the Figure 2 repository (relations, mappings and data).
+    fn figure2() -> (Database, MappingSet) {
+        let mut db = Database::new();
+        db.add_relation("C", ["city"]).unwrap();
+        db.add_relation("S", ["code", "location", "city_served"]).unwrap();
+        db.add_relation("A", ["location", "name"]).unwrap();
+        db.add_relation("T", ["attraction", "company", "tour_start"]).unwrap();
+        db.add_relation("R", ["company", "attraction", "review"]).unwrap();
+        db.add_relation("V", ["city", "convention"]).unwrap();
+        db.add_relation("E", ["convention", "attraction"]).unwrap();
+        let mut set = MappingSet::new();
+        set.add_parsed_many(
+            db.catalog(),
+            "
+            sigma1: C(c) -> exists a, l. S(a, l, c)
+            sigma2: S(a, c, c2) -> C(c) & C(c2)
+            sigma3: A(l, n) & T(n, c, cs) -> exists r. R(c, n, r)
+            sigma4: V(cv, x) & T(n, c, cv) -> E(x, n)
+            ",
+        )
+        .unwrap();
+
+        let u = UpdateId(0);
+        db.insert_by_name("C", &["Ithaca"], u);
+        db.insert_by_name("C", &["Syracuse"], u);
+        db.insert_by_name("S", &["SYR", "Syracuse", "Syracuse"], u);
+        db.insert_by_name("S", &["SYR", "Syracuse", "Ithaca"], u);
+        db.insert_by_name("A", &["Geneva", "Geneva Winery"], u);
+        db.insert_by_name("A", &["Niagara Falls", "Niagara Falls"], u);
+        db.insert_by_name("T", &["Geneva Winery", "XYZ", "Syracuse"], u);
+        db.insert_by_name("R", &["XYZ", "Geneva Winery", "Great!"], u);
+        db.insert_by_name("V", &["Syracuse", "Science Conf"], u);
+        db.insert_by_name("E", &["Science Conf", "Geneva Winery"], u);
+        // The second Tours row of Figure 2 contains labeled nulls; add it with
+        // its matching review row so the initial database satisfies σ3.
+        let x1 = db.fresh_null();
+        let x2 = db.fresh_null();
+        let t = db.relation_id("T").unwrap();
+        let r = db.relation_id("R").unwrap();
+        db.apply(
+            &Write::Insert {
+                relation: t,
+                values: vec![
+                    Value::constant("Niagara Falls"),
+                    Value::Null(x1),
+                    Value::constant("Toronto"),
+                ],
+            },
+            u,
+        )
+        .unwrap();
+        db.apply(
+            &Write::Insert {
+                relation: r,
+                values: vec![Value::Null(x1), Value::constant("Niagara Falls"), Value::Null(x2)],
+            },
+            u,
+        )
+        .unwrap();
+        (db, set)
+    }
+
+    #[test]
+    fn figure2_satisfies_all_mappings() {
+        let (db, set) = figure2();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        assert!(satisfies_all(&snap, &set));
+        assert!(find_violations(&snap, &set).is_empty());
+    }
+
+    #[test]
+    fn inserting_a_tour_creates_a_lhs_violation_of_sigma3() {
+        // Example 1.1: T(Niagara Falls, ABC Tours, …) requires a review.
+        let (mut db, set) = figure2();
+        let t = db.relation_id("T").unwrap();
+        let u = UpdateId(1);
+        let changes = db
+            .apply(
+                &Write::Insert {
+                    relation: t,
+                    values: vec![
+                        Value::constant("Niagara Falls"),
+                        Value::constant("ABC Tours"),
+                        Value::constant("Buffalo"),
+                    ],
+                },
+                u,
+            )
+            .unwrap();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let (queries, violations) = violations_from_change(&snap, &set, &changes[0]);
+        assert!(!queries.is_empty());
+        // σ3 (A ∧ T → R) is violated; σ4 is not because there is no convention
+        // in Buffalo.
+        assert_eq!(violations.len(), 1);
+        let v = &violations[0];
+        assert_eq!(v.kind, ViolationKind::Lhs);
+        assert_eq!(set.get(v.mapping).name, "sigma3");
+        assert_eq!(v.witness.len(), 2);
+        assert!(v.still_violated(&snap, set.get(v.mapping)));
+    }
+
+    #[test]
+    fn deleting_a_review_creates_a_rhs_violation_of_sigma3() {
+        // Example 2.3: deleting R(XYZ, Geneva Winery, Great!) violates σ3.
+        let (mut db, set) = figure2();
+        let r = db.relation_id("R").unwrap();
+        let review = db
+            .scan(r, UpdateId::OMNISCIENT)
+            .into_iter()
+            .find(|(_, data)| data[0] == Value::constant("XYZ"))
+            .map(|(id, _)| id)
+            .unwrap();
+        let changes =
+            db.apply(&Write::Delete { relation: r, tuple: review }, UpdateId(1)).unwrap();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let (_, violations) = violations_from_change(&snap, &set, &changes[0]);
+        assert_eq!(violations.len(), 1);
+        let v = &violations[0];
+        assert_eq!(v.kind, ViolationKind::Rhs);
+        assert_eq!(set.get(v.mapping).name, "sigma3");
+        // The witness is {A(Geneva, Geneva Winery), T(Geneva Winery, XYZ, Syracuse)}.
+        assert_eq!(v.witness.len(), 2);
+    }
+
+    #[test]
+    fn null_replacement_causes_no_rhs_violations() {
+        // Section 2: replacing x1 by "ABC Tours" changes both T and R
+        // consistently, so σ3 stays satisfied.
+        let (mut db, set) = figure2();
+        let x1 = youtopia_storage::NullId(0);
+        let changes = db
+            .apply(
+                &Write::NullReplace { null: x1, replacement: Value::constant("ABC Tours") },
+                UpdateId(1),
+            )
+            .unwrap();
+        assert_eq!(changes.len(), 2, "x1 occurs in T and R");
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        for change in &changes {
+            let (_, violations) = violations_from_change(&snap, &set, change);
+            assert!(violations.is_empty(), "unexpected violations: {violations:?}");
+        }
+        assert!(satisfies_all(&snap, &set));
+    }
+
+    #[test]
+    fn still_violated_notices_repairs() {
+        let (mut db, set) = figure2();
+        let t = db.relation_id("T").unwrap();
+        let r = db.relation_id("R").unwrap();
+        let u = UpdateId(1);
+        let changes = db
+            .apply(
+                &Write::Insert {
+                    relation: t,
+                    values: vec![
+                        Value::constant("Geneva Winery"),
+                        Value::constant("ABC Tours"),
+                        Value::constant("Ithaca"),
+                    ],
+                },
+                u,
+            )
+            .unwrap();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let (_, violations) = violations_from_change(&snap, &set, &changes[0]);
+        assert_eq!(violations.len(), 1);
+        let v = violations[0].clone();
+        // Supplying the review repairs σ3: the violation is no longer live.
+        db.apply(
+            &Write::Insert {
+                relation: r,
+                values: vec![
+                    Value::constant("ABC Tours"),
+                    Value::constant("Geneva Winery"),
+                    Value::constant("ok"),
+                ],
+            },
+            u,
+        )
+        .unwrap();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        assert!(!v.still_violated(&snap, set.get(v.mapping)));
+    }
+
+    #[test]
+    fn still_violated_notices_vanished_witnesses() {
+        let (mut db, set) = figure2();
+        let t = db.relation_id("T").unwrap();
+        let u = UpdateId(1);
+        let changes = db
+            .apply(
+                &Write::Insert {
+                    relation: t,
+                    values: vec![
+                        Value::constant("Geneva Winery"),
+                        Value::constant("ABC Tours"),
+                        Value::constant("Ithaca"),
+                    ],
+                },
+                u,
+            )
+            .unwrap();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let (_, violations) = violations_from_change(&snap, &set, &changes[0]);
+        let v = violations[0].clone();
+        // Deleting the freshly inserted tour removes the witness.
+        let new_tour = changes[0].tuple();
+        db.apply(&Write::Delete { relation: t, tuple: new_tour }, u).unwrap();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        assert!(!v.still_violated(&snap, set.get(v.mapping)));
+    }
+
+    #[test]
+    fn full_scan_finds_violations() {
+        let (mut db, set) = figure2();
+        // Add a city without an airport suggestion: violates σ1.
+        db.insert_by_name("C", &["Rochester"], UpdateId(1));
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let sigma1 = set.by_name("sigma1").unwrap().id;
+        let violations = find_all_violations(&snap, &set, sigma1);
+        assert_eq!(violations.len(), 1);
+        assert!(!satisfies_all(&snap, &set));
+        assert_eq!(find_violations(&snap, &set).len(), 1);
+    }
+
+    #[test]
+    fn frontier_bindings_restrict_to_shared_variables() {
+        let (mut db, set) = figure2();
+        let t = db.relation_id("T").unwrap();
+        let changes = db
+            .apply(
+                &Write::Insert {
+                    relation: t,
+                    values: vec![
+                        Value::constant("Niagara Falls"),
+                        Value::constant("ABC Tours"),
+                        Value::constant("Buffalo"),
+                    ],
+                },
+                UpdateId(1),
+            )
+            .unwrap();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let (_, violations) = violations_from_change(&snap, &set, &changes[0]);
+        let v = &violations[0];
+        let tgd = set.get(v.mapping);
+        let frontier = v.frontier_bindings(tgd);
+        assert_eq!(frontier.len(), tgd.frontier_vars().len());
+        assert!(v.lhs_bindings.len() > frontier.len());
+    }
+
+    #[test]
+    fn violation_query_relations_read() {
+        let (db, set) = figure2();
+        let sigma3 = set.by_name("sigma3").unwrap().id;
+        let q = ViolationQuery { mapping: sigma3, seed: ViolationSeed::Full };
+        let rels = q.relations_read(&set);
+        assert_eq!(rels.len(), 3);
+        assert!(rels.contains(&db.relation_id("A").unwrap()));
+        assert!(rels.contains(&db.relation_id("T").unwrap()));
+        assert!(rels.contains(&db.relation_id("R").unwrap()));
+    }
+
+    #[test]
+    fn seed_that_does_not_match_yields_nothing() {
+        let (db, set) = figure2();
+        let sigma4 = set.by_name("sigma4").unwrap().id;
+        // σ4's first LHS atom is V(cv, x); a seed with arity 3 cannot match.
+        let q = ViolationQuery {
+            mapping: sigma4,
+            seed: ViolationSeed::Lhs {
+                atom_index: 0,
+                values: vec![Value::constant("a"), Value::constant("b"), Value::constant("c")].into(),
+            },
+        };
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        assert!(q.evaluate(&snap, &set).is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the storage layer.
+
+use std::fmt;
+
+use crate::schema::RelationId;
+use crate::tuple::TupleId;
+
+/// Errors raised by the storage layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// A relation with this name already exists in the catalog.
+    DuplicateRelation(String),
+    /// A relation must have at least one attribute.
+    EmptySchema(String),
+    /// The relation id is not registered in the catalog.
+    UnknownRelation(RelationId),
+    /// The tuple id does not exist (or is not visible) in the given relation.
+    UnknownTuple(RelationId, TupleId),
+    /// A tuple was inserted with the wrong number of attributes.
+    ArityMismatch {
+        /// Relation the insert targeted.
+        relation: RelationId,
+        /// Arity declared in the catalog.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` already exists")
+            }
+            StorageError::EmptySchema(name) => {
+                write!(f, "relation `{name}` must have at least one attribute")
+            }
+            StorageError::UnknownRelation(id) => write!(f, "unknown relation {id}"),
+            StorageError::UnknownTuple(rel, t) => {
+                write!(f, "tuple {t} does not exist in relation {rel}")
+            }
+            StorageError::ArityMismatch { relation, expected, actual } => write!(
+                f,
+                "arity mismatch for relation {relation}: expected {expected} values, got {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::DuplicateRelation("City".into());
+        assert!(e.to_string().contains("City"));
+        let e = StorageError::ArityMismatch { relation: RelationId(2), expected: 3, actual: 1 };
+        assert!(e.to_string().contains("expected 3"));
+        let e = StorageError::UnknownTuple(RelationId(1), TupleId(9));
+        assert!(e.to_string().contains("t9"));
+        let e = StorageError::UnknownRelation(RelationId(7));
+        assert!(e.to_string().contains("R7"));
+        let e = StorageError::EmptySchema("X".into());
+        assert!(e.to_string().contains("X"));
+    }
+}

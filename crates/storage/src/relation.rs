@@ -1,0 +1,258 @@
+//! Per-relation tuple storage: version chains plus a column index.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::schema::RelationId;
+use crate::tuple::{TupleData, TupleId};
+use crate::value::Value;
+use crate::version::{TupleVersion, UpdateId, VersionChain};
+
+/// Storage for the tuples of one relation.
+///
+/// Tuples are kept in a [`BTreeMap`] keyed by [`TupleId`] so iteration order is
+/// deterministic (ids are assigned in insertion order), which keeps chase runs
+/// and experiments reproducible under a fixed seed.
+#[derive(Clone, Debug)]
+pub struct RelationStore {
+    id: RelationId,
+    arity: usize,
+    tuples: BTreeMap<TupleId, VersionChain>,
+    /// Column index: for each attribute position, value → tuple ids whose
+    /// *some* version carries that value at that position. Entries are never
+    /// removed (stale-tolerant); lookups re-check visible data.
+    index: Vec<HashMap<Value, Vec<TupleId>>>,
+}
+
+impl RelationStore {
+    /// Creates an empty store for a relation of the given arity.
+    pub fn new(id: RelationId, arity: usize) -> RelationStore {
+        RelationStore { id, arity, tuples: BTreeMap::new(), index: vec![HashMap::new(); arity] }
+    }
+
+    /// Relation id.
+    pub fn id(&self) -> RelationId {
+        self.id
+    }
+
+    /// Declared arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Registers a brand-new logical tuple with its initial version.
+    pub fn insert_new(&mut self, tuple: TupleId, version: TupleVersion) {
+        if let Some(data) = &version.data {
+            self.index_values(tuple, data);
+        }
+        self.tuples.insert(tuple, VersionChain::new(version));
+    }
+
+    /// Appends a version to an existing tuple's chain. Returns `false` if the
+    /// tuple is unknown.
+    pub fn push_version(&mut self, tuple: TupleId, version: TupleVersion) -> bool {
+        match self.tuples.get_mut(&tuple) {
+            Some(chain) => {
+                if let Some(data) = &version.data {
+                    let data = data.clone();
+                    chain.push(version);
+                    self.index_values(tuple, &data);
+                } else {
+                    chain.push(version);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn index_values(&mut self, tuple: TupleId, data: &TupleData) {
+        for (col, value) in data.iter().enumerate() {
+            let bucket = self.index[col].entry(*value).or_default();
+            if bucket.last() != Some(&tuple) {
+                bucket.push(tuple);
+            }
+        }
+    }
+
+    /// Whether the logical tuple exists in the store (any version).
+    pub fn contains(&self, tuple: TupleId) -> bool {
+        self.tuples.contains_key(&tuple)
+    }
+
+    /// Returns the version chain of a tuple.
+    pub fn chain(&self, tuple: TupleId) -> Option<&VersionChain> {
+        self.tuples.get(&tuple)
+    }
+
+    /// Data of `tuple` visible to `reader`, if the tuple exists and is not
+    /// deleted for that reader.
+    pub fn visible(&self, tuple: TupleId, reader: UpdateId) -> Option<TupleData> {
+        self.tuples.get(&tuple).and_then(|c| c.visible_data(reader)).cloned()
+    }
+
+    /// All tuples visible to `reader`, in tuple-id order.
+    pub fn scan(&self, reader: UpdateId) -> Vec<(TupleId, TupleData)> {
+        self.tuples
+            .iter()
+            .filter_map(|(id, chain)| chain.visible_data(reader).map(|d| (*id, d.clone())))
+            .collect()
+    }
+
+    /// Number of tuples visible to `reader`.
+    pub fn visible_count(&self, reader: UpdateId) -> usize {
+        self.tuples.values().filter(|c| c.visible_data(reader).is_some()).count()
+    }
+
+    /// Tuples visible to `reader` whose value at `column` equals `value`.
+    ///
+    /// Uses the column index as a candidate filter and re-checks against the
+    /// visible version, so stale index entries are harmless.
+    pub fn candidates(&self, column: usize, value: Value, reader: UpdateId) -> Vec<(TupleId, TupleData)> {
+        let Some(bucket) = self.index.get(column).and_then(|m| m.get(&value)) else {
+            return Vec::new();
+        };
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        for &tid in bucket {
+            if seen.contains(&tid) {
+                continue;
+            }
+            seen.push(tid);
+            if let Some(data) = self.visible(tid, reader) {
+                if data.get(column) == Some(&value) {
+                    out.push((tid, data));
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes every version created by `update`. Returns the ids of logical
+    /// tuples that vanished entirely (their only versions belonged to the
+    /// aborted update).
+    pub fn remove_versions_of(&mut self, update: UpdateId) -> Vec<TupleId> {
+        let mut removed = Vec::new();
+        let ids: Vec<TupleId> = self.tuples.keys().copied().collect();
+        for id in ids {
+            let empty = {
+                let chain = self.tuples.get_mut(&id).expect("id listed above");
+                if !chain.written_by(update) {
+                    continue;
+                }
+                chain.remove_versions_of(update)
+            };
+            if empty {
+                self.tuples.remove(&id);
+                removed.push(id);
+            }
+        }
+        removed
+    }
+
+    /// Total number of logical tuples (including deleted / invisible ones).
+    pub fn logical_len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Iterates over all logical tuple ids (deterministic order).
+    pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.tuples.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{NullId, Value as V};
+
+    fn data(vals: &[V]) -> TupleData {
+        vals.to_vec().into()
+    }
+
+    fn version(update: u64, seq: u64, vals: Option<&[V]>) -> TupleVersion {
+        TupleVersion { update: UpdateId(update), seq, data: vals.map(data) }
+    }
+
+    #[test]
+    fn insert_scan_and_candidates() {
+        let mut store = RelationStore::new(RelationId(0), 2);
+        let a = V::constant("a");
+        let b = V::constant("b");
+        store.insert_new(TupleId(1), version(1, 1, Some(&[a, b])));
+        store.insert_new(TupleId(2), version(1, 2, Some(&[a, a])));
+
+        let scan = store.scan(UpdateId::OMNISCIENT);
+        assert_eq!(scan.len(), 2);
+        assert_eq!(scan[0].0, TupleId(1));
+
+        let by_a = store.candidates(0, a, UpdateId::OMNISCIENT);
+        assert_eq!(by_a.len(), 2);
+        let by_b = store.candidates(1, b, UpdateId::OMNISCIENT);
+        assert_eq!(by_b.len(), 1);
+        assert_eq!(by_b[0].0, TupleId(1));
+        assert!(store.candidates(1, V::constant("zzz"), UpdateId::OMNISCIENT).is_empty());
+    }
+
+    #[test]
+    fn visibility_through_store() {
+        let mut store = RelationStore::new(RelationId(0), 1);
+        let a = V::constant("a");
+        store.insert_new(TupleId(1), version(5, 1, Some(&[a])));
+        assert!(store.visible(TupleId(1), UpdateId(4)).is_none());
+        assert!(store.visible(TupleId(1), UpdateId(5)).is_some());
+        assert_eq!(store.visible_count(UpdateId(4)), 0);
+        assert_eq!(store.visible_count(UpdateId(9)), 1);
+    }
+
+    #[test]
+    fn tombstone_and_candidate_filtering() {
+        let mut store = RelationStore::new(RelationId(0), 1);
+        let a = V::constant("a");
+        store.insert_new(TupleId(1), version(1, 1, Some(&[a])));
+        store.push_version(TupleId(1), version(2, 2, None));
+        // Reader 1 still sees it, reader 2 does not.
+        assert_eq!(store.candidates(0, a, UpdateId(1)).len(), 1);
+        assert!(store.candidates(0, a, UpdateId(2)).is_empty());
+        assert!(store.scan(UpdateId(2)).is_empty());
+    }
+
+    #[test]
+    fn stale_index_entries_are_filtered() {
+        let mut store = RelationStore::new(RelationId(0), 1);
+        let x1 = V::Null(NullId(1));
+        let c = V::constant("c");
+        store.insert_new(TupleId(1), version(1, 1, Some(&[x1])));
+        // Null-replacement: new version with the constant.
+        store.push_version(TupleId(1), version(1, 2, Some(&[c])));
+        // Old index entry for x1 must not produce a match any more.
+        assert!(store.candidates(0, x1, UpdateId::OMNISCIENT).is_empty());
+        assert_eq!(store.candidates(0, c, UpdateId::OMNISCIENT).len(), 1);
+    }
+
+    #[test]
+    fn remove_versions_of_update() {
+        let mut store = RelationStore::new(RelationId(0), 1);
+        let a = V::constant("a");
+        let b = V::constant("b");
+        store.insert_new(TupleId(1), version(1, 1, Some(&[a])));
+        store.insert_new(TupleId(2), version(2, 2, Some(&[b])));
+        store.push_version(TupleId(1), version(2, 3, None));
+
+        let gone = store.remove_versions_of(UpdateId(2));
+        assert_eq!(gone, vec![TupleId(2)]);
+        assert!(!store.contains(TupleId(2)));
+        // Tuple 1 is visible again: update 2's tombstone was rolled back.
+        assert!(store.visible(TupleId(1), UpdateId::OMNISCIENT).is_some());
+        assert_eq!(store.logical_len(), 1);
+    }
+
+    #[test]
+    fn push_version_to_unknown_tuple_fails() {
+        let mut store = RelationStore::new(RelationId(0), 1);
+        assert!(!store.push_version(TupleId(9), version(1, 1, None)));
+        assert!(store.chain(TupleId(9)).is_none());
+        assert_eq!(store.tuple_ids().count(), 0);
+        assert_eq!(store.arity(), 1);
+        assert_eq!(store.id(), RelationId(0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Relation schemas and the catalog.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::StorageError;
+
+/// Identifier of a relation in the catalog.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub u32);
+
+impl fmt::Debug for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Schema of one relation: a name and named attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// Relation id assigned by the catalog.
+    pub id: RelationId,
+    /// Relation name, unique within the catalog.
+    pub name: String,
+    /// Attribute names. The arity of the relation is `attributes.len()`.
+    pub attributes: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Position of an attribute by name.
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == name)
+    }
+}
+
+/// The catalog: the set of registered relation schemas.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    schemas: Vec<RelationSchema>,
+    by_name: HashMap<String, RelationId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a relation with the given name and attribute names.
+    ///
+    /// Returns an error if the name is already taken or the relation would
+    /// have arity 0.
+    pub fn add_relation(
+        &mut self,
+        name: impl Into<String>,
+        attributes: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<RelationId, StorageError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(StorageError::DuplicateRelation(name));
+        }
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        if attributes.is_empty() {
+            return Err(StorageError::EmptySchema(name));
+        }
+        let id = RelationId(self.schemas.len() as u32);
+        self.schemas.push(RelationSchema { id, name: name.clone(), attributes });
+        self.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Looks a relation up by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<&RelationSchema> {
+        self.by_name.get(name).map(|id| &self.schemas[id.0 as usize])
+    }
+
+    /// Looks a relation id up by name.
+    pub fn relation_id(&self, name: &str) -> Option<RelationId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the schema of a relation.
+    pub fn schema(&self, id: RelationId) -> &RelationSchema {
+        &self.schemas[id.0 as usize]
+    }
+
+    /// Returns the schema of a relation, or an error for unknown ids.
+    pub fn try_schema(&self, id: RelationId) -> Result<&RelationSchema, StorageError> {
+        self.schemas.get(id.0 as usize).ok_or(StorageError::UnknownRelation(id))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Iterates over all relation schemas.
+    pub fn iter(&self) -> impl Iterator<Item = &RelationSchema> {
+        self.schemas.iter()
+    }
+
+    /// Iterates over all relation ids.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelationId> + '_ {
+        self.schemas.iter().map(|s| s.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup_relations() {
+        let mut cat = Catalog::new();
+        let c = cat.add_relation("City", ["city"]).unwrap();
+        let s = cat.add_relation("SuggestedAirport", ["code", "location", "city_served"]).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert!(!cat.is_empty());
+        assert_eq!(cat.relation_id("City"), Some(c));
+        assert_eq!(cat.relation_by_name("SuggestedAirport").unwrap().arity(), 3);
+        assert_eq!(cat.schema(s).attribute_index("location"), Some(1));
+        assert_eq!(cat.schema(s).attribute_index("nope"), None);
+        assert_eq!(cat.relation_id("Missing"), None);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_relation("R", ["a"]).unwrap();
+        let err = cat.add_relation("R", ["b"]).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateRelation(_)));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        let mut cat = Catalog::new();
+        let err = cat.add_relation("R", Vec::<String>::new()).unwrap_err();
+        assert!(matches!(err, StorageError::EmptySchema(_)));
+    }
+
+    #[test]
+    fn try_schema_unknown_id() {
+        let cat = Catalog::new();
+        assert!(matches!(cat.try_schema(RelationId(3)), Err(StorageError::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn iteration_order_matches_ids() {
+        let mut cat = Catalog::new();
+        for i in 0..5 {
+            cat.add_relation(format!("R{i}"), ["a", "b"]).unwrap();
+        }
+        let ids: Vec<_> = cat.relation_ids().collect();
+        assert_eq!(ids.len(), 5);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.0 as usize, i);
+            assert_eq!(cat.schema(*id).name, format!("R{i}"));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Experiment configuration (the parameters of Section 6).
+
+/// Which workload of Section 6 to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// The all-insert workload of Figure 3.
+    AllInserts,
+    /// The mixed workload of Figure 4: eighty percent inserts, twenty percent
+    /// deletes, in randomised order.
+    Mixed,
+}
+
+impl WorkloadKind {
+    /// Fraction of deletes in the workload.
+    pub fn delete_fraction(&self) -> f64 {
+        match self {
+            WorkloadKind::AllInserts => 0.0,
+            WorkloadKind::Mixed => 0.2,
+        }
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::AllInserts => "all-insert",
+            WorkloadKind::Mixed => "mixed (80% insert / 20% delete)",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// All parameters of a Section 6 experiment.
+///
+/// [`ExperimentConfig::paper`] reproduces the paper's settings exactly;
+/// [`ExperimentConfig::quick`] is a proportionally scaled-down preset used by
+/// the test suite and the default benchmark harness so that a full sweep
+/// finishes in seconds rather than hours.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentConfig {
+    /// Number of relations in the synthetic schema (paper: 100).
+    pub relations: usize,
+    /// Minimum number of attributes per relation (paper: 1).
+    pub min_attributes: usize,
+    /// Maximum number of attributes per relation (paper: 6).
+    pub max_attributes: usize,
+    /// Size of the fixed constant pool (paper: 50 random strings).
+    pub constant_pool: usize,
+    /// Total number of mappings generated; experiments use monotonically
+    /// increasing prefixes of this set (paper: 100).
+    pub total_mappings: usize,
+    /// Maximum number of atoms on each side of a mapping (paper: 3, with
+    /// smaller sizes more probable).
+    pub max_atoms_per_side: usize,
+    /// The mapping-count sweep — the x axis of Figures 3 and 4
+    /// (paper: 20, 40, 60, 80, 100).
+    pub mapping_counts: Vec<usize>,
+    /// Number of initial tuples inserted through update exchange to build the
+    /// initial database (paper: 10 000).
+    pub initial_tuples: usize,
+    /// Number of updates per workload (paper: 500).
+    pub workload_updates: usize,
+    /// Probability that an inserted attribute value is fresh rather than drawn
+    /// from the constant pool (paper: one half).
+    pub fresh_value_probability: f64,
+    /// Number of repeated runs per data point (paper: 100).
+    pub runs: usize,
+    /// Base random seed; every derived generator seeds deterministically from
+    /// it.
+    pub seed: u64,
+    /// Scheduler rounds a frontier request stays unanswered (simulated user
+    /// latency). The paper does not model latency explicitly; a small delay
+    /// recreates the interference window of Example 3.1.
+    pub frontier_delay_rounds: usize,
+}
+
+impl ExperimentConfig {
+    /// The paper's exact parameters (Section 6). A full sweep at this scale
+    /// takes a long time on a laptop; prefer [`ExperimentConfig::quick`] for
+    /// day-to-day use and CI.
+    pub fn paper() -> ExperimentConfig {
+        ExperimentConfig {
+            relations: 100,
+            min_attributes: 1,
+            max_attributes: 6,
+            constant_pool: 50,
+            total_mappings: 100,
+            max_atoms_per_side: 3,
+            mapping_counts: vec![20, 40, 60, 80, 100],
+            initial_tuples: 10_000,
+            workload_updates: 500,
+            fresh_value_probability: 0.5,
+            runs: 100,
+            seed: 2009,
+            frontier_delay_rounds: 2,
+        }
+    }
+
+    /// A proportionally scaled-down configuration that preserves the shape of
+    /// the experiment (same relative mapping densities, same workload mix)
+    /// while finishing quickly.
+    pub fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            relations: 25,
+            min_attributes: 1,
+            max_attributes: 5,
+            constant_pool: 25,
+            total_mappings: 40,
+            max_atoms_per_side: 3,
+            mapping_counts: vec![8, 16, 24, 32, 40],
+            initial_tuples: 400,
+            workload_updates: 80,
+            fresh_value_probability: 0.5,
+            runs: 10,
+            seed: 7,
+            frontier_delay_rounds: 2,
+        }
+    }
+
+    /// An even smaller configuration for unit tests.
+    pub fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            relations: 8,
+            min_attributes: 1,
+            max_attributes: 3,
+            constant_pool: 10,
+            total_mappings: 8,
+            max_atoms_per_side: 2,
+            mapping_counts: vec![4, 8],
+            initial_tuples: 40,
+            workload_updates: 10,
+            fresh_value_probability: 0.5,
+            runs: 2,
+            seed: 13,
+            frontier_delay_rounds: 1,
+        }
+    }
+
+    /// Returns a copy with a different seed (used to average over runs).
+    pub fn with_seed(&self, seed: u64) -> ExperimentConfig {
+        ExperimentConfig { seed, ..self.clone() }
+    }
+
+    /// Basic sanity checks on the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.relations == 0 {
+            return Err("at least one relation is required".into());
+        }
+        if self.min_attributes == 0 || self.min_attributes > self.max_attributes {
+            return Err("attribute bounds must satisfy 1 <= min <= max".into());
+        }
+        if self.constant_pool == 0 {
+            return Err("the constant pool must not be empty".into());
+        }
+        if self.max_atoms_per_side == 0 {
+            return Err("mappings need at least one atom per side".into());
+        }
+        if self.mapping_counts.iter().any(|&m| m > self.total_mappings || m == 0) {
+            return Err("every mapping count must be between 1 and total_mappings".into());
+        }
+        if !(0.0..=1.0).contains(&self.fresh_value_probability) {
+            return Err("fresh_value_probability must be a probability".into());
+        }
+        if self.runs == 0 {
+            return Err("at least one run per data point is required".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(ExperimentConfig::paper().validate().is_ok());
+        assert!(ExperimentConfig::quick().validate().is_ok());
+        assert!(ExperimentConfig::tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_preset_matches_section_6() {
+        let p = ExperimentConfig::paper();
+        assert_eq!(p.relations, 100);
+        assert_eq!(p.constant_pool, 50);
+        assert_eq!(p.initial_tuples, 10_000);
+        assert_eq!(p.workload_updates, 500);
+        assert_eq!(p.mapping_counts, vec![20, 40, 60, 80, 100]);
+        assert_eq!(p.runs, 100);
+        assert_eq!(p.max_attributes, 6);
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        let mut c = ExperimentConfig::tiny();
+        c.relations = 0;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::tiny();
+        c.min_attributes = 5;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::tiny();
+        c.mapping_counts = vec![999];
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::tiny();
+        c.fresh_value_probability = 2.0;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::tiny();
+        c.runs = 0;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::tiny();
+        c.constant_pool = 0;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::tiny();
+        c.max_atoms_per_side = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn workload_kinds() {
+        assert_eq!(WorkloadKind::AllInserts.delete_fraction(), 0.0);
+        assert!((WorkloadKind::Mixed.delete_fraction() - 0.2).abs() < 1e-9);
+        assert!(WorkloadKind::Mixed.to_string().contains("80%"));
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let base = ExperimentConfig::tiny();
+        let other = base.with_seed(999);
+        assert_eq!(other.seed, 999);
+        assert_eq!(other.relations, base.relations);
+    }
+}

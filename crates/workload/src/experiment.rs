@@ -1,0 +1,242 @@
+//! The Section 6 experiment driver: sweep mapping density, run each workload
+//! under each tracker, average over repeated runs.
+
+use std::time::Instant;
+
+use youtopia_concurrency::{AveragedMetrics, ConcurrentRun, RunMetrics, SchedulerConfig, TrackerKind};
+use youtopia_core::{ChaseError, RandomResolver};
+use youtopia_mappings::{satisfies_all, MappingSet};
+use youtopia_storage::{Database, UpdateId};
+
+use crate::config::{ExperimentConfig, WorkloadKind};
+use crate::data_gen::{generate_initial_database, InitialDataStats};
+use crate::mapping_gen::generate_mappings;
+use crate::schema_gen::{generate_schema, GeneratedSchema};
+use crate::update_gen::generate_workload;
+
+/// One data point of a figure: a (mapping count, tracker) pair with averaged
+/// metrics over `runs` repetitions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentPoint {
+    /// Number of mappings active in this setting (the x axis).
+    pub mappings: usize,
+    /// The cascading-abort tracker used.
+    pub tracker: TrackerKind,
+    /// Number of runs averaged.
+    pub runs: usize,
+    /// Averaged metrics.
+    pub avg: AveragedMetrics,
+}
+
+/// The complete result of one figure's experiment (one workload, all trackers,
+/// all mapping densities).
+#[derive(Clone, Debug)]
+pub struct ExperimentResults {
+    /// Which workload was used.
+    pub workload: WorkloadKind,
+    /// The configuration the experiment ran with.
+    pub config: ExperimentConfig,
+    /// Statistics about the shared initial database.
+    pub initial_data: InitialDataStats,
+    /// All data points, ordered by (mapping count, tracker).
+    pub points: Vec<ExperimentPoint>,
+    /// Total wall-clock seconds spent running the experiment.
+    pub total_seconds: f64,
+}
+
+impl ExperimentResults {
+    /// The data point for a given mapping count and tracker.
+    pub fn point(&self, mappings: usize, tracker: TrackerKind) -> Option<&ExperimentPoint> {
+        self.points.iter().find(|p| p.mappings == mappings && p.tracker == tracker)
+    }
+
+    /// The slowdown of `PRECISE` relative to `COARSE` at a given mapping
+    /// count: the ratio of per-update execution times (third panel of
+    /// Figures 3 and 4).
+    pub fn precise_slowdown(&self, mappings: usize) -> Option<f64> {
+        let precise = self.point(mappings, TrackerKind::Precise)?;
+        let coarse = self.point(mappings, TrackerKind::Coarse)?;
+        if coarse.avg.per_update_time_secs == 0.0 {
+            return None;
+        }
+        Some(precise.avg.per_update_time_secs / coarse.avg.per_update_time_secs)
+    }
+
+    /// The series of (mapping count, average aborts) for one tracker (first
+    /// panel of Figures 3 and 4).
+    pub fn abort_series(&self, tracker: TrackerKind) -> Vec<(usize, f64)> {
+        self.points
+            .iter()
+            .filter(|p| p.tracker == tracker)
+            .map(|p| (p.mappings, p.avg.aborts))
+            .collect()
+    }
+
+    /// The series of (mapping count, average cascading abort requests) for one
+    /// tracker (second panel of Figures 3 and 4).
+    pub fn cascading_series(&self, tracker: TrackerKind) -> Vec<(usize, f64)> {
+        self.points
+            .iter()
+            .filter(|p| p.tracker == tracker)
+            .map(|p| (p.mappings, p.avg.cascading_abort_requests))
+            .collect()
+    }
+}
+
+/// The shared experiment fixture: schema, full mapping set and the initial
+/// database (which satisfies *all* mappings, as in the paper).
+pub struct ExperimentFixture {
+    /// The generated schema and constant pool.
+    pub schema: GeneratedSchema,
+    /// The full mapping set (experiments use prefixes of it).
+    pub mappings: MappingSet,
+    /// The populated initial database.
+    pub initial_db: Database,
+    /// Statistics of the population phase.
+    pub initial_data: InitialDataStats,
+}
+
+/// Builds the experiment fixture for a configuration.
+pub fn build_fixture(config: &ExperimentConfig) -> Result<ExperimentFixture, ChaseError> {
+    config.validate().map_err(ChaseError::InvalidDecision)?;
+    let schema = generate_schema(config);
+    let mappings = generate_mappings(config, &schema);
+    let (initial_db, initial_data) = generate_initial_database(config, &schema, &mappings)?;
+    Ok(ExperimentFixture { schema, mappings, initial_db, initial_data })
+}
+
+/// Runs one concurrent execution of one workload variant under one tracker and
+/// mapping prefix, returning its metrics. Exposed for benchmarks.
+pub fn run_single(
+    fixture: &ExperimentFixture,
+    config: &ExperimentConfig,
+    kind: WorkloadKind,
+    mapping_count: usize,
+    tracker: TrackerKind,
+    variant: u64,
+) -> Result<RunMetrics, ChaseError> {
+    let mappings = fixture.mappings.prefix(mapping_count);
+    let ops = generate_workload(config, &fixture.schema, &fixture.initial_db, kind, variant);
+    let scheduler = SchedulerConfig {
+        tracker,
+        frontier_delay_rounds: config.frontier_delay_rounds,
+        ..SchedulerConfig::default()
+    };
+    // Workload updates get priority numbers above every update that built the
+    // initial database.
+    let first_number = config.initial_tuples as u64 + 1_000;
+    let mut run =
+        ConcurrentRun::new(fixture.initial_db.clone(), mappings, ops, first_number, scheduler);
+    let mut resolver = RandomResolver::seeded(config.seed ^ (variant.wrapping_mul(0x9E37_79B9)));
+    let metrics = run.run(&mut resolver)?;
+    debug_assert!({
+        let (db, mappings, _) = run.into_parts();
+        satisfies_all(&db.snapshot(UpdateId::OMNISCIENT), &mappings)
+    });
+    Ok(metrics)
+}
+
+/// Runs the full experiment for one workload: every mapping density, every
+/// requested tracker, `config.runs` repetitions each. `progress` (if given) is
+/// called after every completed (density, tracker) cell.
+pub fn run_experiment(
+    config: &ExperimentConfig,
+    kind: WorkloadKind,
+    trackers: &[TrackerKind],
+    mut progress: Option<&mut dyn FnMut(&ExperimentPoint)>,
+) -> Result<ExperimentResults, ChaseError> {
+    let started = Instant::now();
+    let fixture = build_fixture(config)?;
+    let mut points = Vec::new();
+    for &mapping_count in &config.mapping_counts {
+        for &tracker in trackers {
+            let mut total = RunMetrics::default();
+            for run_index in 0..config.runs {
+                let metrics =
+                    run_single(&fixture, config, kind, mapping_count, tracker, run_index as u64)?;
+                total.accumulate(&metrics);
+            }
+            let point = ExperimentPoint {
+                mappings: mapping_count,
+                tracker,
+                runs: config.runs,
+                avg: total.averaged(config.runs),
+            };
+            if let Some(cb) = progress.as_deref_mut() {
+                cb(&point);
+            }
+            points.push(point);
+        }
+    }
+    Ok(ExperimentResults {
+        workload: kind,
+        config: config.clone(),
+        initial_data: fixture.initial_data,
+        points,
+        total_seconds: started.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_experiment_produces_a_full_grid_of_points() {
+        let config = ExperimentConfig::tiny();
+        let trackers = [TrackerKind::Coarse, TrackerKind::Precise];
+        let mut seen = 0usize;
+        let mut progress = |_: &ExperimentPoint| seen += 1;
+        let results =
+            run_experiment(&config, WorkloadKind::AllInserts, &trackers, Some(&mut progress))
+                .unwrap();
+        assert_eq!(results.points.len(), config.mapping_counts.len() * trackers.len());
+        assert_eq!(seen, results.points.len());
+        for &m in &config.mapping_counts {
+            for &t in &trackers {
+                let p = results.point(m, t).unwrap();
+                assert_eq!(p.runs, config.runs);
+                assert!(p.avg.steps > 0.0);
+            }
+            assert!(results.precise_slowdown(m).is_some());
+        }
+        assert_eq!(results.abort_series(TrackerKind::Coarse).len(), config.mapping_counts.len());
+        assert_eq!(results.cascading_series(TrackerKind::Precise).len(), config.mapping_counts.len());
+        assert!(results.total_seconds > 0.0);
+        assert_eq!(results.workload, WorkloadKind::AllInserts);
+    }
+
+    #[test]
+    fn mixed_workload_runs_and_leaves_consistent_databases() {
+        let mut config = ExperimentConfig::tiny();
+        config.runs = 1;
+        config.mapping_counts = vec![config.total_mappings];
+        let results =
+            run_experiment(&config, WorkloadKind::Mixed, &[TrackerKind::Coarse], None).unwrap();
+        assert_eq!(results.points.len(), 1);
+        let p = &results.points[0];
+        assert!(p.avg.frontier_ops >= 0.0);
+        assert!(p.avg.changes > 0.0);
+    }
+
+    #[test]
+    fn single_runs_are_reproducible() {
+        let config = ExperimentConfig::tiny();
+        let fixture = build_fixture(&config).unwrap();
+        let a = run_single(&fixture, &config, WorkloadKind::AllInserts, 4, TrackerKind::Precise, 0)
+            .unwrap();
+        let b = run_single(&fixture, &config, WorkloadKind::AllInserts, 4, TrackerKind::Precise, 0)
+            .unwrap();
+        assert_eq!(a.aborts, b.aborts);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.cascading_abort_requests, b.cascading_abort_requests);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let mut config = ExperimentConfig::tiny();
+        config.runs = 0;
+        assert!(run_experiment(&config, WorkloadKind::AllInserts, &[TrackerKind::Coarse], None)
+            .is_err());
+    }
+}

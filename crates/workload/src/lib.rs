@@ -1,0 +1,50 @@
+//! # youtopia-workload
+//!
+//! Synthetic workload generation and the experiment harness reproducing
+//! Section 6 of the Youtopia paper:
+//!
+//! * a random schema of relations with 1–6 attributes and a fixed pool of
+//!   constant strings ([`schema_gen`]);
+//! * random tgds with 1–3 atoms per side, inter-atom joins and constants
+//!   ([`mapping_gen`]);
+//! * an initial database populated through the cooperative chase itself, with
+//!   a simulated user answering frontier requests ([`data_gen`]);
+//! * all-insert and mixed insert/delete workloads ([`update_gen`]);
+//! * the sweep over mapping densities and trackers that produces the series of
+//!   Figures 3 and 4 ([`experiment`]), and text/CSV reports ([`report`]).
+//!
+//! ```no_run
+//! use youtopia_concurrency::TrackerKind;
+//! use youtopia_workload::{run_experiment, render_figure, ExperimentConfig, WorkloadKind};
+//!
+//! let config = ExperimentConfig::quick();
+//! let results = run_experiment(
+//!     &config,
+//!     WorkloadKind::AllInserts,
+//!     &[TrackerKind::Coarse, TrackerKind::Precise, TrackerKind::Naive],
+//!     None,
+//! )
+//! .unwrap();
+//! println!("{}", render_figure(&results, "Figure 3 (reduced scale)"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod data_gen;
+pub mod experiment;
+pub mod mapping_gen;
+pub mod report;
+pub mod schema_gen;
+pub mod update_gen;
+
+pub use config::{ExperimentConfig, WorkloadKind};
+pub use data_gen::{generate_initial_database, InitialDataStats};
+pub use experiment::{
+    build_fixture, run_experiment, run_single, ExperimentFixture, ExperimentPoint, ExperimentResults,
+};
+pub use mapping_gen::{generate_mappings, mapping_stats, MappingSetStats};
+pub use report::{render_figure, to_csv};
+pub use schema_gen::{generate_schema, GeneratedSchema};
+pub use update_gen::{generate_workload, workload_mix, WorkloadMix};

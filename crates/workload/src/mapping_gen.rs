@@ -1,0 +1,289 @@
+//! Random mapping (tgd) generation (Section 6).
+//!
+//! "Each mapping is created by choosing a random subset of one to three
+//! relations for the LHS and another for the RHS. Smaller sets have higher
+//! probability … The remaining step in mapping generation is the choice of
+//! variables in the atoms; this is done randomly, with care taken to ensure
+//! that the mappings contain inter-atom joins as well as constants."
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use youtopia_mappings::MappingSet;
+use youtopia_storage::{Atom, RelationId, Symbol, Term, Value};
+
+use crate::config::ExperimentConfig;
+use crate::schema_gen::GeneratedSchema;
+
+/// Probability that an LHS attribute position holds a constant.
+const LHS_CONSTANT_PROB: f64 = 0.12;
+/// Probability that an RHS attribute position holds a constant.
+const RHS_CONSTANT_PROB: f64 = 0.08;
+/// Probability that an RHS variable position reuses an LHS (frontier) variable.
+const RHS_FRONTIER_PROB: f64 = 0.6;
+/// Probability that a non-first LHS atom position reuses an earlier variable
+/// (creating an inter-atom join).
+const LHS_JOIN_PROB: f64 = 0.45;
+/// Probability that an RHS existential position reuses an earlier existential
+/// variable (shared existentials across RHS atoms).
+const EXISTENTIAL_REUSE_PROB: f64 = 0.35;
+
+/// Generates `config.total_mappings` random mappings over the generated
+/// schema. The same seed always produces the same mapping set, and experiment
+/// sweeps use monotonically increasing prefixes of it (as in the paper).
+pub fn generate_mappings(config: &ExperimentConfig, schema: &GeneratedSchema) -> MappingSet {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x5851_F42D).wrapping_add(2));
+    let mut set = MappingSet::new();
+    for index in 0..config.total_mappings {
+        let (lhs, rhs) = generate_one(config, schema, &mut rng);
+        set.add(format!("m{index}"), lhs, rhs).expect("generated mappings are well-formed");
+    }
+    debug_assert!(set.validate(schema.db.catalog()).is_ok());
+    set
+}
+
+/// Picks a side size in `1..=max`, with smaller sizes more probable
+/// ("humans are highly unlikely to create mappings with more than one or two
+/// atoms on either side").
+fn side_size(rng: &mut StdRng, max: usize) -> usize {
+    let max = max.max(1);
+    let roll: f64 = rng.gen();
+    let size = if roll < 0.55 {
+        1
+    } else if roll < 0.85 {
+        2
+    } else {
+        3
+    };
+    size.min(max)
+}
+
+fn pick_relations(rng: &mut StdRng, schema: &GeneratedSchema, count: usize) -> Vec<RelationId> {
+    let mut all: Vec<RelationId> = schema.db.catalog().relation_ids().collect();
+    all.shuffle(rng);
+    all.truncate(count.max(1));
+    all
+}
+
+fn generate_one(
+    config: &ExperimentConfig,
+    schema: &GeneratedSchema,
+    rng: &mut StdRng,
+) -> (Vec<Atom>, Vec<Atom>) {
+    let lhs_size = side_size(rng, config.max_atoms_per_side);
+    let lhs_relations = pick_relations(rng, schema, lhs_size);
+    let rhs_size = side_size(rng, config.max_atoms_per_side);
+    let rhs_relations = pick_relations(rng, schema, rhs_size);
+
+    let mut var_counter = 0usize;
+    let fresh_var = |counter: &mut usize| {
+        let v = Symbol::intern(&format!("v{counter}"));
+        *counter += 1;
+        v
+    };
+
+    // Left-hand side: variables with inter-atom joins plus occasional constants.
+    let mut lhs_vars: Vec<Symbol> = Vec::new();
+    let mut lhs = Vec::new();
+    for (atom_index, &relation) in lhs_relations.iter().enumerate() {
+        let arity = schema.db.schema(relation).arity();
+        // Variables introduced by *earlier* atoms: joining with one of these
+        // creates a genuine inter-atom join.
+        let prior_vars = lhs_vars.clone();
+        let mut terms = Vec::with_capacity(arity);
+        let mut joined = atom_index == 0;
+        for pos in 0..arity {
+            let force_join = !joined && pos + 1 == arity && !prior_vars.is_empty();
+            if force_join || (atom_index > 0 && !prior_vars.is_empty() && rng.gen_bool(LHS_JOIN_PROB)) {
+                let var = *prior_vars.choose(rng).expect("non-empty");
+                terms.push(Term::Var(var));
+                joined = true;
+            } else if rng.gen_bool(LHS_CONSTANT_PROB) {
+                terms.push(Term::Const(schema.random_constant(rng)));
+            } else {
+                let var = fresh_var(&mut var_counter);
+                lhs_vars.push(var);
+                terms.push(Term::Var(var));
+            }
+        }
+        lhs.push(Atom::new(relation, terms));
+    }
+
+    // Right-hand side: frontier variables, existentials and constants.
+    let mut existentials: Vec<Symbol> = Vec::new();
+    let mut has_frontier = false;
+    let mut rhs = Vec::new();
+    for &relation in &rhs_relations {
+        let arity = schema.db.schema(relation).arity();
+        let mut terms = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            if !lhs_vars.is_empty() && rng.gen_bool(RHS_FRONTIER_PROB) {
+                let var = *lhs_vars.choose(rng).expect("non-empty");
+                terms.push(Term::Var(var));
+                has_frontier = true;
+            } else if rng.gen_bool(RHS_CONSTANT_PROB) {
+                terms.push(Term::Const(schema.random_constant(rng)));
+            } else if !existentials.is_empty() && rng.gen_bool(EXISTENTIAL_REUSE_PROB) {
+                terms.push(Term::Var(*existentials.choose(rng).expect("non-empty")));
+            } else {
+                let var = fresh_var(&mut var_counter);
+                existentials.push(var);
+                terms.push(Term::Var(var));
+            }
+        }
+        rhs.push(Atom::new(relation, terms));
+    }
+    // Make sure the mapping exports at least one frontier variable whenever
+    // the LHS has variables at all (otherwise the RHS is completely
+    // disconnected from the data that triggers it).
+    if !has_frontier && !lhs_vars.is_empty() {
+        if let Some(atom) = rhs.first_mut() {
+            if let Some(slot) = atom.terms.first_mut() {
+                *slot = Term::Var(lhs_vars[0]);
+            }
+        }
+    }
+    (lhs, rhs)
+}
+
+/// Convenience: generate schema-compatible mappings and pick a prefix size.
+pub fn mapping_prefix(set: &MappingSet, count: usize) -> MappingSet {
+    set.prefix(count)
+}
+
+/// Summary statistics about a generated mapping set (used by reports and
+/// sanity tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MappingSetStats {
+    /// Number of mappings.
+    pub mappings: usize,
+    /// Average number of LHS atoms.
+    pub avg_lhs_atoms: f64,
+    /// Average number of RHS atoms.
+    pub avg_rhs_atoms: f64,
+    /// Fraction of mappings with at least one existential variable.
+    pub with_existentials: f64,
+    /// Fraction of mappings whose atoms mention at least one constant.
+    pub with_constants: f64,
+    /// Fraction of mappings whose LHS atoms share at least one variable
+    /// (inter-atom join), among mappings with two or more LHS atoms.
+    pub with_lhs_joins: f64,
+}
+
+/// Computes the statistics of a mapping set.
+pub fn mapping_stats(set: &MappingSet) -> MappingSetStats {
+    if set.is_empty() {
+        return MappingSetStats::default();
+    }
+    let n = set.len() as f64;
+    let mut lhs_atoms = 0usize;
+    let mut rhs_atoms = 0usize;
+    let mut with_existentials = 0usize;
+    let mut with_constants = 0usize;
+    let mut multi_lhs = 0usize;
+    let mut with_joins = 0usize;
+    for tgd in set.iter() {
+        lhs_atoms += tgd.lhs.len();
+        rhs_atoms += tgd.rhs.len();
+        if !tgd.existential_vars().is_empty() {
+            with_existentials += 1;
+        }
+        let has_const = tgd
+            .lhs
+            .iter()
+            .chain(tgd.rhs.iter())
+            .any(|a| a.terms.iter().any(|t| matches!(t, Term::Const(Value::Const(_)))));
+        if has_const {
+            with_constants += 1;
+        }
+        if tgd.lhs.len() > 1 {
+            multi_lhs += 1;
+            let joined = tgd.lhs.iter().enumerate().any(|(i, a)| {
+                tgd.lhs.iter().enumerate().any(|(j, b)| {
+                    i < j && a.variables().iter().any(|v| b.variables().contains(v))
+                })
+            });
+            if joined {
+                with_joins += 1;
+            }
+        }
+    }
+    MappingSetStats {
+        mappings: set.len(),
+        avg_lhs_atoms: lhs_atoms as f64 / n,
+        avg_rhs_atoms: rhs_atoms as f64 / n,
+        with_existentials: with_existentials as f64 / n,
+        with_constants: with_constants as f64 / n,
+        with_lhs_joins: if multi_lhs == 0 { 1.0 } else { with_joins as f64 / multi_lhs as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_gen::generate_schema;
+
+    #[test]
+    fn generates_the_requested_number_of_mappings() {
+        let config = ExperimentConfig::quick();
+        let schema = generate_schema(&config);
+        let set = generate_mappings(&config, &schema);
+        assert_eq!(set.len(), config.total_mappings);
+        assert!(set.validate(schema.db.catalog()).is_ok());
+    }
+
+    #[test]
+    fn mapping_sizes_respect_the_limit_and_favour_small_sides() {
+        let config = ExperimentConfig::quick();
+        let schema = generate_schema(&config);
+        let set = generate_mappings(&config, &schema);
+        let stats = mapping_stats(&set);
+        for tgd in set.iter() {
+            assert!(tgd.lhs.len() <= config.max_atoms_per_side);
+            assert!(tgd.rhs.len() <= config.max_atoms_per_side);
+            assert!(!tgd.lhs.is_empty() && !tgd.rhs.is_empty());
+        }
+        assert!(stats.avg_lhs_atoms < 2.2, "smaller sides should dominate: {stats:?}");
+        assert!(stats.avg_rhs_atoms < 2.2);
+    }
+
+    #[test]
+    fn mappings_have_joins_constants_and_frontier_variables() {
+        let config = ExperimentConfig::quick();
+        let schema = generate_schema(&config);
+        let set = generate_mappings(&config, &schema);
+        let stats = mapping_stats(&set);
+        // The paper requires inter-atom joins and constants to occur.
+        assert!(stats.with_lhs_joins > 0.5, "{stats:?}");
+        assert!(stats.with_constants > 0.0, "{stats:?}");
+        // Most mappings should export at least one frontier variable.
+        let with_frontier =
+            set.iter().filter(|t| !t.frontier_vars().is_empty()).count() as f64 / set.len() as f64;
+        assert!(with_frontier > 0.8, "frontier fraction {with_frontier}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_prefixes_are_stable() {
+        let config = ExperimentConfig::tiny();
+        let schema = generate_schema(&config);
+        let a = generate_mappings(&config, &schema);
+        let b = generate_mappings(&config, &schema);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.lhs, y.lhs);
+            assert_eq!(x.rhs, y.rhs);
+        }
+        let prefix = mapping_prefix(&a, 4);
+        assert_eq!(prefix.len(), 4);
+        for (x, y) in prefix.iter().zip(a.iter().take(4)) {
+            assert_eq!(x.lhs, y.lhs);
+        }
+    }
+
+    #[test]
+    fn stats_of_empty_set_are_zero() {
+        let stats = mapping_stats(&MappingSet::new());
+        assert_eq!(stats.mappings, 0);
+        assert_eq!(stats.avg_lhs_atoms, 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Report rendering: text tables and CSV series matching the panels of
+//! Figures 3 and 4.
+
+use youtopia_concurrency::TrackerKind;
+
+use crate::experiment::ExperimentResults;
+
+/// Renders the three panels of a figure (aborts, cascading abort requests,
+/// slowdown of `PRECISE`) as aligned text tables.
+pub fn render_figure(results: &ExperimentResults, figure_name: &str) -> String {
+    let mut out = String::new();
+    let trackers = [TrackerKind::Coarse, TrackerKind::Precise, TrackerKind::Naive];
+    out.push_str(&format!(
+        "{figure_name}: {} workload ({} updates, {} runs per point, {} initial tuples)\n",
+        results.workload,
+        results.config.workload_updates,
+        results.config.runs,
+        results.initial_data.total_tuples,
+    ));
+    out.push_str(&format!("experiment wall time: {:.1}s\n\n", results.total_seconds));
+
+    // Panel 1: number of aborts.
+    out.push_str(&panel(results, "# Aborts", &trackers, |p| p.avg.aborts));
+    // Panel 2: number of cascading abort requests.
+    out.push_str(&panel(results, "# Cascading Abort Requests", &trackers, |p| {
+        p.avg.cascading_abort_requests
+    }));
+    // Panel 3: slowdown of PRECISE over COARSE.
+    out.push_str(&slowdown_panel(results));
+    out
+}
+
+fn panel(
+    results: &ExperimentResults,
+    title: &str,
+    trackers: &[TrackerKind],
+    metric: impl Fn(&crate::experiment::ExperimentPoint) -> f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("{:>10}", "#mappings"));
+    for t in trackers {
+        out.push_str(&format!("{:>12}", t.name()));
+    }
+    out.push('\n');
+    for &m in &results.config.mapping_counts {
+        out.push_str(&format!("{m:>10}"));
+        for &t in trackers {
+            match results.point(m, t) {
+                Some(p) => out.push_str(&format!("{:>12.1}", metric(p))),
+                None => out.push_str(&format!("{:>12}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+fn slowdown_panel(results: &ExperimentResults) -> String {
+    let mut out = String::new();
+    out.push_str("Slowdown of PRECISE (per-update time, PRECISE / COARSE)\n");
+    out.push_str(&format!("{:>10}{:>12}\n", "#mappings", "slowdown"));
+    for &m in &results.config.mapping_counts {
+        match results.precise_slowdown(m) {
+            Some(s) => out.push_str(&format!("{m:>10}{s:>12.2}\n")),
+            None => out.push_str(&format!("{m:>10}{:>12}\n", "-")),
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders the results as CSV, one row per (mapping count, tracker):
+/// `mappings,tracker,aborts,cascading_abort_requests,direct_conflicts,per_update_time_secs,steps,frontier_ops`.
+pub fn to_csv(results: &ExperimentResults) -> String {
+    let mut out = String::from(
+        "mappings,tracker,aborts,cascading_abort_requests,direct_conflicts,per_update_time_secs,steps,frontier_ops\n",
+    );
+    for p in &results.points {
+        out.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.3},{:.6},{:.1},{:.1}\n",
+            p.mappings,
+            p.tracker.name(),
+            p.avg.aborts,
+            p.avg.cascading_abort_requests,
+            p.avg.direct_conflict_requests,
+            p.avg.per_update_time_secs,
+            p.avg.steps,
+            p.avg.frontier_ops,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExperimentConfig, WorkloadKind};
+    use crate::experiment::run_experiment;
+    use youtopia_concurrency::TrackerKind;
+
+    fn tiny_results() -> ExperimentResults {
+        let mut config = ExperimentConfig::tiny();
+        config.runs = 1;
+        run_experiment(
+            &config,
+            WorkloadKind::AllInserts,
+            &[TrackerKind::Coarse, TrackerKind::Precise],
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure_rendering_contains_all_panels_and_trackers() {
+        let results = tiny_results();
+        let rendered = render_figure(&results, "Figure 3 (reduced scale)");
+        assert!(rendered.contains("# Aborts"));
+        assert!(rendered.contains("# Cascading Abort Requests"));
+        assert!(rendered.contains("Slowdown of PRECISE"));
+        assert!(rendered.contains("COARSE"));
+        assert!(rendered.contains("PRECISE"));
+        assert!(rendered.contains("NAIVE"));
+        for m in &results.config.mapping_counts {
+            assert!(rendered.contains(&m.to_string()));
+        }
+    }
+
+    #[test]
+    fn csv_has_one_row_per_point_plus_header() {
+        let results = tiny_results();
+        let csv = to_csv(&results);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), results.points.len() + 1);
+        assert!(lines[0].starts_with("mappings,tracker"));
+        assert!(lines[1].contains("COARSE") || lines[1].contains("PRECISE"));
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 8);
+        }
+    }
+
+    #[test]
+    fn missing_trackers_render_as_dashes() {
+        let results = tiny_results();
+        // NAIVE was not run: the abort panel must still render.
+        let rendered = render_figure(&results, "partial");
+        assert!(rendered.contains('-'));
+    }
+}

@@ -1,0 +1,99 @@
+//! Random schema and constant-pool generation (Section 6).
+//!
+//! "Our experiments are run on a database of 100 relations, each randomly
+//! generated to have between one and six attributes. … Any constants used come
+//! from a small (size 50) fixed set of random strings."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use youtopia_storage::{Database, Symbol, Value};
+
+use crate::config::ExperimentConfig;
+
+/// A randomly generated schema plus its constant pool.
+#[derive(Clone, Debug)]
+pub struct GeneratedSchema {
+    /// The database containing only the catalog (no tuples yet).
+    pub db: Database,
+    /// The fixed pool of constants used by mappings, initial tuples and
+    /// workload inserts.
+    pub constants: Vec<Symbol>,
+}
+
+impl GeneratedSchema {
+    /// A uniformly random constant from the pool.
+    pub fn random_constant(&self, rng: &mut StdRng) -> Value {
+        Value::Const(self.constants[rng.gen_range(0..self.constants.len())])
+    }
+}
+
+/// Generates the random schema and constant pool of an experiment.
+pub fn generate_schema(config: &ExperimentConfig) -> GeneratedSchema {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let mut db = Database::new();
+    for r in 0..config.relations {
+        let arity = rng.gen_range(config.min_attributes..=config.max_attributes);
+        let attrs: Vec<String> = (0..arity).map(|a| format!("a{a}")).collect();
+        db.add_relation(format!("R{r}"), attrs).expect("generated names are unique");
+    }
+    let constants: Vec<Symbol> = (0..config.constant_pool)
+        .map(|_| {
+            let len = rng.gen_range(4..=8);
+            let s: String = (0..len)
+                .map(|_| char::from(b'a' + rng.gen_range(0..26u8)))
+                .collect();
+            Symbol::intern(&format!("k_{s}"))
+        })
+        .collect();
+    GeneratedSchema { db, constants }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_the_requested_shape() {
+        let config = ExperimentConfig::quick();
+        let schema = generate_schema(&config);
+        assert_eq!(schema.db.catalog().len(), config.relations);
+        assert_eq!(schema.constants.len(), config.constant_pool);
+        for rel in schema.db.catalog().iter() {
+            assert!(rel.arity() >= config.min_attributes);
+            assert!(rel.arity() <= config.max_attributes);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_a_seed() {
+        let config = ExperimentConfig::tiny();
+        let a = generate_schema(&config);
+        let b = generate_schema(&config);
+        assert_eq!(a.constants, b.constants);
+        let arities_a: Vec<usize> = a.db.catalog().iter().map(|r| r.arity()).collect();
+        let arities_b: Vec<usize> = b.db.catalog().iter().map(|r| r.arity()).collect();
+        assert_eq!(arities_a, arities_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_schema(&ExperimentConfig::tiny());
+        let b = generate_schema(&ExperimentConfig::tiny().with_seed(99));
+        assert_ne!(a.constants, b.constants);
+    }
+
+    #[test]
+    fn random_constant_draws_from_the_pool() {
+        let config = ExperimentConfig::tiny();
+        let schema = generate_schema(&config);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let v = schema.random_constant(&mut rng);
+            match v {
+                Value::Const(sym) => assert!(schema.constants.contains(&sym)),
+                Value::Null(_) => panic!("pool constants are never nulls"),
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Workload generation: the update batches of Section 6.
+//!
+//! "We show results on two workloads, each of 500 updates. The first consists
+//! entirely of inserts, the second of eighty percent inserts and twenty
+//! percent deletes. Each update in each workload is started by an insert or
+//! delete operation generated randomly and independently. First, the receiving
+//! relation is chosen uniformly at random. In the case of inserts, the values
+//! in the inserted tuples are chosen with equal probability to be fresh or
+//! from the previously mentioned set of constants. In the case of deletes, the
+//! tuple to delete is chosen uniformly at random from the relation. In the
+//! mixed insert/delete workload, the order of the updates is then randomized."
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use youtopia_core::InitialOp;
+use youtopia_storage::{Database, UpdateId, Value};
+
+use crate::config::{ExperimentConfig, WorkloadKind};
+use crate::schema_gen::GeneratedSchema;
+
+/// Generates one workload of `config.workload_updates` initial operations
+/// against the (already populated) `initial_db`. The `variant` index selects a
+/// distinct derived seed so repeated runs use independent workloads while
+/// remaining reproducible.
+pub fn generate_workload(
+    config: &ExperimentConfig,
+    schema: &GeneratedSchema,
+    initial_db: &Database,
+    kind: WorkloadKind,
+    variant: u64,
+) -> Vec<InitialOp> {
+    let seed = config
+        .seed
+        .wrapping_mul(0xC2B2_AE35)
+        .wrapping_add(0x9E37 + variant)
+        .wrapping_add(match kind {
+            WorkloadKind::AllInserts => 0,
+            WorkloadKind::Mixed => 0x5DEECE66,
+        });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let relation_ids: Vec<_> = schema.db.catalog().relation_ids().collect();
+
+    let total = config.workload_updates;
+    let deletes = (total as f64 * kind.delete_fraction()).round() as usize;
+    let inserts = total - deletes;
+
+    let mut ops = Vec::with_capacity(total);
+    for i in 0..inserts {
+        let relation = relation_ids[rng.gen_range(0..relation_ids.len())];
+        let arity = schema.db.schema(relation).arity();
+        let values = (0..arity)
+            .map(|pos| {
+                if rng.gen_bool(config.fresh_value_probability) {
+                    Value::constant(&format!("fresh_{variant}_{i}_{pos}"))
+                } else {
+                    schema.random_constant(&mut rng)
+                }
+            })
+            .collect();
+        ops.push(InitialOp::Insert { relation, values });
+    }
+    for _ in 0..deletes {
+        // Choose a relation uniformly at random, then a tuple uniformly at
+        // random from it; fall back to another relation if the chosen one is
+        // empty in the initial database.
+        let mut op = None;
+        for _ in 0..relation_ids.len() * 4 {
+            let relation = relation_ids[rng.gen_range(0..relation_ids.len())];
+            let tuples = initial_db.scan(relation, UpdateId::OMNISCIENT);
+            if tuples.is_empty() {
+                continue;
+            }
+            let (tuple, _) = tuples[rng.gen_range(0..tuples.len())].clone();
+            op = Some(InitialOp::Delete { relation, tuple });
+            break;
+        }
+        // An entirely empty database degenerates to an extra insert so the
+        // workload size stays fixed.
+        ops.push(op.unwrap_or_else(|| InitialOp::Insert {
+            relation: relation_ids[0],
+            values: (0..schema.db.schema(relation_ids[0]).arity())
+                .map(|_| schema.random_constant(&mut rng))
+                .collect(),
+        }));
+    }
+    if kind == WorkloadKind::Mixed {
+        ops.shuffle(&mut rng);
+    }
+    ops
+}
+
+/// Counts the operation mix of a workload (for reports and tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkloadMix {
+    /// Number of insert operations.
+    pub inserts: usize,
+    /// Number of delete operations.
+    pub deletes: usize,
+    /// Number of null-replacement operations.
+    pub null_replacements: usize,
+}
+
+/// Computes the operation mix of a workload.
+pub fn workload_mix(ops: &[InitialOp]) -> WorkloadMix {
+    let mut mix = WorkloadMix::default();
+    for op in ops {
+        match op {
+            InitialOp::Insert { .. } => mix.inserts += 1,
+            InitialOp::Delete { .. } => mix.deletes += 1,
+            InitialOp::NullReplace { .. } => mix.null_replacements += 1,
+        }
+    }
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_gen::generate_initial_database;
+    use crate::mapping_gen::generate_mappings;
+    use crate::schema_gen::generate_schema;
+
+    fn setup() -> (ExperimentConfig, GeneratedSchema, Database) {
+        let config = ExperimentConfig::tiny();
+        let schema = generate_schema(&config);
+        let mappings = generate_mappings(&config, &schema);
+        let (db, _) = generate_initial_database(&config, &schema, &mappings).unwrap();
+        (config, schema, db)
+    }
+
+    #[test]
+    fn all_insert_workload_contains_only_inserts() {
+        let (config, schema, db) = setup();
+        let ops = generate_workload(&config, &schema, &db, WorkloadKind::AllInserts, 0);
+        assert_eq!(ops.len(), config.workload_updates);
+        let mix = workload_mix(&ops);
+        assert_eq!(mix.inserts, config.workload_updates);
+        assert_eq!(mix.deletes, 0);
+    }
+
+    #[test]
+    fn mixed_workload_is_about_twenty_percent_deletes() {
+        let (mut config, schema, db) = setup();
+        config.workload_updates = 50;
+        let ops = generate_workload(&config, &schema, &db, WorkloadKind::Mixed, 0);
+        let mix = workload_mix(&ops);
+        assert_eq!(mix.inserts + mix.deletes, 50);
+        assert_eq!(mix.deletes, 10, "20% of 50");
+        // Deletes reference tuples that exist in the initial database.
+        for op in &ops {
+            if let InitialOp::Delete { relation, tuple } = op {
+                assert!(db.visible(*relation, *tuple, UpdateId::OMNISCIENT).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_workload_order_is_shuffled_but_deterministic() {
+        let (mut config, schema, db) = setup();
+        config.workload_updates = 40;
+        let a = generate_workload(&config, &schema, &db, WorkloadKind::Mixed, 1);
+        let b = generate_workload(&config, &schema, &db, WorkloadKind::Mixed, 1);
+        assert_eq!(a, b, "same variant seed gives the same workload");
+        let c = generate_workload(&config, &schema, &db, WorkloadKind::Mixed, 2);
+        assert_ne!(a, c, "different variants differ");
+        // The deletes are not all clumped at the end after shuffling.
+        let first_half_deletes =
+            a.iter().take(20).filter(|op| matches!(op, InitialOp::Delete { .. })).count();
+        assert!(first_half_deletes > 0, "shuffle should spread deletes around");
+    }
+
+    #[test]
+    fn insert_values_mix_fresh_and_pool_constants() {
+        let (config, schema, db) = setup();
+        let ops = generate_workload(&config, &schema, &db, WorkloadKind::AllInserts, 3);
+        let mut fresh = 0;
+        let mut pooled = 0;
+        for op in &ops {
+            if let InitialOp::Insert { values, .. } = op {
+                for v in values {
+                    if let Value::Const(sym) = v {
+                        if schema.constants.contains(sym) {
+                            pooled += 1;
+                        } else {
+                            fresh += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(fresh > 0 && pooled > 0, "fresh = {fresh}, pooled = {pooled}");
+    }
+}

@@ -1,0 +1,61 @@
+//! A miniature Section 6 experiment, runnable from the command line.
+//!
+//! Generates a random schema, a random mapping set, an initial database
+//! populated through the cooperative chase, and an update workload; then runs
+//! the workload concurrently under the `COARSE` and `PRECISE` trackers and
+//! prints the resulting abort statistics — a scaled-down version of what the
+//! `fig3`/`fig4` binaries in `crates/bench` produce for every mapping density.
+//!
+//! Run with `cargo run --example experiment --release [-- mixed]`.
+
+use youtopia::workload::{
+    build_fixture, generate_workload, mapping_stats, run_single, ExperimentConfig, WorkloadKind,
+};
+use youtopia::{TrackerKind, UpdateId};
+
+fn main() {
+    let kind = if std::env::args().any(|a| a == "mixed") {
+        WorkloadKind::Mixed
+    } else {
+        WorkloadKind::AllInserts
+    };
+
+    let mut config = ExperimentConfig::quick();
+    config.runs = 1;
+    println!("Building the experiment fixture (schema, mappings, initial database)…");
+    let fixture = build_fixture(&config).expect("fixture generation succeeds");
+    let stats = mapping_stats(&fixture.mappings);
+    println!(
+        "  {} relations, {} mappings (avg {:.1} LHS / {:.1} RHS atoms), {} initial tuples",
+        config.relations,
+        stats.mappings,
+        stats.avg_lhs_atoms,
+        stats.avg_rhs_atoms,
+        fixture.initial_db.total_visible(UpdateId::OMNISCIENT),
+    );
+    let workload = generate_workload(&config, &fixture.schema, &fixture.initial_db, kind, 0);
+    println!("  workload: {} updates ({kind})\n", workload.len());
+
+    println!(
+        "{:>10} {:>9} {:>9} {:>11} {:>11} {:>9}",
+        "tracker", "mappings", "aborts", "cascading", "conflicts", "steps"
+    );
+    for mapping_count in config.mapping_counts.clone() {
+        for tracker in [TrackerKind::Coarse, TrackerKind::Precise] {
+            let metrics = run_single(&fixture, &config, kind, mapping_count, tracker, 0)
+                .expect("run terminates");
+            println!(
+                "{:>10} {:>9} {:>9} {:>11} {:>11} {:>9}",
+                tracker.name(),
+                mapping_count,
+                metrics.aborts,
+                metrics.cascading_abort_requests,
+                metrics.direct_conflict_requests,
+                metrics.steps
+            );
+        }
+    }
+    println!("\nRun the full sweeps (all three trackers, averaged over repeated runs) with:");
+    println!("  cargo run -p youtopia-bench --bin fig3 --release");
+    println!("  cargo run -p youtopia-bench --bin fig4 --release");
+}

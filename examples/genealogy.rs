@@ -1,0 +1,123 @@
+//! The genealogical database of Section 2.2: a *cyclic* mapping that the
+//! classical chase cannot handle, but cooperative update exchange can.
+//!
+//! The mapping `Person(x) → ∃y Father(x, y) ∧ Person(y)` states that every
+//! person has a father who is also a person. Inserting a single person into an
+//! empty database makes the standard tgd chase cascade forever; in Youtopia
+//! the chase generates the father as a positive frontier tuple as soon as an
+//! existing person is a unification candidate, and a user decides whether the
+//! father is somebody already known (unify) or a new ancestor (expand).
+//!
+//! The example shows three users:
+//! * an *eager archivist* who keeps expanding (adding three more generations),
+//! * a *skeptic* who immediately unifies (the family tree stays tiny),
+//! * the classical chase (always expand, never stop) — which hits the step
+//!   limit, demonstrating why acyclicity restrictions exist elsewhere.
+//!
+//! Run with `cargo run --example genealogy`.
+
+use youtopia::chase::{ExchangeConfig, FrontierDecision, FrontierRequest, PositiveAction};
+use youtopia::mappings::is_weakly_acyclic;
+use youtopia::{
+    ChaseError, Database, DataView, ExpandResolver, FrontierResolver, MappingGraph, MappingSet,
+    UpdateExchange, UpdateId, UnifyResolver,
+};
+
+fn fresh_repository() -> (Database, MappingSet) {
+    let mut db = Database::new();
+    db.add_relation("Person", ["name"]).unwrap();
+    db.add_relation("Father", ["child", "father"]).unwrap();
+    let mut mappings = MappingSet::new();
+    mappings
+        .add_parsed(db.catalog(), "ancestry: Person(x) -> exists y. Father(x, y) & Person(y)")
+        .unwrap();
+    (db, mappings)
+}
+
+fn print_tree(db: &Database) {
+    let person = db.relation_id("Person").unwrap();
+    let father = db.relation_id("Father").unwrap();
+    println!(
+        "  {} person(s), {} father edge(s)",
+        db.visible_count(person, UpdateId::OMNISCIENT),
+        db.visible_count(father, UpdateId::OMNISCIENT)
+    );
+    for (_, edge) in db.scan(father, UpdateId::OMNISCIENT) {
+        println!("    Father({}, {})", edge[0], edge[1]);
+    }
+}
+
+/// A user who expands the first `generations` frontier requests (adding new
+/// unknown ancestors) and then unifies, closing the chain.
+struct Archivist {
+    generations: usize,
+}
+
+impl FrontierResolver for Archivist {
+    fn resolve(&mut self, _view: &dyn DataView, request: &FrontierRequest) -> FrontierDecision {
+        match request {
+            FrontierRequest::Positive(pf) => {
+                if self.generations > 0 {
+                    self.generations -= 1;
+                    FrontierDecision::expand_all(pf)
+                } else {
+                    FrontierDecision::Positive(
+                        pf.tuples
+                            .iter()
+                            .map(|t| match t.candidates.first() {
+                                Some((id, _)) => PositiveAction::Unify { with: *id },
+                                None => PositiveAction::Expand,
+                            })
+                            .collect(),
+                    )
+                }
+            }
+            FrontierRequest::Negative(nf) => FrontierDecision::delete_first(nf),
+        }
+    }
+}
+
+fn main() {
+    let (db, mappings) = fresh_repository();
+
+    println!("Mapping: {}", mappings.by_name("ancestry").unwrap().display_with(db.catalog()));
+    let graph = MappingGraph::new(&mappings);
+    println!(
+        "cycle in the mapping graph: {} — weakly acyclic: {}",
+        graph.has_cycle(),
+        is_weakly_acyclic(&mappings)
+    );
+    println!("(classical update exchange would reject this mapping set)\n");
+
+    println!("== The eager archivist: three more generations, then stop ==");
+    let mut exchange = UpdateExchange::new(db.clone(), mappings.clone());
+    let mut archivist = Archivist { generations: 3 };
+    exchange.insert_constants("Person", &["John"], &mut archivist).unwrap();
+    print_tree(exchange.db());
+    assert!(exchange.is_consistent());
+    println!();
+
+    println!("== The skeptic: unify immediately (John is his own ancestor?) ==");
+    let mut exchange = UpdateExchange::new(db.clone(), mappings.clone());
+    let mut skeptic = UnifyResolver;
+    exchange.insert_constants("Person", &["John"], &mut skeptic).unwrap();
+    print_tree(exchange.db());
+    assert!(exchange.is_consistent());
+    println!();
+
+    println!("== The classical chase (always expand) never terminates ==");
+    let mut exchange = UpdateExchange::with_config(
+        db,
+        mappings,
+        ExchangeConfig { max_steps_per_update: 500 },
+    );
+    let mut classical = ExpandResolver;
+    match exchange.insert_constants("Person", &["John"], &mut classical) {
+        Err(ChaseError::StepLimitExceeded { limit, .. }) => {
+            println!("  stopped by the safety valve after {limit} chase steps —");
+            println!("  this is the controlled non-termination of Section 2.2: users can always");
+            println!("  add further ancestors, but nothing forces the system to invent them.");
+        }
+        other => println!("  unexpected outcome: {other:?}"),
+    }
+}

@@ -1,0 +1,176 @@
+//! Quickstart: the Figure 2 travel repository.
+//!
+//! Builds the example repository of the paper (cities, suggested airports,
+//! attractions, tours, reviews, conventions and excursion ideas connected by
+//! the mappings σ1–σ4), then walks through the paper's running examples:
+//!
+//! * **Example 1.1** — inserting a new tour makes σ3 fire and the forward
+//!   chase adds a review placeholder with a labeled null;
+//! * a **null-replacement** later fills the unknown company in;
+//! * **Example 2.3** — deleting a review triggers the backward chase, which
+//!   asks the user which witness tuple should go.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use youtopia::chase::{FrontierDecision, FrontierRequest};
+use youtopia::{
+    Database, DataView, MappingSet, RandomResolver, ScriptedResolver, UpdateExchange, UpdateId, Value,
+};
+
+fn print_relation(db: &Database, name: &str) {
+    let rel = db.relation_id(name).expect("relation exists");
+    let schema = db.schema(rel);
+    println!("  {name}({})", schema.attributes.join(", "));
+    for (_, data) in db.scan(rel, UpdateId::OMNISCIENT) {
+        let row: Vec<String> = data.iter().map(|v| v.to_string()).collect();
+        println!("    ({})", row.join(", "));
+    }
+}
+
+fn build_repository() -> UpdateExchange {
+    let mut db = Database::new();
+    db.add_relation("C", ["city"]).unwrap();
+    db.add_relation("S", ["code", "location", "city_served"]).unwrap();
+    db.add_relation("A", ["location", "name"]).unwrap();
+    db.add_relation("T", ["attraction", "company", "tour_start"]).unwrap();
+    db.add_relation("R", ["company", "attraction", "review"]).unwrap();
+    db.add_relation("V", ["city", "convention"]).unwrap();
+    db.add_relation("E", ["convention", "attraction"]).unwrap();
+
+    let mut mappings = MappingSet::new();
+    mappings
+        .add_parsed_many(
+            db.catalog(),
+            "
+            # Figure 2: every city has a suggested airport...
+            sigma1: C(c) -> exists a, l. S(a, l, c)
+            # ...every airport is located in a city and serves a city...
+            sigma2: S(a, c, c2) -> C(c) & C(c2)
+            # ...every offered tour is reviewed...
+            sigma3: A(l, n) & T(n, c, cs) -> exists r. R(c, n, r)
+            # ...and convention attendees get excursion ideas.
+            sigma4: V(cv, x) & T(n, c, cv) -> E(x, n)
+            ",
+        )
+        .unwrap();
+
+    println!("Mappings:");
+    for tgd in mappings.iter() {
+        println!("  {}", tgd.display_with(db.catalog()));
+    }
+    println!();
+
+    // Seed the Figure 2 data. A simulated user answers any frontier requests.
+    let mut exchange = UpdateExchange::new(db, mappings);
+    let mut user = RandomResolver::seeded(2009);
+    // Reviews, excursion ideas and conventions are seeded before the tour so
+    // that σ3 and σ4 are already satisfied when the tour row arrives (the same
+    // state Figure 2 shows).
+    for (rel, rows) in [
+        ("C", vec![vec!["Ithaca"], vec!["Syracuse"]]),
+        ("S", vec![vec!["SYR", "Syracuse", "Syracuse"], vec!["SYR", "Syracuse", "Ithaca"]]),
+        ("A", vec![vec!["Geneva", "Geneva Winery"], vec!["Niagara Falls", "Niagara Falls"]]),
+        ("R", vec![vec!["XYZ", "Geneva Winery", "Great!"]]),
+        ("E", vec![vec!["Science Conf", "Geneva Winery"]]),
+        ("V", vec![vec!["Syracuse", "Science Conf"]]),
+        ("T", vec![vec!["Geneva Winery", "XYZ", "Syracuse"]]),
+    ] {
+        for row in rows {
+            exchange.insert_constants(rel, &row, &mut user).unwrap();
+        }
+    }
+    assert!(exchange.is_consistent());
+    exchange
+}
+
+fn main() {
+    let mut exchange = build_repository();
+    let mut user = RandomResolver::seeded(7);
+
+    println!("== Example 1.1: ABC Tours starts running tours to Niagara Falls ==");
+    exchange
+        .insert_constants("T", &["Niagara Falls", "ABC Tours", "Toronto"], &mut user)
+        .unwrap();
+    println!("σ3 fired; the review table now contains a placeholder:");
+    print_relation(exchange.db(), "R");
+    assert!(exchange.is_consistent());
+    println!();
+
+    println!("== Completing the unknown review through a null-replacement ==");
+    let r = exchange.db().relation_id("R").unwrap();
+    let placeholder_null = exchange
+        .db()
+        .scan(r, UpdateId::OMNISCIENT)
+        .into_iter()
+        .flat_map(|(_, data)| youtopia::storage::nulls_of(&data))
+        .next()
+        .expect("Example 1.1 created a labeled null");
+    exchange
+        .replace_null(placeholder_null, Value::constant("Spectacular — take the boat tour"), &mut user)
+        .unwrap();
+    print_relation(exchange.db(), "R");
+    assert!(exchange.is_consistent());
+    println!();
+
+    println!("== Example 2.3: the Geneva Winery review is deleted ==");
+    let review = exchange
+        .db()
+        .scan(r, UpdateId::OMNISCIENT)
+        .into_iter()
+        .find(|(_, data)| data[0] == Value::constant("XYZ"))
+        .map(|(id, _)| id)
+        .expect("the XYZ review exists");
+    // Drive the backward chase by hand so we can show the negative frontier.
+    // A real deployment would surface this request in the UI; here we script
+    // the user's answer: delete the Tours tuple, keep the attraction.
+    let t = exchange.db().relation_id("T").unwrap();
+    let tour_id = exchange
+        .db()
+        .scan(t, UpdateId::OMNISCIENT)
+        .into_iter()
+        .find(|(_, data)| data[0] == Value::constant("Geneva Winery"))
+        .map(|(id, _)| id)
+        .unwrap();
+    let mut scripted = ScriptedResolver::new([FrontierDecision::Negative(vec![tour_id])]);
+    let report = exchange.delete("R", review, &mut scripted).unwrap();
+    println!(
+        "backward chase finished after {} steps and {} frontier operation(s)",
+        report.stats.steps, report.stats.frontier_ops
+    );
+    println!("The tour was removed, the attraction kept:");
+    print_relation(exchange.db(), "T");
+    print_relation(exchange.db(), "A");
+    assert!(exchange.is_consistent());
+    println!();
+
+    println!("== What would the system have asked? ==");
+    // Re-create the same situation on a throwaway copy to show the request.
+    let mut preview = build_repository();
+    let r = preview.db().relation_id("R").unwrap();
+    let review = preview
+        .db()
+        .scan(r, UpdateId::OMNISCIENT)
+        .into_iter()
+        .find(|(_, data)| data[0] == Value::constant("XYZ"))
+        .map(|(id, _)| id)
+        .unwrap();
+    struct Narrator;
+    impl youtopia::FrontierResolver for Narrator {
+        fn resolve(&mut self, _view: &dyn DataView, request: &FrontierRequest) -> FrontierDecision {
+            match request {
+                FrontierRequest::Negative(nf) => {
+                    println!("  negative frontier: delete any of these witness tuples:");
+                    for (_, id, data) in &nf.candidates {
+                        let row: Vec<String> = data.iter().map(|v| v.to_string()).collect();
+                        println!("    {id}: ({})", row.join(", "));
+                    }
+                    FrontierDecision::delete_first(nf)
+                }
+                FrontierRequest::Positive(pf) => FrontierDecision::expand_all(pf),
+            }
+        }
+    }
+    preview.delete("R", review, &mut Narrator).unwrap();
+    assert!(preview.is_consistent());
+    println!("\nDone: the repository satisfies all mappings after every update.");
+}

@@ -1,0 +1,67 @@
+//! # Youtopia — cooperative update exchange (VLDB 2009), reproduced in Rust
+//!
+//! This crate is the facade of the workspace reproducing *Cooperative Update
+//! Exchange in the Youtopia System* (Kot & Koch, VLDB 2009). It re-exports the
+//! public API of the five underlying crates:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`storage`] | `youtopia-storage` | labeled nulls, multiversion tuples, conjunctive queries |
+//! | [`mappings`] | `youtopia-mappings` | tgds, parser, violations, violation queries, mapping graph |
+//! | [`chase`] | `youtopia-core` | the cooperative forward/backward chase, frontier operations, resolvers |
+//! | [`concurrency`] | `youtopia-concurrency` | optimistic scheduler, conflict detection, NAIVE/COARSE/PRECISE |
+//! | [`workload`] | `youtopia-workload` | Section 6 generators, experiment runner, figure reports |
+//!
+//! The most common entry points are also re-exported at the top level, so a
+//! downstream user can simply:
+//!
+//! ```
+//! use youtopia::{Database, MappingSet, RandomResolver, UpdateExchange};
+//!
+//! let mut db = Database::new();
+//! db.add_relation("C", ["city"]).unwrap();
+//! db.add_relation("S", ["code", "location", "city_served"]).unwrap();
+//! let mut mappings = MappingSet::new();
+//! mappings.add_parsed(db.catalog(), "sigma1: C(c) -> exists a, l. S(a, l, c)").unwrap();
+//!
+//! let mut repo = UpdateExchange::new(db, mappings);
+//! let mut user = RandomResolver::seeded(42);
+//! repo.insert_constants("C", &["Ithaca"], &mut user).unwrap();
+//! assert!(repo.is_consistent());
+//! ```
+//!
+//! See `examples/` for runnable walk-throughs of the paper's scenarios and
+//! `crates/bench` for the Figure 3 / Figure 4 harnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The relational storage substrate (re-export of `youtopia-storage`).
+pub use youtopia_storage as storage;
+
+/// Schema mappings and violations (re-export of `youtopia-mappings`).
+pub use youtopia_mappings as mappings;
+
+/// The cooperative chase (re-export of `youtopia-core`).
+pub use youtopia_core as chase;
+
+/// Optimistic concurrency control (re-export of `youtopia-concurrency`).
+pub use youtopia_concurrency as concurrency;
+
+/// Synthetic workloads and the Section 6 experiment harness (re-export of
+/// `youtopia-workload`).
+pub use youtopia_workload as workload;
+
+pub use youtopia_concurrency::{ConcurrentRun, RunMetrics, SchedulerConfig, TrackerKind};
+pub use youtopia_core::{
+    ChaseError, ExpandResolver, FrontierDecision, FrontierRequest, FrontierResolver, InitialOp,
+    PositiveAction, RandomResolver, ScriptedResolver, UnifyResolver, UpdateExchange, UpdateExecution,
+    UpdateState,
+};
+pub use youtopia_mappings::{
+    find_violations, satisfies_all, MappingGraph, MappingSet, Tgd, Violation, ViolationKind,
+};
+pub use youtopia_storage::{
+    Database, DataView, NullId, RelationId, Snapshot, Symbol, Tuple, TupleId, UpdateId, Value, Write,
+};
+pub use youtopia_workload::{run_experiment, ExperimentConfig, WorkloadKind};

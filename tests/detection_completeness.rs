@@ -1,0 +1,122 @@
+//! Property tests for violation detection over randomly generated schemas,
+//! mappings and data (the same generators used by the Section 6 experiments):
+//!
+//! * **Completeness of incremental detection** — starting from a database that
+//!   satisfies every mapping, the violations discovered from a single write's
+//!   change records are exactly the violations a full scan finds afterwards.
+//! * **Soundness of the per-write affectedness check** — if
+//!   `change_affects_query` says a write does not affect a violation query,
+//!   then evaluating the query with and without that write yields the same
+//!   answer.
+
+use proptest::prelude::*;
+
+use youtopia::mappings::{
+    evaluate_with_change, evaluate_without_change, find_violations, violation_queries_for_change,
+    violations_from_change,
+};
+use youtopia::workload::{
+    build_fixture, generate_workload, ExperimentConfig, ExperimentFixture, WorkloadKind,
+};
+use youtopia::{InitialOp, UpdateId, Write};
+
+fn fixture() -> &'static ExperimentFixture {
+    use std::sync::OnceLock;
+    static FIXTURE: OnceLock<ExperimentFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut config = ExperimentConfig::tiny();
+        config.initial_tuples = 60;
+        build_fixture(&config).expect("fixture builds")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Incremental detection from a single write agrees with a full scan on a
+    /// previously consistent database.
+    #[test]
+    fn incremental_detection_is_complete(op_index in 0usize..40, variant in 0u64..5) {
+        let fixture = fixture();
+        let mut config = ExperimentConfig::tiny();
+        config.initial_tuples = 60;
+        let workload =
+            generate_workload(&config, &fixture.schema, &fixture.initial_db, WorkloadKind::Mixed, variant);
+        let op = &workload[op_index % workload.len()];
+
+        let mut db = fixture.initial_db.clone();
+        let mappings = &fixture.mappings;
+        // The initial database satisfies every mapping.
+        prop_assert!(find_violations(&db.snapshot(UpdateId::OMNISCIENT), mappings).is_empty());
+
+        let writer = UpdateId(1_000_000);
+        let write = match op {
+            InitialOp::Insert { relation, values } => Write::Insert { relation: *relation, values: values.clone() },
+            InitialOp::Delete { relation, tuple } => Write::Delete { relation: *relation, tuple: *tuple },
+            InitialOp::NullReplace { null, replacement } => Write::NullReplace { null: *null, replacement: *replacement },
+        };
+        let changes = db.apply(&write, writer).unwrap();
+
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let mut incremental = Vec::new();
+        for change in &changes {
+            incremental.extend(violations_from_change(&snap, mappings, change).1);
+        }
+        incremental.sort();
+        incremental.dedup();
+        let mut full = find_violations(&snap, mappings);
+        full.sort();
+        full.dedup();
+        prop_assert_eq!(incremental, full, "incremental detection must agree with a full scan");
+    }
+
+    /// If the affectedness check says "unaffected", the query's answer really
+    /// is identical with and without the write.
+    #[test]
+    fn unaffected_queries_have_identical_answers(op_index in 0usize..40, probe_index in 0usize..40, variant in 0u64..3) {
+        let fixture = fixture();
+        let mut config = ExperimentConfig::tiny();
+        config.initial_tuples = 60;
+        let workload =
+            generate_workload(&config, &fixture.schema, &fixture.initial_db, WorkloadKind::Mixed, variant);
+        let op = &workload[op_index % workload.len()];
+        let probe_op = &workload[probe_index % workload.len()];
+        let mappings = &fixture.mappings;
+
+        let mut db = fixture.initial_db.clone();
+        // The probe op defines the violation queries some earlier chase step
+        // would have logged.
+        let probe_write = match probe_op {
+            InitialOp::Insert { relation, values } => Write::Insert { relation: *relation, values: values.clone() },
+            InitialOp::Delete { relation, tuple } => Write::Delete { relation: *relation, tuple: *tuple },
+            InitialOp::NullReplace { null, replacement } => Write::NullReplace { null: *null, replacement: *replacement },
+        };
+        let probe_changes = db.apply(&probe_write, UpdateId(999_000)).unwrap();
+        let queries: Vec<_> = probe_changes
+            .iter()
+            .flat_map(|c| violation_queries_for_change(mappings, c))
+            .collect();
+
+        // Now a later write happens.
+        let write = match op {
+            InitialOp::Insert { relation, values } => Write::Insert { relation: *relation, values: values.clone() },
+            InitialOp::Delete { relation, tuple } => Write::Delete { relation: *relation, tuple: *tuple },
+            InitialOp::NullReplace { null, replacement } => Write::NullReplace { null: *null, replacement: *replacement },
+        };
+        let changes = db.apply(&write, UpdateId(999_001)).unwrap();
+
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        for query in &queries {
+            for change in &changes {
+                if !youtopia::mappings::change_affects_query(&snap, mappings, query, change) {
+                    let with = evaluate_with_change(&snap, mappings, query, change);
+                    let without = evaluate_without_change(&snap, mappings, query, change);
+                    prop_assert_eq!(
+                        with, without,
+                        "a change declared unaffecting must not alter the query answer"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Integration tests that replay the paper's running examples end to end
+//! through the public facade API (Figure 2, Examples 1.1, 2.3 and 3.1, and the
+//! genealogical mapping of Section 2.2).
+
+use youtopia::chase::{ExchangeConfig, FrontierDecision, FrontierRequest, PositiveAction};
+use youtopia::{
+    find_violations, satisfies_all, ChaseError, ConcurrentRun, Database, ExpandResolver, InitialOp,
+    MappingSet, RandomResolver, SchedulerConfig, ScriptedResolver, TrackerKind, UpdateExchange,
+    UpdateExecution, UpdateId, UpdateState, Value,
+};
+
+/// Builds the Figure 2 repository (schema + mappings σ1–σ4 + data) through the
+/// update-exchange API so every row is chased into consistency.
+fn figure2() -> UpdateExchange {
+    let mut db = Database::new();
+    db.add_relation("C", ["city"]).unwrap();
+    db.add_relation("S", ["code", "location", "city_served"]).unwrap();
+    db.add_relation("A", ["location", "name"]).unwrap();
+    db.add_relation("T", ["attraction", "company", "tour_start"]).unwrap();
+    db.add_relation("R", ["company", "attraction", "review"]).unwrap();
+    db.add_relation("V", ["city", "convention"]).unwrap();
+    db.add_relation("E", ["convention", "attraction"]).unwrap();
+    let mut mappings = MappingSet::new();
+    mappings
+        .add_parsed_many(
+            db.catalog(),
+            "
+            sigma1: C(c) -> exists a, l. S(a, l, c)
+            sigma2: S(a, c, c2) -> C(c) & C(c2)
+            sigma3: A(l, n) & T(n, c, cs) -> exists r. R(c, n, r)
+            sigma4: V(cv, x) & T(n, c, cv) -> E(x, n)
+            ",
+        )
+        .unwrap();
+    let mut exchange = UpdateExchange::new(db, mappings);
+    let mut user = RandomResolver::seeded(2009);
+    for (rel, rows) in [
+        ("C", vec![vec!["Ithaca"], vec!["Syracuse"]]),
+        ("S", vec![vec!["SYR", "Syracuse", "Syracuse"], vec!["SYR", "Syracuse", "Ithaca"]]),
+        ("A", vec![vec!["Geneva", "Geneva Winery"], vec!["Niagara Falls", "Niagara Falls"]]),
+        ("R", vec![vec!["XYZ", "Geneva Winery", "Great!"]]),
+        ("E", vec![vec!["Science Conf", "Geneva Winery"]]),
+        ("V", vec![vec!["Syracuse", "Science Conf"]]),
+        ("T", vec![vec!["Geneva Winery", "XYZ", "Syracuse"]]),
+    ] {
+        for row in rows {
+            exchange.insert_constants(rel, &row, &mut user).unwrap();
+        }
+    }
+    assert!(exchange.is_consistent(), "Figure 2 repository must satisfy σ1–σ4");
+    exchange
+}
+
+#[test]
+fn example_1_1_new_tour_gets_a_review_placeholder() {
+    let mut repo = figure2();
+    let mut user = RandomResolver::seeded(1);
+    let r = repo.db().relation_id("R").unwrap();
+    let before = repo.db().visible_count(r, UpdateId::OMNISCIENT);
+
+    repo.insert_constants("T", &["Niagara Falls", "ABC Tours", "Toronto"], &mut user).unwrap();
+
+    let reviews = repo.db().scan(r, UpdateId::OMNISCIENT);
+    assert_eq!(reviews.len(), before + 1, "σ3 generated exactly one review");
+    let generated = reviews
+        .iter()
+        .find(|(_, d)| d[0] == Value::constant("ABC Tours"))
+        .expect("the generated review names the new company");
+    assert_eq!(generated.1[1], Value::constant("Niagara Falls"));
+    assert!(generated.1[2].is_null(), "the review itself is a labeled null (Example 1.1)");
+    assert!(repo.is_consistent());
+}
+
+#[test]
+fn null_replacement_keeps_the_repository_consistent() {
+    let mut repo = figure2();
+    let mut user = RandomResolver::seeded(2);
+    repo.insert_constants("T", &["Niagara Falls", "ABC Tours", "Toronto"], &mut user).unwrap();
+    let r = repo.db().relation_id("R").unwrap();
+    let null = repo
+        .db()
+        .scan(r, UpdateId::OMNISCIENT)
+        .into_iter()
+        .flat_map(|(_, d)| youtopia::storage::nulls_of(&d))
+        .next()
+        .expect("Example 1.1 leaves a labeled null behind");
+
+    repo.replace_null(null, Value::constant("Breathtaking"), &mut user).unwrap();
+    assert!(repo.is_consistent());
+    assert!(
+        repo.db().null_occurrences(null, UpdateId::OMNISCIENT).is_empty(),
+        "all occurrences of the null are gone"
+    );
+}
+
+#[test]
+fn example_2_3_deleting_a_review_cascades_through_a_user_choice() {
+    let mut repo = figure2();
+    let r = repo.db().relation_id("R").unwrap();
+    let t = repo.db().relation_id("T").unwrap();
+    let a = repo.db().relation_id("A").unwrap();
+    let review = repo
+        .db()
+        .scan(r, UpdateId::OMNISCIENT)
+        .into_iter()
+        .find(|(_, d)| d[0] == Value::constant("XYZ"))
+        .map(|(id, _)| id)
+        .unwrap();
+    let tour = repo
+        .db()
+        .scan(t, UpdateId::OMNISCIENT)
+        .into_iter()
+        .find(|(_, d)| d[1] == Value::constant("XYZ"))
+        .map(|(id, _)| id)
+        .unwrap();
+
+    // The user decides to delete the Tours tuple (one of the two legal
+    // choices of Example 2.3).
+    let mut user = ScriptedResolver::new([FrontierDecision::Negative(vec![tour])]);
+    let report = repo.delete("R", review, &mut user).unwrap();
+    assert!(report.terminated);
+    assert_eq!(report.stats.frontier_ops, 1, "the backward chase asked exactly once");
+
+    assert!(repo.db().visible(t, tour, UpdateId::OMNISCIENT).is_none(), "the tour is gone");
+    assert_eq!(repo.db().visible_count(a, UpdateId::OMNISCIENT), 2, "both attractions survive");
+    assert!(repo.is_consistent());
+    assert!(find_violations(&repo.db().snapshot(UpdateId::OMNISCIENT), repo.mappings()).is_empty());
+}
+
+#[test]
+fn example_3_1_concurrent_schedule_is_corrected_for_every_tracker() {
+    for tracker in [TrackerKind::Naive, TrackerKind::Coarse, TrackerKind::Precise] {
+        let repo = figure2();
+        let (db, mappings) = repo.into_parts();
+        let r = db.relation_id("R").unwrap();
+        let v = db.relation_id("V").unwrap();
+        let t = db.relation_id("T").unwrap();
+        let review = db
+            .scan(r, UpdateId::OMNISCIENT)
+            .into_iter()
+            .find(|(_, d)| d[0] == Value::constant("XYZ"))
+            .map(|(id, _)| id)
+            .unwrap();
+        let tour = db
+            .scan(t, UpdateId::OMNISCIENT)
+            .into_iter()
+            .find(|(_, d)| d[1] == Value::constant("XYZ"))
+            .map(|(id, _)| id)
+            .unwrap();
+
+        let ops = vec![
+            InitialOp::Delete { relation: r, tuple: review },
+            InitialOp::Insert {
+                relation: v,
+                values: vec![Value::constant("Syracuse"), Value::constant("Math Conf")],
+            },
+        ];
+        let config = SchedulerConfig { tracker, frontier_delay_rounds: 3, ..SchedulerConfig::default() };
+        let mut run = ConcurrentRun::new(db, mappings, ops, 100, config);
+        let mut user = ScriptedResolver::new([FrontierDecision::Negative(vec![tour])]);
+        let metrics = run.run(&mut user).unwrap();
+        assert!(metrics.aborts >= 1, "{tracker}: u2 read prematurely and must abort");
+
+        let (final_db, mappings, _) = run.into_parts();
+        assert!(satisfies_all(&final_db.snapshot(UpdateId::OMNISCIENT), &mappings));
+        // The premature E(Math Conf, Geneva Winery) must not survive, because
+        // the tour it was based on was discontinued.
+        let e = final_db.relation_id("E").unwrap();
+        let premature = final_db
+            .scan(e, UpdateId::OMNISCIENT)
+            .into_iter()
+            .filter(|(_, d)| d[0] == Value::constant("Math Conf"))
+            .count();
+        assert_eq!(premature, 0, "{tracker}: the interference of Example 3.1 must be repaired");
+    }
+}
+
+#[test]
+fn genealogy_cycle_is_controlled_by_cooperation() {
+    let mut db = Database::new();
+    db.add_relation("Person", ["name"]).unwrap();
+    db.add_relation("Father", ["child", "father"]).unwrap();
+    let mut mappings = MappingSet::new();
+    mappings
+        .add_parsed(db.catalog(), "ancestry: Person(x) -> exists y. Father(x, y) & Person(y)")
+        .unwrap();
+
+    // The classical chase (always expand) diverges…
+    let mut classical = UpdateExchange::with_config(
+        db.clone(),
+        mappings.clone(),
+        ExchangeConfig { max_steps_per_update: 300 },
+    );
+    assert!(matches!(
+        classical.insert_constants("Person", &["John"], &mut ExpandResolver),
+        Err(ChaseError::StepLimitExceeded { .. })
+    ));
+
+    // …while a cooperating user terminates it by unifying sooner or later.
+    let mut cooperative = UpdateExchange::new(db, mappings);
+    let mut user = RandomResolver::seeded(4);
+    cooperative.insert_constants("Person", &["John"], &mut user).unwrap();
+    assert!(cooperative.is_consistent());
+    let person = cooperative.db().relation_id("Person").unwrap();
+    assert!(cooperative.db().visible_count(person, UpdateId::OMNISCIENT) >= 1);
+}
+
+#[test]
+fn frontier_requests_surface_provenance_to_the_user() {
+    // The positive frontier request carries the violation (mapping + witness),
+    // which is the provenance a user interface would display.
+    let repo = figure2();
+    let (mut db, mappings) = repo.into_parts();
+    let t = db.relation_id("T").unwrap();
+    let x = db.fresh_null();
+    let mut exec = UpdateExecution::new(
+        UpdateId(50),
+        InitialOp::Insert {
+            relation: t,
+            values: vec![Value::constant("Geneva Winery"), Value::Null(x), Value::constant("Rome")],
+        },
+    );
+    let out = exec.step(&mut db, &mappings).unwrap();
+    assert_eq!(out.state, UpdateState::AwaitingFrontier);
+    let request = out.frontier_request.unwrap();
+    let FrontierRequest::Positive(pf) = request else { panic!("σ3 produces a positive frontier") };
+    assert_eq!(mappings.get(pf.mapping).name, "sigma3");
+    assert_eq!(pf.violation.witness.len(), 2, "witness = {{A row, T row}}");
+    assert_eq!(pf.tuples.len(), 1);
+    assert!(!pf.tuples[0].candidates.is_empty(), "the existing review is a unification candidate");
+
+    // Unifying resolves the unknown company to XYZ everywhere.
+    let target = pf.tuples[0].candidates[0].0;
+    exec.resolve_frontier(&mappings, FrontierDecision::Positive(vec![PositiveAction::Unify { with: target }]))
+        .unwrap();
+    while !exec.is_terminated() {
+        exec.step(&mut db, &mappings).unwrap();
+    }
+    assert!(db.null_occurrences(x, UpdateId::OMNISCIENT).is_empty());
+    assert!(satisfies_all(&db.snapshot(UpdateId::OMNISCIENT), &mappings));
+}

@@ -1,0 +1,217 @@
+//! Cross-crate property tests for the system-level invariants the paper relies
+//! on: every terminated update leaves the repository consistent, cooperative
+//! chases reach their frontier in finitely many deterministic steps
+//! (Lemma 2.5), concurrent runs under every tracker restore consistency, and
+//! the tracker hierarchy NAIVE ⊇ COARSE ⊇ PRECISE holds for cascading abort
+//! requests on identical schedules.
+
+use proptest::prelude::*;
+
+use youtopia::{
+    satisfies_all, ConcurrentRun, Database, InitialOp, MappingSet, RandomResolver, SchedulerConfig,
+    TrackerKind, UpdateExchange, UpdateId, Value,
+};
+
+/// A small travel-flavoured repository with the cyclic σ1/σ2 pair and σ3.
+fn repository() -> (Database, MappingSet) {
+    let mut db = Database::new();
+    db.add_relation("C", ["city"]).unwrap();
+    db.add_relation("S", ["code", "location", "city_served"]).unwrap();
+    db.add_relation("A", ["location", "name"]).unwrap();
+    db.add_relation("T", ["attraction", "company", "tour_start"]).unwrap();
+    db.add_relation("R", ["company", "attraction", "review"]).unwrap();
+    let mut mappings = MappingSet::new();
+    mappings
+        .add_parsed_many(
+            db.catalog(),
+            "
+            sigma1: C(c) -> exists a, l. S(a, l, c)
+            sigma2: S(a, c, c2) -> C(c) & C(c2)
+            sigma3: A(l, n) & T(n, c, cs) -> exists r. R(c, n, r)
+            ",
+        )
+        .unwrap();
+    (db, mappings)
+}
+
+/// One randomly chosen user-level operation description.
+#[derive(Clone, Debug)]
+enum OpSpec {
+    InsertCity(u8),
+    InsertAttraction(u8),
+    InsertTour(u8, u8),
+    DeleteSomeReview(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    prop_oneof![
+        (0u8..12).prop_map(OpSpec::InsertCity),
+        (0u8..8).prop_map(OpSpec::InsertAttraction),
+        ((0u8..8), (0u8..6)).prop_map(|(a, c)| OpSpec::InsertTour(a, c)),
+        (0u8..8).prop_map(OpSpec::DeleteSomeReview),
+    ]
+}
+
+fn apply_spec(exchange: &mut UpdateExchange, spec: &OpSpec, user: &mut RandomResolver) {
+    match spec {
+        OpSpec::InsertCity(i) => {
+            exchange.insert_constants("C", &[&format!("city{i}")], user).unwrap();
+        }
+        OpSpec::InsertAttraction(i) => {
+            exchange
+                .insert_constants("A", &[&format!("loc{i}"), &format!("attr{i}")], user)
+                .unwrap();
+        }
+        OpSpec::InsertTour(a, c) => {
+            exchange
+                .insert_constants("T", &[&format!("attr{a}"), &format!("co{c}"), "somewhere"], user)
+                .unwrap();
+        }
+        OpSpec::DeleteSomeReview(i) => {
+            let r = exchange.db().relation_id("R").unwrap();
+            let rows = exchange.db().scan(r, UpdateId::OMNISCIENT);
+            if rows.is_empty() {
+                return;
+            }
+            let victim = rows[*i as usize % rows.len()].0;
+            exchange.delete("R", victim, user).unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sequential update exchange: after every terminated update the database
+    /// satisfies every mapping, no matter what the (random) user answered.
+    #[test]
+    fn sequential_updates_always_restore_consistency(ops in prop::collection::vec(op_strategy(), 1..12), seed in 0u64..1000) {
+        let (db, mappings) = repository();
+        let mut exchange = UpdateExchange::new(db, mappings);
+        let mut user = RandomResolver::seeded(seed);
+        for spec in &ops {
+            apply_spec(&mut exchange, spec, &mut user);
+            prop_assert!(exchange.is_consistent(), "inconsistent after {spec:?}");
+        }
+    }
+
+    /// Concurrent runs terminate and restore consistency under every tracker,
+    /// and the final database never contains a violation.
+    #[test]
+    fn concurrent_runs_restore_consistency(n_updates in 2usize..10, seed in 0u64..500) {
+        let (mut db, mappings) = repository();
+        // A little seed data so deletes and joins have something to work with.
+        db.insert_by_name("A", &["loc0", "attr0"], UpdateId(0));
+        db.insert_by_name("T", &["attr0", "co0", "somewhere"], UpdateId(0));
+        db.insert_by_name("R", &["co0", "attr0", "ok"], UpdateId(0));
+        let c = db.relation_id("C").unwrap();
+        let t = db.relation_id("T").unwrap();
+        let r = db.relation_id("R").unwrap();
+        let review = db.scan(r, UpdateId::OMNISCIENT)[0].0;
+
+        let mut ops = Vec::new();
+        for i in 0..n_updates {
+            ops.push(match i % 3 {
+                0 => InitialOp::Insert { relation: c, values: vec![Value::constant(&format!("city{i}"))] },
+                1 => InitialOp::Insert {
+                    relation: t,
+                    values: vec![
+                        Value::constant("attr0"),
+                        Value::constant(&format!("newco{i}")),
+                        Value::constant("elsewhere"),
+                    ],
+                },
+                _ => InitialOp::Delete { relation: r, tuple: review },
+            });
+        }
+
+        for tracker in [TrackerKind::Naive, TrackerKind::Coarse, TrackerKind::Precise] {
+            let config = SchedulerConfig { tracker, frontier_delay_rounds: seed as usize % 3, ..SchedulerConfig::default() };
+            let mut run = ConcurrentRun::new(db.clone(), mappings.clone(), ops.clone(), 10, config);
+            let mut user = RandomResolver::seeded(seed);
+            let metrics = run.run(&mut user).unwrap();
+            prop_assert_eq!(metrics.workload_size, n_updates);
+            let (final_db, mappings, _) = run.into_parts();
+            prop_assert!(satisfies_all(&final_db.snapshot(UpdateId::OMNISCIENT), &mappings));
+        }
+    }
+
+    /// On identical schedules, NAIVE requests at least as many cascading
+    /// aborts as COARSE, which requests at least as many as PRECISE — the
+    /// ordering the paper's Figures 3 and 4 demonstrate experimentally.
+    #[test]
+    fn tracker_hierarchy_on_identical_schedules(seed in 0u64..200) {
+        let (mut db, mappings) = repository();
+        db.insert_by_name("A", &["loc0", "attr0"], UpdateId(0));
+        db.insert_by_name("T", &["attr0", "co0", "somewhere"], UpdateId(0));
+        db.insert_by_name("R", &["co0", "attr0", "ok"], UpdateId(0));
+        let c = db.relation_id("C").unwrap();
+        let t = db.relation_id("T").unwrap();
+        let r = db.relation_id("R").unwrap();
+        let review = db.scan(r, UpdateId::OMNISCIENT)[0].0;
+        let ops = vec![
+            InitialOp::Delete { relation: r, tuple: review },
+            InitialOp::Insert {
+                relation: t,
+                values: vec![Value::constant("attr0"), Value::constant("co1"), Value::constant("x")],
+            },
+            InitialOp::Insert { relation: c, values: vec![Value::constant("cityA")] },
+            InitialOp::Insert { relation: c, values: vec![Value::constant("cityB")] },
+        ];
+
+        let run_with = |tracker| {
+            let config = SchedulerConfig { tracker, frontier_delay_rounds: 2, ..SchedulerConfig::default() };
+            let mut run = ConcurrentRun::new(db.clone(), mappings.clone(), ops.clone(), 10, config);
+            let mut user = RandomResolver::seeded(seed);
+            run.run(&mut user).unwrap()
+        };
+        let naive = run_with(TrackerKind::Naive);
+        let coarse = run_with(TrackerKind::Coarse);
+        let precise = run_with(TrackerKind::Precise);
+        prop_assert!(naive.cascading_abort_requests >= coarse.cascading_abort_requests);
+        prop_assert!(coarse.cascading_abort_requests >= precise.cascading_abort_requests);
+    }
+}
+
+/// Lemma 2.5: a forward chase either terminates or reaches a point where it
+/// must wait for a frontier operation after finitely many deterministic steps.
+/// We exercise it by driving executions manually and bounding the number of
+/// consecutive `Ready` steps between frontier requests.
+#[test]
+fn lemma_2_5_deterministic_strata_are_finite() {
+    use youtopia::UpdateExecution;
+    let (mut db, mappings) = repository();
+    let c = db.relation_id("C").unwrap();
+    for i in 0..20 {
+        let mut exec = UpdateExecution::new(
+            UpdateId(1 + i),
+            InitialOp::Insert { relation: c, values: vec![Value::constant(&format!("city{i}"))] },
+        );
+        let mut consecutive_ready_steps = 0usize;
+        loop {
+            match exec.state() {
+                youtopia::UpdateState::Terminated => break,
+                youtopia::UpdateState::AwaitingFrontier => {
+                    // End of a deterministic stratum: answer and continue.
+                    consecutive_ready_steps = 0;
+                    let request = exec.pending_frontier().unwrap().clone();
+                    let mut user = RandomResolver::seeded(42 + i);
+                    let decision = {
+                        let snap = db.snapshot(UpdateId(1 + i));
+                        youtopia::FrontierResolver::resolve(&mut user, &snap, &request)
+                    };
+                    exec.resolve_frontier(&mappings, decision).unwrap();
+                }
+                youtopia::UpdateState::Ready => {
+                    exec.step(&mut db, &mappings).unwrap();
+                    consecutive_ready_steps += 1;
+                    assert!(
+                        consecutive_ready_steps < 500,
+                        "a deterministic stratum ran for 500 steps without stopping"
+                    );
+                }
+            }
+        }
+    }
+    assert!(satisfies_all(&db.snapshot(UpdateId::OMNISCIENT), &mappings));
+}
