@@ -101,11 +101,7 @@ fn bench_resolver_ablation(c: &mut Criterion) {
                 let mut user = UnifyResolver;
                 for i in 0..5 {
                     exchange
-                        .insert(
-                            "C",
-                            vec![Value::constant(&format!("city{i}"))],
-                            &mut user,
-                        )
+                        .insert("C", vec![Value::constant(&format!("city{i}"))], &mut user)
                         .unwrap();
                 }
                 black_box(exchange.db().total_visible(UpdateId::OMNISCIENT))
@@ -123,11 +119,7 @@ fn bench_resolver_ablation(c: &mut Criterion) {
                 let mut user = RandomResolver::seeded(11);
                 for i in 0..5 {
                     exchange
-                        .insert(
-                            "C",
-                            vec![Value::constant(&format!("city{i}"))],
-                            &mut user,
-                        )
+                        .insert("C", vec![Value::constant(&format!("city{i}"))], &mut user)
                         .unwrap();
                 }
                 black_box(exchange.db().total_visible(UpdateId::OMNISCIENT))
@@ -138,5 +130,10 @@ fn bench_resolver_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forward_chase_insert, bench_backward_chase_delete, bench_resolver_ablation);
+criterion_group!(
+    benches,
+    bench_forward_chase_insert,
+    bench_backward_chase_delete,
+    bench_resolver_ablation
+);
 criterion_main!(benches);

@@ -75,9 +75,8 @@ fn bench_specificity(c: &mut Criterion) {
     let mut group = c.benchmark_group("storage/specificity");
     for arity in [2usize, 4, 8] {
         let general: Vec<Value> = (0..arity).map(|i| Value::Null(NullId(i as u64 % 3))).collect();
-        let specific: Vec<Value> = (0..arity)
-            .map(|i| Value::constant(&format!("c{}", i % 3)))
-            .collect();
+        let specific: Vec<Value> =
+            (0..arity).map(|i| Value::constant(&format!("c{}", i % 3))).collect();
         group.bench_with_input(BenchmarkId::from_parameter(arity), &arity, |b, _| {
             b.iter(|| black_box(is_more_specific(&specific, &general)))
         });
@@ -85,5 +84,11 @@ fn bench_specificity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inserts, bench_scans_and_probes, bench_null_replacement, bench_specificity);
+criterion_group!(
+    benches,
+    bench_inserts,
+    bench_scans_and_probes,
+    bench_null_replacement,
+    bench_specificity
+);
 criterion_main!(benches);

@@ -21,20 +21,24 @@ fn bench_trackers_all_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("trackers/all_insert_workload");
     group.sample_size(10);
     for tracker in [TrackerKind::Naive, TrackerKind::Coarse, TrackerKind::Precise] {
-        group.bench_with_input(BenchmarkId::from_parameter(tracker.name()), &tracker, |b, &tracker| {
-            b.iter(|| {
-                let metrics = run_single(
-                    &fixture,
-                    &config,
-                    WorkloadKind::AllInserts,
-                    mapping_count,
-                    tracker,
-                    0,
-                )
-                .expect("run terminates");
-                black_box(metrics.aborts)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tracker.name()),
+            &tracker,
+            |b, &tracker| {
+                b.iter(|| {
+                    let metrics = run_single(
+                        &fixture,
+                        &config,
+                        WorkloadKind::AllInserts,
+                        mapping_count,
+                        tracker,
+                        0,
+                    )
+                    .expect("run terminates");
+                    black_box(metrics.aborts)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -46,14 +50,24 @@ fn bench_trackers_mixed(c: &mut Criterion) {
     let mut group = c.benchmark_group("trackers/mixed_workload");
     group.sample_size(10);
     for tracker in [TrackerKind::Coarse, TrackerKind::Precise] {
-        group.bench_with_input(BenchmarkId::from_parameter(tracker.name()), &tracker, |b, &tracker| {
-            b.iter(|| {
-                let metrics =
-                    run_single(&fixture, &config, WorkloadKind::Mixed, mapping_count, tracker, 0)
-                        .expect("run terminates");
-                black_box(metrics.aborts)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tracker.name()),
+            &tracker,
+            |b, &tracker| {
+                b.iter(|| {
+                    let metrics = run_single(
+                        &fixture,
+                        &config,
+                        WorkloadKind::Mixed,
+                        mapping_count,
+                        tracker,
+                        0,
+                    )
+                    .expect("run terminates");
+                    black_box(metrics.aborts)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -23,7 +23,11 @@ fn setup(per_relation: usize) -> (Database, MappingSet, TupleChange) {
     let u = UpdateId(0);
     for i in 0..per_relation {
         db.insert_by_name("A", &[&format!("loc{i}"), &format!("attr{i}")], u);
-        db.insert_by_name("T", &[&format!("attr{i}"), &format!("co{i}"), &format!("city{}", i % 10)], u);
+        db.insert_by_name(
+            "T",
+            &[&format!("attr{i}"), &format!("co{i}"), &format!("city{}", i % 10)],
+            u,
+        );
         db.insert_by_name("R", &[&format!("co{i}"), &format!("attr{i}"), "fine"], u);
     }
     // The change we repeatedly check: a brand-new tour without a review.
@@ -85,5 +89,10 @@ fn bench_affectedness_check(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_incremental_detection, bench_full_scan_detection, bench_affectedness_check);
+criterion_group!(
+    benches,
+    bench_incremental_detection,
+    bench_full_scan_detection,
+    bench_affectedness_check
+);
 criterion_main!(benches);

@@ -51,7 +51,9 @@ impl Default for FigureOptions {
 /// * `--no-naive` — skip the `NAIVE` tracker (it dominates run time at higher
 ///   densities).
 /// * `--csv` — also print CSV output.
-pub fn parse_figure_options<I: IntoIterator<Item = String>>(args: I) -> Result<FigureOptions, String> {
+pub fn parse_figure_options<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<FigureOptions, String> {
     let mut options = FigureOptions::default();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -62,7 +64,8 @@ pub fn parse_figure_options<I: IntoIterator<Item = String>>(args: I) -> Result<F
             "--no-naive" => options.trackers.retain(|t| *t != TrackerKind::Naive),
             "--runs" => {
                 let value = iter.next().ok_or("--runs needs a value")?;
-                options.config.runs = value.parse().map_err(|_| format!("bad --runs value `{value}`"))?;
+                options.config.runs =
+                    value.parse().map_err(|_| format!("bad --runs value `{value}`"))?;
             }
             "--updates" => {
                 let value = iter.next().ok_or("--updates needs a value")?;
@@ -71,7 +74,8 @@ pub fn parse_figure_options<I: IntoIterator<Item = String>>(args: I) -> Result<F
             }
             "--seed" => {
                 let value = iter.next().ok_or("--seed needs a value")?;
-                options.config.seed = value.parse().map_err(|_| format!("bad --seed value `{value}`"))?;
+                options.config.seed =
+                    value.parse().map_err(|_| format!("bad --seed value `{value}`"))?;
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -81,7 +85,11 @@ pub fn parse_figure_options<I: IntoIterator<Item = String>>(args: I) -> Result<F
 }
 
 /// Runs one figure end to end and returns the rendered report.
-pub fn run_figure(options: &FigureOptions, kind: WorkloadKind, name: &str) -> Result<String, String> {
+pub fn run_figure(
+    options: &FigureOptions,
+    kind: WorkloadKind,
+    name: &str,
+) -> Result<String, String> {
     let mut progress = |point: &youtopia_workload::ExperimentPoint| {
         eprintln!(
             "  [{name}] {} mappings, {:>7}: aborts={:.1} cascading={:.1}",
@@ -91,9 +99,13 @@ pub fn run_figure(options: &FigureOptions, kind: WorkloadKind, name: &str) -> Re
             point.avg.cascading_abort_requests
         );
     };
-    let results =
-        youtopia_workload::run_experiment(&options.config, kind, &options.trackers, Some(&mut progress))
-            .map_err(|e| e.to_string())?;
+    let results = youtopia_workload::run_experiment(
+        &options.config,
+        kind,
+        &options.trackers,
+        Some(&mut progress),
+    )
+    .map_err(|e| e.to_string())?;
     let mut out = youtopia_workload::render_figure(&results, name);
     if options.csv {
         out.push_str("\nCSV:\n");
@@ -120,9 +132,16 @@ mod tests {
 
     #[test]
     fn paper_flag_and_overrides() {
-        let options =
-            parse_figure_options(args(&["--paper", "--runs", "2", "--updates", "50", "--seed", "9"]))
-                .unwrap();
+        let options = parse_figure_options(args(&[
+            "--paper",
+            "--runs",
+            "2",
+            "--updates",
+            "50",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
         assert_eq!(options.config.relations, 100);
         assert_eq!(options.config.runs, 2);
         assert_eq!(options.config.workload_updates, 50);

@@ -89,14 +89,16 @@ mod tests {
         let sigma3 = mappings.by_name("sigma3").unwrap().id;
         read_log.record(
             UpdateId(2),
-            vec![ReadQuery::Violation(ViolationQuery { mapping: sigma3, seed: ViolationSeed::Full })],
+            vec![ReadQuery::Violation(ViolationQuery {
+                mapping: sigma3,
+                seed: ViolationSeed::Full,
+            })],
         );
 
         // Update 1 (lower number) deletes the review.
         let r = db.relation_id("R").unwrap();
-        let applied = db
-            .apply_all(&[Write::Delete { relation: r, tuple: review }], UpdateId(1))
-            .unwrap();
+        let applied =
+            db.apply_all(&[Write::Delete { relation: r, tuple: review }], UpdateId(1)).unwrap();
         let changes: Vec<TupleChange> = applied.into_iter().flat_map(|w| w.changes).collect();
 
         let conflicts = direct_conflicts(&db, &mappings, UpdateId(1), &changes, &read_log);
@@ -108,7 +110,10 @@ mod tests {
         let mut low_log = ReadLog::new();
         low_log.record(
             UpdateId(0),
-            vec![ReadQuery::Violation(ViolationQuery { mapping: sigma3, seed: ViolationSeed::Full })],
+            vec![ReadQuery::Violation(ViolationQuery {
+                mapping: sigma3,
+                seed: ViolationSeed::Full,
+            })],
         );
         assert!(direct_conflicts(&db, &mappings, UpdateId(1), &changes, &low_log).is_empty());
     }
@@ -126,12 +131,18 @@ mod tests {
         let sigma1 = mappings.by_name("sigma1").unwrap().id;
         read_log.record(
             UpdateId(5),
-            vec![ReadQuery::Violation(ViolationQuery { mapping: sigma1, seed: ViolationSeed::Full })],
+            vec![ReadQuery::Violation(ViolationQuery {
+                mapping: sigma1,
+                seed: ViolationSeed::Full,
+            })],
         );
 
         let other = db.relation_id("Other").unwrap();
         let applied = db
-            .apply_all(&[Write::Insert { relation: other, values: vec![Value::constant("v")] }], UpdateId(1))
+            .apply_all(
+                &[Write::Insert { relation: other, values: vec![Value::constant("v")] }],
+                UpdateId(1),
+            )
             .unwrap();
         let changes: Vec<TupleChange> = applied.into_iter().flat_map(|w| w.changes).collect();
         assert!(direct_conflicts(&db, &mappings, UpdateId(1), &changes, &read_log).is_empty());

@@ -46,7 +46,9 @@ pub mod metrics;
 pub mod scheduler;
 
 pub use conflict::{change_conflicts_with_reader, direct_conflicts, DirectConflict};
-pub use deps::{CoarseTracker, DependencyTracker, HybridTracker, NaiveTracker, PreciseTracker, TrackerKind};
+pub use deps::{
+    CoarseTracker, DependencyTracker, HybridTracker, NaiveTracker, PreciseTracker, TrackerKind,
+};
 pub use log::{ReadLog, WriteLog};
 pub use metrics::{AveragedMetrics, RunMetrics};
 pub use scheduler::{ConcurrentRun, SchedulerConfig, SchedulingPolicy};

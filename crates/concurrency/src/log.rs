@@ -36,7 +36,10 @@ impl WriteLog {
     }
 
     /// Tuple-level changes performed by updates below `reader`.
-    pub fn changes_before(&self, reader: UpdateId) -> impl Iterator<Item = (&AppliedWrite, &TupleChange)> {
+    pub fn changes_before(
+        &self,
+        reader: UpdateId,
+    ) -> impl Iterator<Item = (&AppliedWrite, &TupleChange)> {
         self.entries_before(reader).flat_map(|w| w.changes.iter().map(move |c| (w, c)))
     }
 
@@ -84,8 +87,12 @@ impl ReadLog {
     /// greater than `writer` — the candidates for a direct conflict, in
     /// ascending order.
     pub fn readers_above(&self, writer: UpdateId) -> Vec<UpdateId> {
-        let mut ids: Vec<UpdateId> =
-            self.by_update.iter().filter(|(id, reads)| **id > writer && !reads.is_empty()).map(|(id, _)| *id).collect();
+        let mut ids: Vec<UpdateId> = self
+            .by_update
+            .iter()
+            .filter(|(id, reads)| **id > writer && !reads.is_empty())
+            .map(|(id, _)| *id)
+            .collect();
         ids.sort();
         ids
     }

@@ -293,7 +293,9 @@ impl ConcurrentRun {
     /// operation.
     fn perform_aborts(&mut self, to_abort: &BTreeSet<UpdateId>) {
         for &victim in to_abort {
-            let Some(slot) = self.slots.iter_mut().find(|s| s.exec.id() == victim) else { continue };
+            let Some(slot) = self.slots.iter_mut().find(|s| s.exec.id() == victim) else {
+                continue;
+            };
             self.db.rollback_update(victim);
             slot.exec.reset_for_restart();
             slot.frontier_wait = 0;
@@ -464,11 +466,8 @@ mod tests {
                     values: vec![Value::constant("Syracuse"), Value::constant(&format!("Conf{i}"))],
                 });
             }
-            let config = SchedulerConfig {
-                tracker,
-                frontier_delay_rounds: 4,
-                ..SchedulerConfig::default()
-            };
+            let config =
+                SchedulerConfig { tracker, frontier_delay_rounds: 4, ..SchedulerConfig::default() };
             let mut run = ConcurrentRun::new(db.clone(), mappings.clone(), extra_ops, 1, config);
             let mut resolver = RandomResolver::seeded(seed);
             run.run(&mut resolver).unwrap()

@@ -57,7 +57,11 @@ impl UpdateExchange {
     }
 
     /// Creates an exchange with a custom configuration.
-    pub fn with_config(db: Database, mappings: MappingSet, config: ExchangeConfig) -> UpdateExchange {
+    pub fn with_config(
+        db: Database,
+        mappings: MappingSet,
+        config: ExchangeConfig,
+    ) -> UpdateExchange {
         UpdateExchange { db, mappings, config, next_update: 1 }
     }
 
@@ -121,7 +125,8 @@ impl UpdateExchange {
                     exec.step(&mut self.db, &self.mappings)?;
                 }
                 UpdateState::AwaitingFrontier => {
-                    let request = exec.pending_frontier().expect("state is AwaitingFrontier").clone();
+                    let request =
+                        exec.pending_frontier().expect("state is AwaitingFrontier").clone();
                     let decision = {
                         let snap = self.db.snapshot(id);
                         resolver.resolve(&snap, &request)
@@ -269,11 +274,8 @@ mod tests {
                 ",
             )
             .unwrap();
-        let mut ex = UpdateExchange::with_config(
-            db,
-            mappings,
-            ExchangeConfig { max_steps_per_update: 200 },
-        );
+        let mut ex =
+            UpdateExchange::with_config(db, mappings, ExchangeConfig { max_steps_per_update: 200 });
         let mut expand = ExpandResolver;
         let err = ex.insert_constants("C", &["Ithaca"], &mut expand);
         assert!(matches!(err, Err(ChaseError::StepLimitExceeded { .. })));
@@ -307,11 +309,8 @@ mod tests {
         ex.insert_constants("A", &["Niagara Falls", "Niagara Falls"], &mut resolver).unwrap();
         // Insert a tour with an unknown company.
         let x = ex.db_mut().fresh_null();
-        let t_values = vec![
-            Value::constant("Niagara Falls"),
-            Value::Null(x),
-            Value::constant("Toronto"),
-        ];
+        let t_values =
+            vec![Value::constant("Niagara Falls"), Value::Null(x), Value::constant("Toronto")];
         ex.insert("T", t_values, &mut resolver).unwrap();
         assert!(ex.is_consistent());
         // Completing the null keeps the database consistent.

@@ -60,7 +60,11 @@ pub use frontier::{
     FrontierDecision, FrontierRequest, FrontierTuple, NegativeFrontier, PositiveAction,
     PositiveFrontier,
 };
-pub use querying::{answer, keyword_search, AnswerRow, KeywordHit, QuerySemantics, RepositoryQuery};
+pub use querying::{
+    answer, keyword_search, AnswerRow, KeywordHit, QuerySemantics, RepositoryQuery,
+};
 pub use read_query::{more_specific_tuples, ReadQuery};
-pub use resolver::{ExpandResolver, FrontierResolver, RandomResolver, ScriptedResolver, UnifyResolver};
+pub use resolver::{
+    ExpandResolver, FrontierResolver, RandomResolver, ScriptedResolver, UnifyResolver,
+};
 pub use update::{InitialOp, StepOutcome, UpdateExecution, UpdateState, UpdateStats};

@@ -62,7 +62,11 @@ pub struct AnswerRow {
 
 /// Answers a repository query under the chosen semantics. Rows are
 /// de-duplicated and returned in a deterministic order.
-pub fn answer(view: &dyn DataView, query: &RepositoryQuery, semantics: QuerySemantics) -> Vec<AnswerRow> {
+pub fn answer(
+    view: &dyn DataView,
+    query: &RepositoryQuery,
+    semantics: QuerySemantics,
+) -> Vec<AnswerRow> {
     let mut rows: BTreeSet<AnswerRow> = BTreeSet::new();
     for m in evaluate(view, &query.atoms, &Bindings::new(), None) {
         let values: Vec<Value> = query

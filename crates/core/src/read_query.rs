@@ -113,10 +113,7 @@ pub fn more_specific_tuples(
     relation: RelationId,
     pattern: &TupleData,
 ) -> Vec<(TupleId, TupleData)> {
-    view.scan(relation)
-        .into_iter()
-        .filter(|(_, data)| is_more_specific(data, pattern))
-        .collect()
+    view.scan(relation).into_iter().filter(|(_, data)| is_more_specific(data, pattern)).collect()
 }
 
 #[cfg(test)]
@@ -149,7 +146,10 @@ mod tests {
 
         // Inserting any C tuple changes the answer (it is more specific than x).
         let changes = db
-            .apply(&Write::Insert { relation: c, values: vec![Value::constant("NYC")] }, UpdateId(1))
+            .apply(
+                &Write::Insert { relation: c, values: vec![Value::constant("NYC")] },
+                UpdateId(1),
+            )
             .unwrap();
         let snap = db.snapshot(UpdateId::OMNISCIENT);
         assert!(q.affected_by(&snap, &set, &changes[0]));
@@ -211,7 +211,10 @@ mod tests {
 
         // Inserting a city with no airport changes the (initially empty) answer.
         let changes = db
-            .apply(&Write::Insert { relation: c, values: vec![Value::constant("Ithaca")] }, UpdateId(1))
+            .apply(
+                &Write::Insert { relation: c, values: vec![Value::constant("Ithaca")] },
+                UpdateId(1),
+            )
             .unwrap();
         let snap = db.snapshot(UpdateId::OMNISCIENT);
         assert!(q.affected_by(&snap, &set, &changes[0]));

@@ -53,7 +53,10 @@ impl RandomResolver {
     /// probability mass (0.0 = uniform, as in the paper). Used by ablation
     /// benchmarks to study chase length as a function of user behaviour.
     pub fn with_expand_bias(seed: u64, expand_bias: f64) -> RandomResolver {
-        RandomResolver { rng: StdRng::seed_from_u64(seed), expand_bias: expand_bias.clamp(0.0, 1.0) }
+        RandomResolver {
+            rng: StdRng::seed_from_u64(seed),
+            expand_bias: expand_bias.clamp(0.0, 1.0),
+        }
     }
 }
 
@@ -214,8 +217,10 @@ mod tests {
         let db = view();
         let snap = db.snapshot(UpdateId::OMNISCIENT);
         let request = positive_request(3);
-        let d1: Vec<FrontierDecision> =
-            (0..20).map(|_| RandomResolver::seeded(42)).map(|mut r| r.resolve(&snap, &request)).collect();
+        let d1: Vec<FrontierDecision> = (0..20)
+            .map(|_| RandomResolver::seeded(42))
+            .map(|mut r| r.resolve(&snap, &request))
+            .collect();
         assert!(d1.windows(2).all(|w| w[0] == w[1]));
     }
 
@@ -245,7 +250,9 @@ mod tests {
         let snap = db.snapshot(UpdateId::OMNISCIENT);
         let mut resolver = RandomResolver::seeded(1);
         match resolver.resolve(&snap, &positive_request(0)) {
-            FrontierDecision::Positive(actions) => assert_eq!(actions, vec![PositiveAction::Expand]),
+            FrontierDecision::Positive(actions) => {
+                assert_eq!(actions, vec![PositiveAction::Expand])
+            }
             _ => panic!(),
         }
     }
@@ -266,7 +273,9 @@ mod tests {
         let db = view();
         let snap = db.snapshot(UpdateId::OMNISCIENT);
         match ExpandResolver.resolve(&snap, &positive_request(2)) {
-            FrontierDecision::Positive(actions) => assert_eq!(actions, vec![PositiveAction::Expand]),
+            FrontierDecision::Positive(actions) => {
+                assert_eq!(actions, vec![PositiveAction::Expand])
+            }
             _ => panic!(),
         }
         match ExpandResolver.resolve(&snap, &negative_request()) {
@@ -294,8 +303,14 @@ mod tests {
             FrontierDecision::Negative(vec![TupleId(2)]),
         ]);
         assert_eq!(scripted.remaining(), 2);
-        assert_eq!(scripted.resolve(&snap, &negative_request()), FrontierDecision::Negative(vec![TupleId(1)]));
-        assert_eq!(scripted.resolve(&snap, &negative_request()), FrontierDecision::Negative(vec![TupleId(2)]));
+        assert_eq!(
+            scripted.resolve(&snap, &negative_request()),
+            FrontierDecision::Negative(vec![TupleId(1)])
+        );
+        assert_eq!(
+            scripted.resolve(&snap, &negative_request()),
+            FrontierDecision::Negative(vec![TupleId(2)])
+        );
         assert_eq!(scripted.remaining(), 0);
     }
 

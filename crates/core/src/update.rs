@@ -416,7 +416,8 @@ impl UpdateExecution {
                 continue;
             }
             seen.push(*id);
-            let Some((atom_index, _, _)) = nf.candidates.iter().find(|(_, tid, _)| tid == id) else {
+            let Some((atom_index, _, _)) = nf.candidates.iter().find(|(_, tid, _)| tid == id)
+            else {
                 return Err(ChaseError::InvalidDecision(format!(
                     "tuple {id} is not a deletion candidate"
                 )));
@@ -491,9 +492,16 @@ impl UpdateExecution {
             } else {
                 deterministic = false;
             }
-            let own_fresh =
-                youtopia_storage::nulls_of(&data).into_iter().filter(|n| fresh_nulls.contains(n)).collect();
-            tuples.push(FrontierTuple { relation, values: data, fresh_nulls: own_fresh, candidates });
+            let own_fresh = youtopia_storage::nulls_of(&data)
+                .into_iter()
+                .filter(|n| fresh_nulls.contains(n))
+                .collect();
+            tuples.push(FrontierTuple {
+                relation,
+                values: data,
+                fresh_nulls: own_fresh,
+                candidates,
+            });
         }
 
         if deterministic {
@@ -630,7 +638,11 @@ mod tests {
             UpdateId(1),
             InitialOp::Insert {
                 relation: t,
-                values: vec![Value::constant("Niagara Falls"), Value::Null(x), Value::constant("Albany")],
+                values: vec![
+                    Value::constant("Niagara Falls"),
+                    Value::Null(x),
+                    Value::constant("Albany"),
+                ],
             },
         );
         let out = exec.step(&mut db, &set).unwrap();
@@ -649,7 +661,10 @@ mod tests {
         // Unify with the existing review: x is replaced by "ABC Tours".
         let target = pf.tuples[0].candidates[0].0;
         let reads = exec
-            .resolve_frontier(&set, FrontierDecision::Positive(vec![PositiveAction::Unify { with: target }]))
+            .resolve_frontier(
+                &set,
+                FrontierDecision::Positive(vec![PositiveAction::Unify { with: target }]),
+            )
             .unwrap();
         // x came from the witness (it is not fresh), so a null-occurrence
         // correction query is posed.
@@ -681,7 +696,11 @@ mod tests {
             UpdateId(1),
             InitialOp::Insert {
                 relation: t,
-                values: vec![Value::constant("Niagara Falls"), Value::Null(x), Value::constant("Albany")],
+                values: vec![
+                    Value::constant("Niagara Falls"),
+                    Value::Null(x),
+                    Value::constant("Albany"),
+                ],
             },
         );
         let out = exec.step(&mut db, &set).unwrap();
@@ -744,7 +763,8 @@ mod tests {
         db.insert_by_name("P", &["v"], UpdateId(0));
         let qt = db.insert_by_name("Q", &["v"], UpdateId(0));
 
-        let mut exec = UpdateExecution::new(UpdateId(1), InitialOp::Delete { relation: q, tuple: qt });
+        let mut exec =
+            UpdateExecution::new(UpdateId(1), InitialOp::Delete { relation: q, tuple: qt });
         let mut saw_frontier = false;
         while !exec.is_terminated() {
             let out = exec.step(&mut db, &set).unwrap();
@@ -764,7 +784,11 @@ mod tests {
             UpdateId(1),
             InitialOp::Insert {
                 relation: t,
-                values: vec![Value::constant("Niagara Falls"), Value::Null(x), Value::constant("Albany")],
+                values: vec![
+                    Value::constant("Niagara Falls"),
+                    Value::Null(x),
+                    Value::constant("Albany"),
+                ],
             },
         );
         let out = exec.step(&mut db, &set).unwrap();
@@ -784,7 +808,9 @@ mod tests {
         assert!(matches!(err, Err(ChaseError::InvalidDecision(_))));
         // The request survives invalid decisions and a valid one still works.
         assert!(exec.pending_frontier().is_some());
-        let FrontierRequest::Positive(pf) = exec.pending_frontier().unwrap().clone() else { panic!() };
+        let FrontierRequest::Positive(pf) = exec.pending_frontier().unwrap().clone() else {
+            panic!()
+        };
         exec.resolve_frontier(&set, FrontierDecision::expand_all(&pf)).unwrap();
         assert!(exec.pending_frontier().is_none());
     }
@@ -845,7 +871,8 @@ mod tests {
         let (mut db, set) = travel();
         let a = db.relation_id("A").unwrap();
         let lonely = db.insert_by_name("A", &["Rome", "Colosseum"], UpdateId(0));
-        let mut exec = UpdateExecution::new(UpdateId(1), InitialOp::Delete { relation: a, tuple: lonely });
+        let mut exec =
+            UpdateExecution::new(UpdateId(1), InitialOp::Delete { relation: a, tuple: lonely });
         let out = exec.step(&mut db, &set).unwrap();
         assert_eq!(out.new_violations, 0);
         assert_eq!(out.state, UpdateState::Terminated);

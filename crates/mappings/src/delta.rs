@@ -138,7 +138,10 @@ fn tuple_participates(
     false
 }
 
-fn overlay_with<'a, V: DataView + ?Sized>(view: &'a V, change: &TupleChange) -> OverlaySnapshot<'a, V> {
+fn overlay_with<'a, V: DataView + ?Sized>(
+    view: &'a V,
+    change: &TupleChange,
+) -> OverlaySnapshot<'a, V> {
     let overlay = OverlaySnapshot::new(view);
     match change {
         TupleChange::Inserted { relation, tuple, values } => {
@@ -151,7 +154,10 @@ fn overlay_with<'a, V: DataView + ?Sized>(view: &'a V, change: &TupleChange) -> 
     }
 }
 
-fn overlay_without<'a, V: DataView + ?Sized>(view: &'a V, change: &TupleChange) -> OverlaySnapshot<'a, V> {
+fn overlay_without<'a, V: DataView + ?Sized>(
+    view: &'a V,
+    change: &TupleChange,
+) -> OverlaySnapshot<'a, V> {
     let overlay = OverlaySnapshot::new(view);
     match change {
         TupleChange::Inserted { relation, tuple, .. } => overlay.hide(*relation, *tuple),
@@ -244,8 +250,11 @@ mod tests {
         };
         let changes = {
             let rel = db.relation_id("Unrelated").unwrap();
-            db.apply(&Write::Insert { relation: rel, values: vec![Value::constant("v")] }, UpdateId(1))
-                .unwrap()
+            db.apply(
+                &Write::Insert { relation: rel, values: vec![Value::constant("v")] },
+                UpdateId(1),
+            )
+            .unwrap()
         };
         let snap = db.snapshot(UpdateId::OMNISCIENT);
         assert!(!change_affects_query(&snap, &set, &query, &changes[0]));
@@ -289,7 +298,11 @@ mod tests {
         db.apply(
             &Write::Insert {
                 relation: t,
-                values: vec![Value::constant("Geneva Winery"), Value::Null(x), Value::constant("Rome")],
+                values: vec![
+                    Value::constant("Geneva Winery"),
+                    Value::Null(x),
+                    Value::constant("Rome"),
+                ],
             },
             UpdateId(0),
         )
@@ -298,7 +311,11 @@ mod tests {
         db.apply(
             &Write::Insert {
                 relation: r,
-                values: vec![Value::Null(x), Value::constant("Geneva Winery"), Value::constant("ok")],
+                values: vec![
+                    Value::Null(x),
+                    Value::constant("Geneva Winery"),
+                    Value::constant("ok"),
+                ],
             },
             UpdateId(0),
         )
@@ -308,7 +325,10 @@ mod tests {
             seed: ViolationSeed::Full,
         };
         let changes = db
-            .apply(&Write::NullReplace { null: x, replacement: Value::constant("New Co") }, UpdateId(1))
+            .apply(
+                &Write::NullReplace { null: x, replacement: Value::constant("New Co") },
+                UpdateId(1),
+            )
             .unwrap();
         assert_eq!(changes.len(), 2);
         let snap = db.snapshot(UpdateId::OMNISCIENT);

@@ -158,7 +158,8 @@ impl MappingGraph {
         st.components
             .into_iter()
             .filter(|c| {
-                c.len() > 1 || (c.len() == 1 && self.edges.get(&c[0]).is_some_and(|s| s.contains(&c[0])))
+                c.len() > 1
+                    || (c.len() == 1 && self.edges.get(&c[0]).is_some_and(|s| s.contains(&c[0])))
             })
             .collect()
     }

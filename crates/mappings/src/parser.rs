@@ -83,7 +83,9 @@ fn tokenize(input: &str) -> Result<Vec<Token>, MappingError> {
                     tokens.push(Token::Arrow);
                     i += 2;
                 } else {
-                    return Err(MappingError::Parse(format!("unexpected character `-` at offset {i}")));
+                    return Err(MappingError::Parse(format!(
+                        "unexpected character `-` at offset {i}"
+                    )));
                 }
             }
             '\'' | '"' => {
@@ -111,7 +113,9 @@ fn tokenize(input: &str) -> Result<Vec<Token>, MappingError> {
                 i = j;
             }
             other => {
-                return Err(MappingError::Parse(format!("unexpected character `{other}` at offset {i}")))
+                return Err(MappingError::Parse(format!(
+                    "unexpected character `{other}` at offset {i}"
+                )))
             }
         }
     }
@@ -147,7 +151,9 @@ impl<'a> Parser<'a> {
     fn parse_atom(&mut self) -> Result<Atom, MappingError> {
         let name = match self.bump() {
             Some(Token::Ident(name)) => name,
-            other => return Err(MappingError::Parse(format!("expected relation name, found {other:?}"))),
+            other => {
+                return Err(MappingError::Parse(format!("expected relation name, found {other:?}")))
+            }
         };
         let relation = self
             .catalog
@@ -167,7 +173,9 @@ impl<'a> Parser<'a> {
                 Some(Token::Comma) => continue,
                 Some(Token::RParen) => break,
                 other => {
-                    return Err(MappingError::Parse(format!("expected `,` or `)`, found {other:?}")))
+                    return Err(MappingError::Parse(format!(
+                        "expected `,` or `)`, found {other:?}"
+                    )))
                 }
             }
         }
@@ -227,7 +235,9 @@ pub fn parse_tgd(catalog: &Catalog, input: &str) -> Result<ParsedTgd, MappingErr
                     Some(Token::Comma) => continue,
                     Some(Token::Dot) => break,
                     other => {
-                        return Err(MappingError::Parse(format!("expected `,` or `.`, found {other:?}")))
+                        return Err(MappingError::Parse(format!(
+                            "expected `,` or `.`, found {other:?}"
+                        )))
                     }
                 }
             }
@@ -247,7 +257,11 @@ pub fn parse_tgd(catalog: &Catalog, input: &str) -> Result<ParsedTgd, MappingErr
 impl MappingSet {
     /// Parses a tgd and adds it to the set. Unnamed mappings are named
     /// `σ<index>`.
-    pub fn add_parsed(&mut self, catalog: &Catalog, input: &str) -> Result<MappingId, MappingError> {
+    pub fn add_parsed(
+        &mut self,
+        catalog: &Catalog,
+        input: &str,
+    ) -> Result<MappingId, MappingError> {
         let parsed = parse_tgd(catalog, input)?;
         let name = parsed.name.unwrap_or_else(|| format!("σ{}", self.len()));
         self.add(name, parsed.lhs, parsed.rhs)
@@ -355,7 +369,8 @@ mod tests {
     #[test]
     fn quoted_constants_may_contain_spaces() {
         let db = travel_catalog();
-        let parsed = parse_tgd(db.catalog(), "A(l, 'Geneva Winery') -> A(l, 'Geneva Winery')").unwrap();
+        let parsed =
+            parse_tgd(db.catalog(), "A(l, 'Geneva Winery') -> A(l, 'Geneva Winery')").unwrap();
         assert_eq!(parsed.lhs[0].terms[1], Term::Const(Value::constant("Geneva Winery")));
     }
 

@@ -354,7 +354,11 @@ mod tests {
         let mut set = MappingSet::new();
         // σ1: C(c) → ∃a,l S(a, l, c)
         let m1 = set
-            .add("σ1", vec![Atom::new(c, vec![v("c")])], vec![Atom::new(s, vec![v("a"), v("l"), v("c")])])
+            .add(
+                "σ1",
+                vec![Atom::new(c, vec![v("c")])],
+                vec![Atom::new(s, vec![v("a"), v("l"), v("c")])],
+            )
             .unwrap();
         // σ2: S(a, c, c2) → C(c) ∧ C(c2)
         let m2 = set

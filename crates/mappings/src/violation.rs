@@ -228,7 +228,11 @@ pub fn violations_from_change(
 }
 
 /// All violations of a single mapping on `view`.
-pub fn find_all_violations(view: &dyn DataView, mappings: &MappingSet, mapping: MappingId) -> Vec<Violation> {
+pub fn find_all_violations(
+    view: &dyn DataView,
+    mappings: &MappingSet,
+    mapping: MappingId,
+) -> Vec<Violation> {
     ViolationQuery { mapping, seed: ViolationSeed::Full }.evaluate(view, mappings)
 }
 
@@ -364,8 +368,7 @@ mod tests {
             .find(|(_, data)| data[0] == Value::constant("XYZ"))
             .map(|(id, _)| id)
             .unwrap();
-        let changes =
-            db.apply(&Write::Delete { relation: r, tuple: review }, UpdateId(1)).unwrap();
+        let changes = db.apply(&Write::Delete { relation: r, tuple: review }, UpdateId(1)).unwrap();
         let snap = db.snapshot(UpdateId::OMNISCIENT);
         let (_, violations) = violations_from_change(&snap, &set, &changes[0]);
         assert_eq!(violations.len(), 1);
@@ -525,7 +528,8 @@ mod tests {
             mapping: sigma4,
             seed: ViolationSeed::Lhs {
                 atom_index: 0,
-                values: vec![Value::constant("a"), Value::constant("b"), Value::constant("c")].into(),
+                values: vec![Value::constant("a"), Value::constant("b"), Value::constant("c")]
+                    .into(),
             },
         };
         let snap = db.snapshot(UpdateId::OMNISCIENT);

@@ -102,7 +102,11 @@ impl Database {
     /// * Null-replacement rewrites every tuple visible to the writer that
     ///   contains the null; the replacement may be a constant or another
     ///   labeled null (unification).
-    pub fn apply(&mut self, write: &Write, writer: UpdateId) -> Result<Vec<TupleChange>, StorageError> {
+    pub fn apply(
+        &mut self,
+        write: &Write,
+        writer: UpdateId,
+    ) -> Result<Vec<TupleChange>, StorageError> {
         match write {
             Write::Insert { relation, values } => {
                 let schema_arity = self.catalog.try_schema(*relation)?.arity();
@@ -118,8 +122,10 @@ impl Database {
                 let seq = self.next_seq();
                 let data: TupleData = values.clone().into();
                 self.register_nulls(tuple, &data);
-                self.store_mut(*relation)?
-                    .insert_new(tuple, TupleVersion { update: writer, seq, data: Some(data.clone()) });
+                self.store_mut(*relation)?.insert_new(
+                    tuple,
+                    TupleVersion { update: writer, seq, data: Some(data.clone()) },
+                );
                 self.tuple_locations.insert(tuple, *relation);
                 Ok(vec![TupleChange::Inserted { relation: *relation, tuple, values: data }])
             }
@@ -157,8 +163,10 @@ impl Database {
                     let new: TupleData = new_values.into();
                     let seq = self.next_seq();
                     self.register_nulls(tuple, &new);
-                    self.store_mut(relation)?
-                        .push_version(tuple, TupleVersion { update: writer, seq, data: Some(new.clone()) });
+                    self.store_mut(relation)?.push_version(
+                        tuple,
+                        TupleVersion { update: writer, seq, data: Some(new.clone()) },
+                    );
                     changes.push(TupleChange::Modified { relation, tuple, old, new });
                 }
                 Ok(changes)
@@ -208,7 +216,12 @@ impl Database {
     }
 
     /// Data of a tuple as visible to `reader`.
-    pub fn visible(&self, relation: RelationId, tuple: TupleId, reader: UpdateId) -> Option<TupleData> {
+    pub fn visible(
+        &self,
+        relation: RelationId,
+        tuple: TupleId,
+        reader: UpdateId,
+    ) -> Option<TupleData> {
         self.relations.get(relation.0 as usize).and_then(|s| s.visible(tuple, reader))
     }
 
@@ -239,7 +252,11 @@ impl Database {
     /// Tuples (across all relations) visible to `reader` that contain the
     /// labeled null `null`. This is the *correction query* "find all other
     /// tuples in the database containing x" of Section 4.2.
-    pub fn null_occurrences(&self, null: NullId, reader: UpdateId) -> Vec<(RelationId, TupleId, TupleData)> {
+    pub fn null_occurrences(
+        &self,
+        null: NullId,
+        reader: UpdateId,
+    ) -> Vec<(RelationId, TupleId, TupleData)> {
         let Some(set) = self.null_occurrences.get(&null) else { return Vec::new() };
         let mut out = Vec::new();
         for &tuple in set {
@@ -272,7 +289,8 @@ impl Database {
     /// `writer`. Panics on unknown relation names — intended for examples and
     /// tests.
     pub fn insert_by_name(&mut self, relation: &str, values: &[&str], writer: UpdateId) -> TupleId {
-        let rel = self.relation_id(relation).unwrap_or_else(|| panic!("unknown relation {relation}"));
+        let rel =
+            self.relation_id(relation).unwrap_or_else(|| panic!("unknown relation {relation}"));
         let write = Write::Insert {
             relation: rel,
             values: values.iter().map(|v| Value::constant(v)).collect(),
@@ -332,7 +350,8 @@ mod tests {
         let changes = db.apply(&Write::Delete { relation: r, tuple: t }, UpdateId(2)).unwrap();
         assert!(changes.is_empty());
         // Deleting an unknown id is also a no-op.
-        let changes = db.apply(&Write::Delete { relation: r, tuple: TupleId(999) }, UpdateId(2)).unwrap();
+        let changes =
+            db.apply(&Write::Delete { relation: r, tuple: TupleId(999) }, UpdateId(2)).unwrap();
         assert!(changes.is_empty());
     }
 
@@ -340,10 +359,16 @@ mod tests {
     fn null_replacement_rewrites_all_occurrences() {
         let (mut db, r) = db_one_relation(2);
         let x = db.fresh_null();
-        db.apply(&Write::Insert { relation: r, values: vec![V::Null(x), V::constant("k")] }, UpdateId(1))
-            .unwrap();
-        db.apply(&Write::Insert { relation: r, values: vec![V::constant("z"), V::Null(x)] }, UpdateId(1))
-            .unwrap();
+        db.apply(
+            &Write::Insert { relation: r, values: vec![V::Null(x), V::constant("k")] },
+            UpdateId(1),
+        )
+        .unwrap();
+        db.apply(
+            &Write::Insert { relation: r, values: vec![V::constant("z"), V::Null(x)] },
+            UpdateId(1),
+        )
+        .unwrap();
 
         let changes = db
             .apply(&Write::NullReplace { null: x, replacement: V::constant("NYC") }, UpdateId(1))

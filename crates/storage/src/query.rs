@@ -116,7 +116,11 @@ impl Atom {
     /// nulls). Repeated unbound variables receive the same fresh value within
     /// a single call only if the caller's `fresh` function memoises — the
     /// chase layer does this per violation.
-    pub fn instantiate(&self, bindings: &Bindings, mut fresh: impl FnMut(Symbol) -> Value) -> Vec<Value> {
+    pub fn instantiate(
+        &self,
+        bindings: &Bindings,
+        mut fresh: impl FnMut(Symbol) -> Value,
+    ) -> Vec<Value> {
         self.terms
             .iter()
             .map(|t| match t {
@@ -216,7 +220,11 @@ fn atom_score(view: &dyn DataView, atom: &Atom, bindings: &Bindings) -> (usize, 
     (usize::MAX - bound, view.relation_size(atom.relation))
 }
 
-fn candidate_tuples(view: &dyn DataView, atom: &Atom, bindings: &Bindings) -> Vec<(TupleId, TupleData)> {
+fn candidate_tuples(
+    view: &dyn DataView,
+    atom: &Atom,
+    bindings: &Bindings,
+) -> Vec<(TupleId, TupleData)> {
     // Use the first bound column as an index probe if there is one.
     for (col, term) in atom.terms.iter().enumerate() {
         if let Some(value) = bound_term_value(term, bindings) {
@@ -347,7 +355,7 @@ mod tests {
         let a = db.relation_id("A").unwrap();
         let atom = Atom::new(a, vec![Term::constant("Geneva"), var("n")]);
         let snap = db.snapshot(UpdateId::OMNISCIENT);
-        let matches = evaluate(&snap, &[atom.clone()], &Bindings::new(), None);
+        let matches = evaluate(&snap, std::slice::from_ref(&atom), &Bindings::new(), None);
         assert_eq!(matches.len(), 1);
         let atom2 = Atom::new(a, vec![Term::constant("Nowhere"), var("n")]);
         assert!(!satisfiable(&snap, &[atom2], &Bindings::new()));
@@ -362,7 +370,7 @@ mod tests {
         let mut seed = Bindings::new();
         seed.insert(Symbol::intern("c"), V::constant("XYZ"));
         let snap = db.snapshot(UpdateId::OMNISCIENT);
-        let matches = evaluate(&snap, &[atom.clone()], &seed, None);
+        let matches = evaluate(&snap, std::slice::from_ref(&atom), &seed, None);
         assert_eq!(matches.len(), 1);
         seed.insert(Symbol::intern("c"), V::constant("ABC"));
         assert!(evaluate(&snap, &[atom], &seed, None).is_empty());
@@ -380,10 +388,7 @@ mod tests {
         let snap = db.snapshot(UpdateId::OMNISCIENT);
         let matches = evaluate(&snap, &[atom], &Bindings::new(), None);
         assert_eq!(matches.len(), 1);
-        assert_eq!(
-            matches[0].bindings.get(&Symbol::intern("c")),
-            Some(&V::constant("Syracuse"))
-        );
+        assert_eq!(matches[0].bindings.get(&Symbol::intern("c")), Some(&V::constant("Syracuse")));
     }
 
     #[test]
@@ -416,7 +421,10 @@ mod tests {
         let r = db.relation_id("R").unwrap();
         let atom = Atom::new(r, vec![var("x")]);
         let snap = db.snapshot(UpdateId::OMNISCIENT);
-        assert_eq!(evaluate(&snap, &[atom.clone()], &Bindings::new(), Some(3)).len(), 3);
+        assert_eq!(
+            evaluate(&snap, std::slice::from_ref(&atom), &Bindings::new(), Some(3)).len(),
+            3
+        );
         assert_eq!(evaluate(&snap, &[atom], &Bindings::new(), None).len(), 10);
     }
 

@@ -107,7 +107,12 @@ impl RelationStore {
     ///
     /// Uses the column index as a candidate filter and re-checks against the
     /// visible version, so stale index entries are harmless.
-    pub fn candidates(&self, column: usize, value: Value, reader: UpdateId) -> Vec<(TupleId, TupleData)> {
+    pub fn candidates(
+        &self,
+        column: usize,
+        value: Value,
+        reader: UpdateId,
+    ) -> Vec<(TupleId, TupleData)> {
         let Some(bucket) = self.index.get(column).and_then(|m| m.get(&value)) else {
             return Vec::new();
         };

@@ -30,7 +30,12 @@ pub trait DataView {
     fn scan(&self, relation: RelationId) -> Vec<(TupleId, TupleData)>;
 
     /// Visible tuples of a relation whose value at `column` equals `value`.
-    fn candidates(&self, relation: RelationId, column: usize, value: Value) -> Vec<(TupleId, TupleData)>;
+    fn candidates(
+        &self,
+        relation: RelationId,
+        column: usize,
+        value: Value,
+    ) -> Vec<(TupleId, TupleData)>;
 
     /// Visible tuples (across relations) containing a labeled null.
     fn null_occurrences(&self, null: NullId) -> Vec<(RelationId, TupleId, TupleData)>;
@@ -78,7 +83,12 @@ impl DataView for Snapshot<'_> {
         self.db.scan(relation, self.reader)
     }
 
-    fn candidates(&self, relation: RelationId, column: usize, value: Value) -> Vec<(TupleId, TupleData)> {
+    fn candidates(
+        &self,
+        relation: RelationId,
+        column: usize,
+        value: Value,
+    ) -> Vec<(TupleId, TupleData)> {
         self.db.candidates(relation, column, value, self.reader)
     }
 
@@ -172,7 +182,12 @@ impl<V: DataView + ?Sized> DataView for OverlaySnapshot<'_, V> {
         rows
     }
 
-    fn candidates(&self, relation: RelationId, column: usize, value: Value) -> Vec<(TupleId, TupleData)> {
+    fn candidates(
+        &self,
+        relation: RelationId,
+        column: usize,
+        value: Value,
+    ) -> Vec<(TupleId, TupleData)> {
         let mut rows: Vec<(TupleId, TupleData)> = self
             .base
             .candidates(relation, column, value)
@@ -221,7 +236,9 @@ impl<V: DataView + ?Sized> DataView for OverlaySnapshot<'_, V> {
             .collect();
         for (id, (rel, ov)) in &self.overrides {
             if let TupleOverride::Present(data) = ov {
-                if crate::tuple::contains_null(data, null) && !rows.iter().any(|(_, rid, _)| rid == id) {
+                if crate::tuple::contains_null(data, null)
+                    && !rows.iter().any(|(_, rid, _)| rid == id)
+                {
                     rows.push((*rel, *id, data.clone()));
                 }
             }
@@ -313,8 +330,7 @@ mod tests {
         let overlay = OverlaySnapshot::new(&snap).hide(r, tid);
         assert!(overlay.null_occurrences(x).is_empty());
         // Overlay that rewrites the null away also drops the occurrence.
-        let overlay =
-            OverlaySnapshot::new(&snap).with_tuple(r, tid, vec![V::constant("c")].into());
+        let overlay = OverlaySnapshot::new(&snap).with_tuple(r, tid, vec![V::constant("c")].into());
         assert!(overlay.null_occurrences(x).is_empty());
     }
 }

@@ -89,7 +89,7 @@ pub fn nulls_of(values: &[Value]) -> Vec<NullId> {
 
 /// Returns `true` if `values` contains the labeled null `null`.
 pub fn contains_null(values: &[Value], null: NullId) -> bool {
-    values.iter().any(|v| *v == Value::Null(null))
+    values.contains(&Value::Null(null))
 }
 
 /// Applies a null substitution to a sequence of values, returning the rewritten

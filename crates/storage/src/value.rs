@@ -263,7 +263,9 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|i| {
                 std::thread::spawn(move || {
-                    (0..100).map(|j| Symbol::intern(&format!("c{}", (i * j) % 50)).raw()).sum::<u32>()
+                    (0..100)
+                        .map(|j| Symbol::intern(&format!("c{}", (i * j) % 50)).raw())
+                        .sum::<u32>()
                 })
             })
             .collect();

@@ -73,10 +73,7 @@ impl VersionChain {
     /// `(update, seq)` among versions created by updates with number ≤
     /// `reader`.
     pub fn visible(&self, reader: UpdateId) -> Option<&TupleVersion> {
-        self.versions
-            .iter()
-            .filter(|v| v.update <= reader)
-            .max_by_key(|v| (v.update, v.seq))
+        self.versions.iter().filter(|v| v.update <= reader).max_by_key(|v| (v.update, v.seq))
     }
 
     /// Returns the visible data (or `None` if the tuple is invisible or

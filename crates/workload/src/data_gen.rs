@@ -87,7 +87,10 @@ mod tests {
         let (db1, s1) = generate_initial_database(&config, &schema, &mappings).unwrap();
         let (db2, s2) = generate_initial_database(&config, &schema, &mappings).unwrap();
         assert_eq!(s1, s2);
-        assert_eq!(db1.total_visible(UpdateId::OMNISCIENT), db2.total_visible(UpdateId::OMNISCIENT));
+        assert_eq!(
+            db1.total_visible(UpdateId::OMNISCIENT),
+            db2.total_visible(UpdateId::OMNISCIENT)
+        );
     }
 
     #[test]

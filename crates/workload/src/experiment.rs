@@ -3,7 +3,9 @@
 
 use std::time::Instant;
 
-use youtopia_concurrency::{AveragedMetrics, ConcurrentRun, RunMetrics, SchedulerConfig, TrackerKind};
+use youtopia_concurrency::{
+    AveragedMetrics, ConcurrentRun, RunMetrics, SchedulerConfig, TrackerKind,
+};
 use youtopia_core::{ChaseError, RandomResolver};
 use youtopia_mappings::{satisfies_all, MappingSet};
 use youtopia_storage::{Database, UpdateId};
@@ -201,7 +203,10 @@ mod tests {
             assert!(results.precise_slowdown(m).is_some());
         }
         assert_eq!(results.abort_series(TrackerKind::Coarse).len(), config.mapping_counts.len());
-        assert_eq!(results.cascading_series(TrackerKind::Precise).len(), config.mapping_counts.len());
+        assert_eq!(
+            results.cascading_series(TrackerKind::Precise).len(),
+            config.mapping_counts.len()
+        );
         assert!(results.total_seconds > 0.0);
         assert_eq!(results.workload, WorkloadKind::AllInserts);
     }

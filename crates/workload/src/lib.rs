@@ -42,7 +42,8 @@ pub mod update_gen;
 pub use config::{ExperimentConfig, WorkloadKind};
 pub use data_gen::{generate_initial_database, InitialDataStats};
 pub use experiment::{
-    build_fixture, run_experiment, run_single, ExperimentFixture, ExperimentPoint, ExperimentResults,
+    build_fixture, run_experiment, run_single, ExperimentFixture, ExperimentPoint,
+    ExperimentResults,
 };
 pub use mapping_gen::{generate_mappings, mapping_stats, MappingSetStats};
 pub use report::{render_figure, to_csv};

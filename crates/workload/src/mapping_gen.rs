@@ -95,7 +95,9 @@ fn generate_one(
         let mut joined = atom_index == 0;
         for pos in 0..arity {
             let force_join = !joined && pos + 1 == arity && !prior_vars.is_empty();
-            if force_join || (atom_index > 0 && !prior_vars.is_empty() && rng.gen_bool(LHS_JOIN_PROB)) {
+            if force_join
+                || (atom_index > 0 && !prior_vars.is_empty() && rng.gen_bool(LHS_JOIN_PROB))
+            {
                 let var = *prior_vars.choose(rng).expect("non-empty");
                 terms.push(Term::Var(var));
                 joined = true;
@@ -200,9 +202,10 @@ pub fn mapping_stats(set: &MappingSet) -> MappingSetStats {
         if tgd.lhs.len() > 1 {
             multi_lhs += 1;
             let joined = tgd.lhs.iter().enumerate().any(|(i, a)| {
-                tgd.lhs.iter().enumerate().any(|(j, b)| {
-                    i < j && a.variables().iter().any(|v| b.variables().contains(v))
-                })
+                tgd.lhs
+                    .iter()
+                    .enumerate()
+                    .any(|(j, b)| i < j && a.variables().iter().any(|v| b.variables().contains(v)))
             });
             if joined {
                 with_joins += 1;

@@ -40,9 +40,7 @@ pub fn generate_schema(config: &ExperimentConfig) -> GeneratedSchema {
     let constants: Vec<Symbol> = (0..config.constant_pool)
         .map(|_| {
             let len = rng.gen_range(4..=8);
-            let s: String = (0..len)
-                .map(|_| char::from(b'a' + rng.gen_range(0..26u8)))
-                .collect();
+            let s: String = (0..len).map(|_| char::from(b'a' + rng.gen_range(0..26u8))).collect();
             Symbol::intern(&format!("k_{s}"))
         })
         .collect();

@@ -31,14 +31,12 @@ pub fn generate_workload(
     kind: WorkloadKind,
     variant: u64,
 ) -> Vec<InitialOp> {
-    let seed = config
-        .seed
-        .wrapping_mul(0xC2B2_AE35)
-        .wrapping_add(0x9E37 + variant)
-        .wrapping_add(match kind {
+    let seed = config.seed.wrapping_mul(0xC2B2_AE35).wrapping_add(0x9E37 + variant).wrapping_add(
+        match kind {
             WorkloadKind::AllInserts => 0,
             WorkloadKind::Mixed => 0x5DEECE66,
-        });
+        },
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let relation_ids: Vec<_> = schema.db.catalog().relation_ids().collect();
 
@@ -78,11 +76,13 @@ pub fn generate_workload(
         }
         // An entirely empty database degenerates to an extra insert so the
         // workload size stays fixed.
-        ops.push(op.unwrap_or_else(|| InitialOp::Insert {
-            relation: relation_ids[0],
-            values: (0..schema.db.schema(relation_ids[0]).arity())
-                .map(|_| schema.random_constant(&mut rng))
-                .collect(),
+        ops.push(op.unwrap_or_else(|| {
+            InitialOp::Insert {
+                relation: relation_ids[0],
+                values: (0..schema.db.schema(relation_ids[0]).arity())
+                    .map(|_| schema.random_constant(&mut rng))
+                    .collect(),
+            }
         }));
     }
     if kind == WorkloadKind::Mixed {

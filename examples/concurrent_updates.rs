@@ -80,11 +80,8 @@ fn run_with(tracker: TrackerKind) {
     // The "slow human" of Example 3.1: the negative frontier operation arrives
     // only after u2 has already inserted its excursion suggestion
     // (frontier_delay_rounds), and it chooses to delete the *tour*.
-    let config = SchedulerConfig {
-        tracker,
-        frontier_delay_rounds: 3,
-        ..SchedulerConfig::default()
-    };
+    let config =
+        SchedulerConfig { tracker, frontier_delay_rounds: 3, ..SchedulerConfig::default() };
     let mut run = ConcurrentRun::new(db, mappings, ops, 1, config);
     let mut user = ScriptedResolver::new([FrontierDecision::Negative(vec![tour])]);
     let metrics = run.run(&mut user).expect("the run terminates");
@@ -97,8 +94,7 @@ fn run_with(tracker: TrackerKind) {
     let (final_db, mappings, _) = run.into_parts();
     print_table(&final_db, "T");
     print_table(&final_db, "E");
-    let consistent =
-        youtopia::satisfies_all(&final_db.snapshot(UpdateId::OMNISCIENT), &mappings);
+    let consistent = youtopia::satisfies_all(&final_db.snapshot(UpdateId::OMNISCIENT), &mappings);
     println!("  final database satisfies all mappings: {consistent}");
     let e = final_db.relation_id("E").unwrap();
     let math_conf_suggestions = final_db

@@ -19,8 +19,8 @@
 use youtopia::chase::{ExchangeConfig, FrontierDecision, FrontierRequest, PositiveAction};
 use youtopia::mappings::is_weakly_acyclic;
 use youtopia::{
-    ChaseError, Database, DataView, ExpandResolver, FrontierResolver, MappingGraph, MappingSet,
-    UpdateExchange, UpdateId, UnifyResolver,
+    ChaseError, DataView, Database, ExpandResolver, FrontierResolver, MappingGraph, MappingSet,
+    UnifyResolver, UpdateExchange, UpdateId,
 };
 
 fn fresh_repository() -> (Database, MappingSet) {
@@ -106,11 +106,8 @@ fn main() {
     println!();
 
     println!("== The classical chase (always expand) never terminates ==");
-    let mut exchange = UpdateExchange::with_config(
-        db,
-        mappings,
-        ExchangeConfig { max_steps_per_update: 500 },
-    );
+    let mut exchange =
+        UpdateExchange::with_config(db, mappings, ExchangeConfig { max_steps_per_update: 500 });
     let mut classical = ExpandResolver;
     match exchange.insert_constants("Person", &["John"], &mut classical) {
         Err(ChaseError::StepLimitExceeded { limit, .. }) => {

@@ -14,7 +14,8 @@
 
 use youtopia::chase::{FrontierDecision, FrontierRequest};
 use youtopia::{
-    Database, DataView, MappingSet, RandomResolver, ScriptedResolver, UpdateExchange, UpdateId, Value,
+    DataView, Database, MappingSet, RandomResolver, ScriptedResolver, UpdateExchange, UpdateId,
+    Value,
 };
 
 fn print_relation(db: &Database, name: &str) {
@@ -88,9 +89,7 @@ fn main() {
     let mut user = RandomResolver::seeded(7);
 
     println!("== Example 1.1: ABC Tours starts running tours to Niagara Falls ==");
-    exchange
-        .insert_constants("T", &["Niagara Falls", "ABC Tours", "Toronto"], &mut user)
-        .unwrap();
+    exchange.insert_constants("T", &["Niagara Falls", "ABC Tours", "Toronto"], &mut user).unwrap();
     println!("σ3 fired; the review table now contains a placeholder:");
     print_relation(exchange.db(), "R");
     assert!(exchange.is_consistent());
@@ -106,7 +105,11 @@ fn main() {
         .next()
         .expect("Example 1.1 created a labeled null");
     exchange
-        .replace_null(placeholder_null, Value::constant("Spectacular — take the boat tour"), &mut user)
+        .replace_null(
+            placeholder_null,
+            Value::constant("Spectacular — take the boat tour"),
+            &mut user,
+        )
         .unwrap();
     print_relation(exchange.db(), "R");
     assert!(exchange.is_consistent());

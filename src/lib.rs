@@ -55,13 +55,14 @@ pub use youtopia_workload as workload;
 pub use youtopia_concurrency::{ConcurrentRun, RunMetrics, SchedulerConfig, TrackerKind};
 pub use youtopia_core::{
     ChaseError, ExpandResolver, FrontierDecision, FrontierRequest, FrontierResolver, InitialOp,
-    PositiveAction, RandomResolver, ScriptedResolver, UnifyResolver, UpdateExchange, UpdateExecution,
-    UpdateState,
+    PositiveAction, RandomResolver, ScriptedResolver, UnifyResolver, UpdateExchange,
+    UpdateExecution, UpdateState,
 };
 pub use youtopia_mappings::{
     find_violations, satisfies_all, MappingGraph, MappingSet, Tgd, Violation, ViolationKind,
 };
 pub use youtopia_storage::{
-    Database, DataView, NullId, RelationId, Snapshot, Symbol, Tuple, TupleId, UpdateId, Value, Write,
+    DataView, Database, NullId, RelationId, Snapshot, Symbol, Tuple, TupleId, UpdateId, Value,
+    Write,
 };
 pub use youtopia_workload::{run_experiment, ExperimentConfig, WorkloadKind};

@@ -155,7 +155,8 @@ fn example_3_1_concurrent_schedule_is_corrected_for_every_tracker() {
                 values: vec![Value::constant("Syracuse"), Value::constant("Math Conf")],
             },
         ];
-        let config = SchedulerConfig { tracker, frontier_delay_rounds: 3, ..SchedulerConfig::default() };
+        let config =
+            SchedulerConfig { tracker, frontier_delay_rounds: 3, ..SchedulerConfig::default() };
         let mut run = ConcurrentRun::new(db, mappings, ops, 100, config);
         let mut user = ScriptedResolver::new([FrontierDecision::Negative(vec![tour])]);
         let metrics = run.run(&mut user).unwrap();
@@ -231,8 +232,11 @@ fn frontier_requests_surface_provenance_to_the_user() {
 
     // Unifying resolves the unknown company to XYZ everywhere.
     let target = pf.tuples[0].candidates[0].0;
-    exec.resolve_frontier(&mappings, FrontierDecision::Positive(vec![PositiveAction::Unify { with: target }]))
-        .unwrap();
+    exec.resolve_frontier(
+        &mappings,
+        FrontierDecision::Positive(vec![PositiveAction::Unify { with: target }]),
+    )
+    .unwrap();
     while !exec.is_terminated() {
         exec.step(&mut db, &mappings).unwrap();
     }

@@ -1,0 +1,220 @@
+//! Offline, API-compatible stub of the parts of `criterion 0.5` this
+//! workspace uses. See `vendor/README.md` for scope and caveats.
+//!
+//! The stub really times the benchmark bodies (median over a handful of
+//! measured batches) and prints one line per benchmark, but performs no
+//! statistical analysis, warm-up calibration, plotting, or baseline
+//! comparison. It exists so `cargo bench` compiles and produces ballpark
+//! numbers offline; treat its output as indicative only.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many timed batches we take per benchmark; the median is reported.
+const MEASURED_BATCHES: usize = 7;
+
+/// Target wall-clock time per measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(20);
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string() }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's sampling is fixed.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, &mut f);
+        self
+    }
+
+    /// Runs a parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterisation of a benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { function: Some(function.into()), parameter: parameter.to_string() }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { function: None, parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(function) => write!(f, "{}/{}", function, self.parameter),
+            None => f.write_str(&self.parameter),
+        }
+    }
+}
+
+/// Hints for batch sizing in `iter_batched` (ignored by the stub's timer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Runs and times a benchmark body.
+pub struct Bencher {
+    /// Total time spent in measured routine invocations.
+    elapsed: Duration,
+    /// Number of measured routine invocations.
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the batch target is reached.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iterations += 1;
+            if start.elapsed() >= BATCH_TARGET {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iterations += 1;
+            if start.elapsed() >= BATCH_TARGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(id: &str, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // One untimed warm-up batch, then the measured batches.
+    let mut warmup = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+    f(&mut warmup);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(MEASURED_BATCHES);
+    for _ in 0..MEASURED_BATCHES {
+        let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+        f(&mut bencher);
+        if bencher.iterations > 0 {
+            per_iter.push(bencher.elapsed.as_secs_f64() / bencher.iterations as f64);
+        }
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0.0);
+    println!("{id:<60} {:>14}/iter", format_seconds(median));
+}
+
+fn format_seconds(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` / `cargo test` pass harness flags like `--bench`;
+            // the stub ignores them (it has no filtering).
+            $($group();)+
+        }
+    };
+}

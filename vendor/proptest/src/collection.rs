@@ -1,0 +1,48 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification for collection strategies: either an exact size or
+/// a half-open range of sizes.
+#[derive(Clone, Debug)]
+pub struct SizeRange(Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> SizeRange {
+        SizeRange(exact..exact + 1)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> SizeRange {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange(range)
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// The result of [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.rng.gen_range(self.size.0.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
