@@ -50,6 +50,8 @@ impl Default for FigureOptions {
 /// * `--seed N` — override the base random seed.
 /// * `--no-naive` — skip the `NAIVE` tracker (it dominates run time at higher
 ///   densities).
+/// * `--threads N` — worker threads for the sweep (0 = one per core, the
+///   default). Results are identical at any thread count.
 /// * `--csv` — also print CSV output.
 pub fn parse_figure_options<I: IntoIterator<Item = String>>(
     args: I,
@@ -76,6 +78,11 @@ pub fn parse_figure_options<I: IntoIterator<Item = String>>(
                 let value = iter.next().ok_or("--seed needs a value")?;
                 options.config.seed =
                     value.parse().map_err(|_| format!("bad --seed value `{value}`"))?;
+            }
+            "--threads" => {
+                let value = iter.next().ok_or("--threads needs a value")?;
+                options.config.worker_threads =
+                    value.parse().map_err(|_| format!("bad --threads value `{value}`"))?;
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -153,6 +160,14 @@ mod tests {
         let options = parse_figure_options(args(&["--no-naive", "--csv"])).unwrap();
         assert_eq!(options.trackers, vec![TrackerKind::Coarse, TrackerKind::Precise]);
         assert!(options.csv);
+    }
+
+    #[test]
+    fn threads_flag_sets_worker_count() {
+        let options = parse_figure_options(args(&["--threads", "3"])).unwrap();
+        assert_eq!(options.config.worker_threads, 3);
+        assert!(parse_figure_options(args(&["--threads", "x"])).is_err());
+        assert!(parse_figure_options(args(&["--threads"])).is_err());
     }
 
     #[test]

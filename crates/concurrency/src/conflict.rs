@@ -38,9 +38,35 @@ pub fn change_conflicts_with_reader(
     reads.iter().any(|q| q.affected_by(&snapshot, mappings, change))
 }
 
+/// The relation-keyed variant of the Algorithm 4 inner check: does `change`
+/// retroactively affect any stored read query of `reader`? Only the queries
+/// whose footprint touches the changed relation (plus the wildcards) are
+/// evaluated — the others cannot be affected. Shared by the scheduler's
+/// abort collection and [`direct_conflicts`].
+pub fn change_conflicts_with_reader_keyed(
+    db: &Database,
+    mappings: &MappingSet,
+    change: &TupleChange,
+    reader: UpdateId,
+    read_log: &ReadLog,
+) -> bool {
+    // The reader's own snapshot is the context in which its queries were (and
+    // would be re-) evaluated.
+    let snapshot = db.snapshot(reader);
+    read_log
+        .reads_touching(reader, change.relation())
+        .any(|q| q.affected_by(&snapshot, mappings, change))
+}
+
 /// Finds every direct conflict caused by the given changes of `writer`
 /// (Algorithm 4: "for all writes w performed by the step, for all stored read
 /// queries q of updates numbered i > j …").
+///
+/// The read log is keyed by relation, so for each change only the readers
+/// whose stored queries touch the changed relation (plus the wildcard
+/// readers) are consulted — not every higher-numbered reader. Queries that
+/// cannot read the changed relation can never be retroactively affected, so
+/// the keyed walk finds exactly the conflicts the exhaustive one would.
 pub fn direct_conflicts(
     db: &Database,
     mappings: &MappingSet,
@@ -49,11 +75,9 @@ pub fn direct_conflicts(
     read_log: &ReadLog,
 ) -> Vec<DirectConflict> {
     let mut conflicts = Vec::new();
-    let readers = read_log.readers_above(writer);
     for (change_index, change) in changes.iter().enumerate() {
-        for &reader in &readers {
-            let reads = read_log.reads_of(reader);
-            if change_conflicts_with_reader(db, mappings, change, reader, reads) {
+        for reader in read_log.readers_above_touching(writer, change.relation()) {
+            if change_conflicts_with_reader_keyed(db, mappings, change, reader, read_log) {
                 conflicts.push(DirectConflict { writer, reader, change_index });
             }
         }
@@ -93,6 +117,7 @@ mod tests {
                 mapping: sigma3,
                 seed: ViolationSeed::Full,
             })],
+            &mappings,
         );
 
         // Update 1 (lower number) deletes the review.
@@ -114,6 +139,7 @@ mod tests {
                 mapping: sigma3,
                 seed: ViolationSeed::Full,
             })],
+            &mappings,
         );
         assert!(direct_conflicts(&db, &mappings, UpdateId(1), &changes, &low_log).is_empty());
     }
@@ -135,6 +161,7 @@ mod tests {
                 mapping: sigma1,
                 seed: ViolationSeed::Full,
             })],
+            &mappings,
         );
 
         let other = db.relation_id("Other").unwrap();

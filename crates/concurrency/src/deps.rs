@@ -196,8 +196,11 @@ impl DependencyTracker for CoarseTracker {
                 }
             } else {
                 // Correction queries: exact, computed from the in-memory write
-                // log without touching the database.
-                for (w, change) in write_log.changes_before(reader) {
+                // log without touching the database. The relation-keyed log
+                // hands back only the changes the query could read.
+                for (w, change) in
+                    write_log.changes_before_touching(reader, &read.relations_read(mappings))
+                {
                     if read.affected_by(view, mappings, change) {
                         entry.insert(w.update);
                     }
@@ -253,7 +256,13 @@ impl DependencyTracker for PreciseTracker {
     ) {
         let entry = self.deps.entry(reader).or_default();
         for read in reads {
-            for (w, change) in write_log.changes_before(reader) {
+            // A query's dependencies can only come from writes to relations it
+            // reads; the relation-keyed write log skips everything else. An
+            // empty footprint (null-occurrence queries) falls back to the full
+            // log.
+            for (w, change) in
+                write_log.changes_before_touching(reader, &read.relations_read(mappings))
+            {
                 if entry.contains(&w.update) {
                     continue;
                 }

@@ -45,7 +45,10 @@ pub mod log;
 pub mod metrics;
 pub mod scheduler;
 
-pub use conflict::{change_conflicts_with_reader, direct_conflicts, DirectConflict};
+pub use conflict::{
+    change_conflicts_with_reader, change_conflicts_with_reader_keyed, direct_conflicts,
+    DirectConflict,
+};
 pub use deps::{
     CoarseTracker, DependencyTracker, HybridTracker, NaiveTracker, PreciseTracker, TrackerKind,
 };

@@ -17,7 +17,7 @@ use youtopia_core::{
 use youtopia_mappings::MappingSet;
 use youtopia_storage::{Database, TupleChange, UpdateId};
 
-use crate::conflict::change_conflicts_with_reader;
+use crate::conflict::change_conflicts_with_reader_keyed;
 use crate::deps::{DependencyTracker, TrackerKind};
 use crate::log::{ReadLog, WriteLog};
 use crate::metrics::RunMetrics;
@@ -144,12 +144,6 @@ impl ConcurrentRun {
             if self.slots.iter().all(|s| s.exec.is_terminated()) {
                 break;
             }
-            if self.metrics.steps > self.config.max_total_steps {
-                return Err(ChaseError::StepLimitExceeded {
-                    update: UpdateId(0),
-                    limit: self.config.max_total_steps,
-                });
-            }
             let mut progressed = false;
             for idx in 0..self.slots.len() {
                 match self.slots[idx].exec.state() {
@@ -201,6 +195,14 @@ impl ConcurrentRun {
 
     fn run_ready_slot(&mut self, idx: usize) -> Result<(), ChaseError> {
         loop {
+            // Safety valve: checked per step so the error names the update
+            // that was actually stepping when the limit tripped.
+            if self.metrics.steps >= self.config.max_total_steps {
+                return Err(ChaseError::StepLimitExceeded {
+                    update: self.slots[idx].exec.id(),
+                    limit: self.config.max_total_steps,
+                });
+            }
             let outcome = {
                 let slot = &mut self.slots[idx];
                 slot.exec.step(&mut self.db, &self.mappings)?
@@ -243,22 +245,31 @@ impl ConcurrentRun {
             let snap = self.db.snapshot(reader);
             self.tracker.record_reads(reader, &reads, &self.write_log, &snap, &self.mappings);
         }
-        self.read_log.record(reader, reads);
+        self.read_log.record(reader, reads, &self.mappings);
     }
 
     /// Computes the consolidated abort set caused by a step's changes: direct
     /// conflicts plus the transitive read-dependents of each directly
     /// conflicting update. Also accounts the request metrics.
+    ///
+    /// The read log is keyed by relation, so each change only consults the
+    /// readers whose stored queries touch the changed relation (plus the
+    /// wildcard readers) instead of every higher-numbered reader.
     fn collect_aborts(&mut self, writer: UpdateId, changes: &[TupleChange]) -> BTreeSet<UpdateId> {
         let mut pending: BTreeSet<UpdateId> = BTreeSet::new();
         if changes.is_empty() {
             return pending;
         }
-        let readers = self.read_log.readers_above(writer);
         for change in changes {
-            for &reader in &readers {
-                let reads = self.read_log.reads_of(reader);
-                if !change_conflicts_with_reader(&self.db, &self.mappings, change, reader, reads) {
+            let relation = change.relation();
+            for reader in self.read_log.readers_above_touching(writer, relation) {
+                if !change_conflicts_with_reader_keyed(
+                    &self.db,
+                    &self.mappings,
+                    change,
+                    reader,
+                    &self.read_log,
+                ) {
                     continue;
                 }
                 self.metrics.direct_conflict_requests += 1;

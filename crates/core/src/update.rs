@@ -210,9 +210,11 @@ impl UpdateExecution {
         self.stats.steps += 1;
 
         // 1. Perform the writes scheduled by the previous step (or the initial
-        //    user operation).
+        //    user operation). The write set is handed over wholesale so the
+        //    batch fast path can move the writes into the log records instead
+        //    of cloning them.
         let writes = std::mem::take(&mut self.pending_writes);
-        let applied = db.apply_all(&writes, self.id)?;
+        let applied = db.apply_all_owned(writes, self.id)?;
         self.stats.changes += applied.iter().map(|w| w.changes.len()).sum::<usize>();
 
         let mut reads: Vec<ReadQuery> = Vec::new();

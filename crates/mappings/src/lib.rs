@@ -30,6 +30,7 @@ pub mod delta;
 pub mod error;
 pub mod graph;
 pub mod parser;
+pub mod plans;
 pub mod tgd;
 pub mod violation;
 
@@ -37,8 +38,10 @@ pub use delta::{change_affects_query, evaluate_with_change, evaluate_without_cha
 pub use error::MappingError;
 pub use graph::{is_weakly_acyclic, MappingGraph};
 pub use parser::{parse_tgd, ParsedTgd};
+pub use plans::{CompiledPlans, PlanRef};
 pub use tgd::{MappingId, MappingSet, Tgd};
 pub use violation::{
-    find_all_violations, find_violations, satisfies_all, violation_queries_for_change,
-    violations_from_change, Violation, ViolationKind, ViolationQuery, ViolationSeed,
+    find_all_violations, find_violations, replan_violation_queries_for_change, satisfies_all,
+    violation_queries_for_change, violations_from_change, Violation, ViolationKind, ViolationQuery,
+    ViolationSeed,
 };

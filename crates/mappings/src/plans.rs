@@ -1,0 +1,162 @@
+//! Compiled violation plans: precompiled per-(mapping, atom) violation-query
+//! skeletons with a relation → affected-plans index.
+//!
+//! The chase poses one violation query per (mapping, atom position) the
+//! changed relation occurs in (Section 4.2). Rediscovering those positions on
+//! every [`TupleChange`](youtopia_storage::TupleChange) — walk the mappings
+//! whose side mentions the relation, then walk each mapping's atoms — is pure
+//! re-planning work that depends only on the mapping set, not on the change.
+//! [`CompiledPlans`] hoists it out of the hot path: when a mapping is added,
+//! every (mapping, atom) pair is compiled once into a [`PlanRef`] and filed
+//! under its relation, so a change dispatches straight to the plans that can
+//! possibly fire with two hash lookups.
+//!
+//! The cache is owned by [`MappingSet`] and kept in sync by
+//! [`MappingSet::add`]; `violation_queries_for_change` is the consumer.
+
+use std::collections::HashMap;
+
+use youtopia_storage::RelationId;
+
+use crate::tgd::{MappingId, Tgd};
+
+/// A precompiled violation-query skeleton: everything about one
+/// (mapping, atom position) pair that does not depend on the seeding tuple.
+/// Instantiating the skeleton with a written (or vanished) tuple's values
+/// yields the concrete [`ViolationQuery`](crate::ViolationQuery).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanRef {
+    /// The mapping to check.
+    pub mapping: MappingId,
+    /// The atom position (within the LHS for appearing tuples, within the RHS
+    /// for vanishing tuples) the seed tuple binds.
+    pub atom_index: usize,
+    /// Arity of the atom — a seed whose arity differs can never match, so
+    /// callers may use this as a zero-cost pre-filter.
+    pub arity: usize,
+}
+
+/// The relation → affected-plans index for a whole mapping set.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CompiledPlans {
+    /// Plans fired by a tuple *appearing* in the relation (LHS seeds).
+    lhs_by_relation: HashMap<RelationId, Vec<PlanRef>>,
+    /// Plans fired by a tuple *vanishing* from the relation (RHS seeds).
+    rhs_by_relation: HashMap<RelationId, Vec<PlanRef>>,
+    /// Total number of compiled plans (diagnostics).
+    plan_count: usize,
+}
+
+impl CompiledPlans {
+    /// Compiles every (mapping, atom) pair of `tgds` into an indexed plan set.
+    pub fn compile<'a>(tgds: impl IntoIterator<Item = &'a Tgd>) -> CompiledPlans {
+        let mut plans = CompiledPlans::default();
+        for tgd in tgds {
+            plans.add_mapping(tgd);
+        }
+        plans
+    }
+
+    /// Compiles and files the plans of one additional mapping. Plans are
+    /// appended in (mapping insertion, atom position) order, which is exactly
+    /// the order the uncompiled re-planning path discovers them in — so the
+    /// two paths produce identical query sequences.
+    pub(crate) fn add_mapping(&mut self, tgd: &Tgd) {
+        for (atom_index, atom) in tgd.lhs.iter().enumerate() {
+            self.lhs_by_relation.entry(atom.relation).or_default().push(PlanRef {
+                mapping: tgd.id,
+                atom_index,
+                arity: atom.terms.len(),
+            });
+            self.plan_count += 1;
+        }
+        for (atom_index, atom) in tgd.rhs.iter().enumerate() {
+            self.rhs_by_relation.entry(atom.relation).or_default().push(PlanRef {
+                mapping: tgd.id,
+                atom_index,
+                arity: atom.terms.len(),
+            });
+            self.plan_count += 1;
+        }
+    }
+
+    /// Plans that can fire when a tuple of `relation` appears (insert or
+    /// post-modification image).
+    pub fn lhs_plans(&self, relation: RelationId) -> &[PlanRef] {
+        self.lhs_by_relation.get(&relation).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Plans that can fire when a tuple of `relation` vanishes (delete or
+    /// pre-modification image).
+    pub fn rhs_plans(&self, relation: RelationId) -> &[PlanRef] {
+        self.rhs_by_relation.get(&relation).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of compiled plans.
+    pub fn len(&self) -> usize {
+        self.plan_count
+    }
+
+    /// Whether no plans are compiled at all.
+    pub fn is_empty(&self) -> bool {
+        self.plan_count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tgd::MappingSet;
+    use youtopia_storage::Database;
+
+    fn travel() -> (Database, MappingSet) {
+        let mut db = Database::new();
+        db.add_relation("A", ["location", "name"]).unwrap();
+        db.add_relation("T", ["attraction", "company", "tour_start"]).unwrap();
+        db.add_relation("R", ["company", "attraction", "review"]).unwrap();
+        let mut set = MappingSet::new();
+        set.add_parsed_many(
+            db.catalog(),
+            "
+            sigma3: A(l, n) & T(n, c, cs) -> exists r. R(c, n, r)
+            copy: R(c, n, r) -> R(c, n, r)
+            ",
+        )
+        .unwrap();
+        (db, set)
+    }
+
+    #[test]
+    fn plans_index_every_atom_under_its_relation() {
+        let (db, set) = travel();
+        let plans = set.plans();
+        let a = db.relation_id("A").unwrap();
+        let t = db.relation_id("T").unwrap();
+        let r = db.relation_id("R").unwrap();
+        let sigma3 = set.by_name("sigma3").unwrap().id;
+        let copy = set.by_name("copy").unwrap().id;
+
+        assert_eq!(plans.lhs_plans(a), &[PlanRef { mapping: sigma3, atom_index: 0, arity: 2 }]);
+        assert_eq!(plans.lhs_plans(t), &[PlanRef { mapping: sigma3, atom_index: 1, arity: 3 }]);
+        // R occurs on σ3's RHS and on both sides of `copy`.
+        assert_eq!(plans.lhs_plans(r), &[PlanRef { mapping: copy, atom_index: 0, arity: 3 }]);
+        assert_eq!(
+            plans.rhs_plans(r),
+            &[
+                PlanRef { mapping: sigma3, atom_index: 0, arity: 3 },
+                PlanRef { mapping: copy, atom_index: 0, arity: 3 },
+            ]
+        );
+        // 2 LHS + 1 RHS atoms of σ3, 1 + 1 of copy.
+        assert_eq!(plans.len(), 5);
+        assert!(!plans.is_empty());
+        assert!(CompiledPlans::default().is_empty());
+    }
+
+    #[test]
+    fn compile_matches_incremental_construction() {
+        let (_, set) = travel();
+        let from_scratch = CompiledPlans::compile(set.iter());
+        assert_eq!(&from_scratch, set.plans());
+    }
+}

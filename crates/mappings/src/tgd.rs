@@ -11,6 +11,7 @@ use std::fmt;
 use youtopia_storage::{Atom, Catalog, RelationId, Symbol};
 
 use crate::error::MappingError;
+use crate::plans::CompiledPlans;
 
 /// Identifier of a mapping within a [`MappingSet`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -158,12 +159,14 @@ fn dedup_relations(atoms: &[Atom]) -> Vec<RelationId> {
     rels
 }
 
-/// A set of mappings with per-relation indexes.
+/// A set of mappings with per-relation indexes and a compiled-plan cache.
 #[derive(Clone, Debug, Default)]
 pub struct MappingSet {
     tgds: Vec<Tgd>,
     lhs_index: HashMap<RelationId, Vec<MappingId>>,
     rhs_index: HashMap<RelationId, Vec<MappingId>>,
+    /// Precompiled violation-query skeletons, kept in sync by [`MappingSet::add`].
+    plans: CompiledPlans,
 }
 
 impl MappingSet {
@@ -187,6 +190,7 @@ impl MappingSet {
         for rel in tgd.rhs_relations() {
             self.rhs_index.entry(rel).or_default().push(id);
         }
+        self.plans.add_mapping(&tgd);
         self.tgds.push(tgd);
         Ok(id)
     }
@@ -231,6 +235,14 @@ impl MappingSet {
     /// new RHS-violations when a tuple of that relation disappears).
     pub fn with_rhs_relation(&self, relation: RelationId) -> &[MappingId] {
         self.rhs_index.get(&relation).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The compiled violation plans of this set: per-(mapping, atom) query
+    /// skeletons indexed by relation, precompiled when mappings are added so
+    /// that each [`TupleChange`](youtopia_storage::TupleChange) dispatches
+    /// straight to the plans that can possibly fire.
+    pub fn plans(&self) -> &CompiledPlans {
+        &self.plans
     }
 
     /// Validates every mapping against the catalog.

@@ -166,7 +166,46 @@ impl ViolationQuery {
 /// `change` (Section 4.2): one query per (mapping, atom position) that the
 /// changed relation occurs in. Modifications are conservatively treated as a
 /// delete followed by an insert.
+///
+/// The (mapping, atom) pairs come from the [`CompiledPlans`] cache owned by
+/// the mapping set — instantiating a skeleton with the changed tuple's values
+/// is the only per-change work. [`replan_violation_queries_for_change`] is the
+/// uncompiled reference path; the two must always agree (enforced by the
+/// `plan_equivalence` differential test suite).
+///
+/// [`CompiledPlans`]: crate::plans::CompiledPlans
 pub fn violation_queries_for_change(
+    mappings: &MappingSet,
+    change: &TupleChange,
+) -> Vec<ViolationQuery> {
+    let plans = mappings.plans();
+    let relation = change.relation();
+    let mut queries = Vec::new();
+    if let Some(values) = change.appeared() {
+        for plan in plans.lhs_plans(relation) {
+            queries.push(ViolationQuery {
+                mapping: plan.mapping,
+                seed: ViolationSeed::Lhs { atom_index: plan.atom_index, values: values.clone() },
+            });
+        }
+    }
+    if let Some(values) = change.vanished() {
+        for plan in plans.rhs_plans(relation) {
+            queries.push(ViolationQuery {
+                mapping: plan.mapping,
+                seed: ViolationSeed::Rhs { atom_index: plan.atom_index, values: values.clone() },
+            });
+        }
+    }
+    queries
+}
+
+/// The uncompiled re-planning path: rediscovers the (mapping, atom) pairs for
+/// every change by walking the per-relation mapping indexes and each mapping's
+/// atoms. Retained as the reference implementation for differential testing of
+/// the compiled-plan cache; production code uses
+/// [`violation_queries_for_change`].
+pub fn replan_violation_queries_for_change(
     mappings: &MappingSet,
     change: &TupleChange,
 ) -> Vec<ViolationQuery> {

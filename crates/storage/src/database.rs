@@ -1,10 +1,12 @@
-//! The Youtopia database: catalog, versioned relations, write application.
+//! The Youtopia database: catalog, id allocation and write application on top
+//! of the [`VersionStore`].
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use crate::error::StorageError;
 use crate::schema::{Catalog, RelationId, RelationSchema};
 use crate::snapshot::Snapshot;
+use crate::store::VersionStore;
 use crate::tuple::{self, TupleData, TupleId};
 use crate::value::{NullId, Value};
 use crate::version::{AppliedWrite, TupleChange, TupleVersion, UpdateId, VersionChain, Write};
@@ -12,20 +14,17 @@ use crate::version::{AppliedWrite, TupleChange, TupleVersion, UpdateId, VersionC
 /// An in-memory relational database with labeled nulls and multiversion
 /// tuples.
 ///
-/// This is the storage substrate underneath Youtopia's update exchange. All
-/// mutation goes through [`Database::apply`], which stamps the resulting tuple
-/// versions with the writing update's priority number; readers observe the
-/// database through [`Database::snapshot`], which implements the visibility
-/// rule of Section 4.1.
+/// This is the storage substrate underneath Youtopia's update exchange. The
+/// database owns the catalog and the id allocators; all tuple data lives in a
+/// [`VersionStore`]. All mutation goes through [`Database::apply`] (or the
+/// batched [`Database::apply_all`] / [`Database::apply_all_owned`]), which
+/// stamps the resulting tuple versions with the writing update's priority
+/// number; readers observe the database through [`Database::snapshot`], which
+/// implements the visibility rule of Section 4.1.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
     catalog: Catalog,
-    relations: Vec<crate::relation::RelationStore>,
-    /// Which relation each tuple id belongs to.
-    tuple_locations: HashMap<TupleId, RelationId>,
-    /// Tuples whose some version contains a given labeled null
-    /// (stale-tolerant: lookups re-check visible data).
-    null_occurrences: HashMap<NullId, BTreeSet<TupleId>>,
+    store: VersionStore,
     next_tuple: u64,
     next_null: u64,
     next_seq: u64,
@@ -45,13 +44,18 @@ impl Database {
     ) -> Result<RelationId, StorageError> {
         let id = self.catalog.add_relation(name, attributes)?;
         let arity = self.catalog.schema(id).arity();
-        self.relations.push(crate::relation::RelationStore::new(id, arity));
+        self.store.add_relation(id, arity);
         Ok(id)
     }
 
     /// The catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The underlying version store (read access for diagnostics and tools).
+    pub fn version_store(&self) -> &VersionStore {
+        &self.store
     }
 
     /// Schema of a relation.
@@ -82,17 +86,6 @@ impl Database {
         s
     }
 
-    fn store(&self, relation: RelationId) -> Result<&crate::relation::RelationStore, StorageError> {
-        self.relations.get(relation.0 as usize).ok_or(StorageError::UnknownRelation(relation))
-    }
-
-    fn store_mut(
-        &mut self,
-        relation: RelationId,
-    ) -> Result<&mut crate::relation::RelationStore, StorageError> {
-        self.relations.get_mut(relation.0 as usize).ok_or(StorageError::UnknownRelation(relation))
-    }
-
     /// Applies a logical write on behalf of `writer`, returning the concrete
     /// per-tuple changes.
     ///
@@ -121,16 +114,18 @@ impl Database {
                 self.next_tuple += 1;
                 let seq = self.next_seq();
                 let data: TupleData = values.clone().into();
-                self.register_nulls(tuple, &data);
-                self.store_mut(*relation)?.insert_new(
+                self.store.insert_new(
+                    *relation,
                     tuple,
                     TupleVersion { update: writer, seq, data: Some(data.clone()) },
                 );
-                self.tuple_locations.insert(tuple, *relation);
                 Ok(vec![TupleChange::Inserted { relation: *relation, tuple, values: data }])
             }
             Write::Delete { relation, tuple } => {
-                let store = self.store(*relation)?;
+                let store = self
+                    .store
+                    .relation(*relation)
+                    .ok_or(StorageError::UnknownRelation(*relation))?;
                 if !store.contains(*tuple) {
                     // Tuple id never existed in this relation.
                     return Ok(Vec::new());
@@ -140,30 +135,29 @@ impl Database {
                     return Ok(Vec::new());
                 };
                 let seq = self.next_seq();
-                self.store_mut(*relation)?
-                    .push_version(*tuple, TupleVersion { update: writer, seq, data: None });
+                self.store.push_version(
+                    *relation,
+                    *tuple,
+                    TupleVersion { update: writer, seq, data: None },
+                );
                 Ok(vec![TupleChange::Deleted { relation: *relation, tuple: *tuple, old }])
             }
             Write::NullReplace { null, replacement } => {
                 let mut subst = HashMap::new();
                 subst.insert(*null, *replacement);
-                let affected: Vec<TupleId> = self
-                    .null_occurrences
-                    .get(null)
-                    .map(|s| s.iter().copied().collect())
-                    .unwrap_or_default();
+                let affected = self.store.tuples_mentioning(*null);
                 let mut changes = Vec::new();
                 for tuple in affected {
-                    let Some(&relation) = self.tuple_locations.get(&tuple) else { continue };
-                    let Some(old) = self.store(relation)?.visible(tuple, writer) else { continue };
+                    let Some(relation) = self.store.tuple_relation(tuple) else { continue };
+                    let Some(old) = self.store.visible(relation, tuple, writer) else { continue };
                     let (new_values, changed) = tuple::substitute_nulls(&old, &subst);
                     if !changed {
                         continue;
                     }
                     let new: TupleData = new_values.into();
                     let seq = self.next_seq();
-                    self.register_nulls(tuple, &new);
-                    self.store_mut(relation)?.push_version(
+                    self.store.push_version(
+                        relation,
                         tuple,
                         TupleVersion { update: writer, seq, data: Some(new.clone()) },
                     );
@@ -181,33 +175,33 @@ impl Database {
         writes: &[Write],
         writer: UpdateId,
     ) -> Result<Vec<AppliedWrite>, StorageError> {
+        self.apply_all_owned(writes.to_vec(), writer)
+    }
+
+    /// Batch-apply fast path for multi-write chase steps: takes ownership of
+    /// the write set so the logged [`AppliedWrite`] records reuse the writes
+    /// instead of cloning every value vector a second time. The chase hands
+    /// its pending writes over wholesale each step, which makes this the hot
+    /// write entry point.
+    pub fn apply_all_owned(
+        &mut self,
+        writes: Vec<Write>,
+        writer: UpdateId,
+    ) -> Result<Vec<AppliedWrite>, StorageError> {
         let mut out = Vec::with_capacity(writes.len());
         for w in writes {
             let seq = self.next_seq;
-            let changes = self.apply(w, writer)?;
-            out.push(AppliedWrite { update: writer, seq, write: w.clone(), changes });
+            let changes = self.apply(&w, writer)?;
+            out.push(AppliedWrite { update: writer, seq, write: w, changes });
         }
         Ok(out)
-    }
-
-    fn register_nulls(&mut self, tuple: TupleId, data: &TupleData) {
-        for null in tuple::nulls_of(data) {
-            self.null_occurrences.entry(null).or_default().insert(tuple);
-        }
     }
 
     /// Removes every version written by `update` (used to abort an update).
     ///
     /// Returns the ids of logical tuples that disappeared entirely.
     pub fn rollback_update(&mut self, update: UpdateId) -> Vec<TupleId> {
-        let mut vanished = Vec::new();
-        for store in &mut self.relations {
-            for id in store.remove_versions_of(update) {
-                self.tuple_locations.remove(&id);
-                vanished.push(id);
-            }
-        }
-        vanished
+        self.store.rollback_update(update)
     }
 
     /// A read-only snapshot as seen by `reader` (visibility rule of §4.1).
@@ -222,17 +216,17 @@ impl Database {
         tuple: TupleId,
         reader: UpdateId,
     ) -> Option<TupleData> {
-        self.relations.get(relation.0 as usize).and_then(|s| s.visible(tuple, reader))
+        self.store.visible(relation, tuple, reader)
     }
 
     /// The relation a tuple id belongs to (regardless of visibility).
     pub fn tuple_relation(&self, tuple: TupleId) -> Option<RelationId> {
-        self.tuple_locations.get(&tuple).copied()
+        self.store.tuple_relation(tuple)
     }
 
     /// All tuples of `relation` visible to `reader`.
     pub fn scan(&self, relation: RelationId, reader: UpdateId) -> Vec<(TupleId, TupleData)> {
-        self.relations.get(relation.0 as usize).map(|s| s.scan(reader)).unwrap_or_default()
+        self.store.scan(relation, reader)
     }
 
     /// Tuples of `relation` visible to `reader` with `value` at `column`.
@@ -243,10 +237,7 @@ impl Database {
         value: Value,
         reader: UpdateId,
     ) -> Vec<(TupleId, TupleData)> {
-        self.relations
-            .get(relation.0 as usize)
-            .map(|s| s.candidates(column, value, reader))
-            .unwrap_or_default()
+        self.store.candidates(relation, column, value, reader)
     }
 
     /// Tuples (across all relations) visible to `reader` that contain the
@@ -257,32 +248,22 @@ impl Database {
         null: NullId,
         reader: UpdateId,
     ) -> Vec<(RelationId, TupleId, TupleData)> {
-        let Some(set) = self.null_occurrences.get(&null) else { return Vec::new() };
-        let mut out = Vec::new();
-        for &tuple in set {
-            let Some(&relation) = self.tuple_locations.get(&tuple) else { continue };
-            if let Some(data) = self.visible(relation, tuple, reader) {
-                if tuple::contains_null(&data, null) {
-                    out.push((relation, tuple, data));
-                }
-            }
-        }
-        out
+        self.store.null_occurrences(null, reader)
     }
 
     /// Number of tuples of `relation` visible to `reader`.
     pub fn visible_count(&self, relation: RelationId, reader: UpdateId) -> usize {
-        self.relations.get(relation.0 as usize).map(|s| s.visible_count(reader)).unwrap_or(0)
+        self.store.visible_count(relation, reader)
     }
 
     /// Total number of visible tuples across all relations.
     pub fn total_visible(&self, reader: UpdateId) -> usize {
-        self.relations.iter().map(|s| s.visible_count(reader)).sum()
+        self.store.total_visible(reader)
     }
 
     /// The full version chain of a tuple (diagnostics and tests).
     pub fn version_chain(&self, relation: RelationId, tuple: TupleId) -> Option<&VersionChain> {
-        self.relations.get(relation.0 as usize).and_then(|s| s.chain(tuple))
+        self.store.version_chain(relation, tuple)
     }
 
     /// Convenience: insert a tuple of constants by relation *name* on behalf of
@@ -451,10 +432,35 @@ mod tests {
     }
 
     #[test]
+    fn apply_all_owned_matches_borrowed_apply_all() {
+        let (mut db_a, r) = db_one_relation(1);
+        let mut db_b = db_a.clone();
+        let writes = vec![
+            Write::Insert { relation: r, values: vec![V::constant("a")] },
+            Write::Insert { relation: r, values: vec![V::constant("b")] },
+        ];
+        let borrowed = db_a.apply_all(&writes, UpdateId(2)).unwrap();
+        let owned = db_b.apply_all_owned(writes, UpdateId(2)).unwrap();
+        assert_eq!(borrowed.len(), owned.len());
+        for (x, y) in borrowed.iter().zip(owned.iter()) {
+            assert_eq!(x.seq, y.seq);
+            assert_eq!(x.write, y.write);
+            assert_eq!(x.changes.len(), y.changes.len());
+        }
+        assert_eq!(
+            db_a.scan(r, UpdateId::OMNISCIENT),
+            db_b.scan(r, UpdateId::OMNISCIENT),
+            "both entry points must produce identical states"
+        );
+    }
+
+    #[test]
     fn unknown_relation_is_an_error() {
         let mut db = Database::new();
         let w = Write::Insert { relation: RelationId(3), values: vec![V::constant("a")] };
         assert!(matches!(db.apply(&w, UpdateId(0)), Err(StorageError::UnknownRelation(_))));
         assert!(db.scan(RelationId(3), UpdateId(0)).is_empty());
+        assert!(db.version_store().relation(RelationId(3)).is_none());
+        assert_eq!(db.version_store().relation_count(), 0);
     }
 }

@@ -43,6 +43,7 @@ pub mod query;
 pub mod relation;
 pub mod schema;
 pub mod snapshot;
+pub mod store;
 pub mod tuple;
 pub mod value;
 pub mod version;
@@ -53,6 +54,7 @@ pub use query::{evaluate, restrict, satisfiable, variables_of, Atom, Bindings, Q
 pub use relation::RelationStore;
 pub use schema::{Catalog, RelationId, RelationSchema};
 pub use snapshot::{DataView, OverlaySnapshot, Snapshot, TupleOverride};
+pub use store::VersionStore;
 pub use tuple::{
     contains_null, is_more_specific, nulls_of, specialization, specificity_equivalent,
     substitute_nulls, Tuple, TupleData, TupleId,

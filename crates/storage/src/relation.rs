@@ -1,18 +1,36 @@
-//! Per-relation tuple storage: version chains plus a column index.
+//! Per-relation tuple storage: version chains plus a column index and a
+//! per-reader visible-set cache.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::schema::RelationId;
 use crate::tuple::{TupleData, TupleId};
 use crate::value::Value;
 use crate::version::{TupleVersion, UpdateId, VersionChain};
 
+/// Upper bound on distinct readers memoised per relation between writes. The
+/// cache is cleared wholesale on every mutation, so the bound only matters for
+/// long read-mostly phases with very many concurrent readers.
+const VISIBLE_CACHE_MAX_READERS: usize = 128;
+
+/// The memoised visible rows of one relation for one reader.
+type VisibleRows = Arc<Vec<(TupleId, TupleData)>>;
+
 /// Storage for the tuples of one relation.
 ///
 /// Tuples are kept in a [`BTreeMap`] keyed by [`TupleId`] so iteration order is
 /// deterministic (ids are assigned in insertion order), which keeps chase runs
 /// and experiments reproducible under a fixed seed.
-#[derive(Clone, Debug)]
+///
+/// Reads are accelerated by a *visible-set cache*: the first
+/// [`RelationStore::scan`] (or [`RelationStore::visible_count`]) for a given
+/// reader materialises that reader's visible rows once; subsequent reads by
+/// the same reader are served from the cache until the next write to this
+/// relation invalidates it. Violation-query evaluation performs many scans and
+/// candidate probes per chase step between writes, so this removes the
+/// walk-every-version-chain cost from the hot read path.
+#[derive(Debug)]
 pub struct RelationStore {
     id: RelationId,
     arity: usize,
@@ -21,12 +39,42 @@ pub struct RelationStore {
     /// *some* version carries that value at that position. Entries are never
     /// removed (stale-tolerant); lookups re-check visible data.
     index: Vec<HashMap<Value, Vec<TupleId>>>,
+    /// reader → visible rows, cleared on every mutation of this relation.
+    /// Behind a mutex (not a `RefCell`) so `&RelationStore` stays `Sync` and
+    /// the parallel experiment sweep can share a fixture database across
+    /// worker threads.
+    visible_cache: Mutex<HashMap<UpdateId, VisibleRows>>,
+    /// reader → visible-row count. Separate from the row cache so count-only
+    /// paths (`visible_count`, the join planner's `relation_size`) never pay
+    /// for materialising rows.
+    count_cache: Mutex<HashMap<UpdateId, usize>>,
+}
+
+impl Clone for RelationStore {
+    fn clone(&self) -> RelationStore {
+        // The cache is a pure memo: a clone starts cold.
+        RelationStore {
+            id: self.id,
+            arity: self.arity,
+            tuples: self.tuples.clone(),
+            index: self.index.clone(),
+            visible_cache: Mutex::new(HashMap::new()),
+            count_cache: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl RelationStore {
     /// Creates an empty store for a relation of the given arity.
     pub fn new(id: RelationId, arity: usize) -> RelationStore {
-        RelationStore { id, arity, tuples: BTreeMap::new(), index: vec![HashMap::new(); arity] }
+        RelationStore {
+            id,
+            arity,
+            tuples: BTreeMap::new(),
+            index: vec![HashMap::new(); arity],
+            visible_cache: Mutex::new(HashMap::new()),
+            count_cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Relation id.
@@ -39,8 +87,39 @@ impl RelationStore {
         self.arity
     }
 
+    /// Drops every memoised visible set and count (called on every mutation).
+    fn invalidate_cache(&mut self) {
+        // `get_mut` needs no lock: `&mut self` proves exclusive access.
+        self.visible_cache.get_mut().unwrap_or_else(|e| e.into_inner()).clear();
+        self.count_cache.get_mut().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    fn cache(&self) -> MutexGuard<'_, HashMap<UpdateId, VisibleRows>> {
+        self.visible_cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The rows visible to `reader`, memoised until the next write.
+    fn visible_rows(&self, reader: UpdateId) -> VisibleRows {
+        if let Some(rows) = self.cache().get(&reader) {
+            return rows.clone();
+        }
+        let rows: VisibleRows = Arc::new(
+            self.tuples
+                .iter()
+                .filter_map(|(id, chain)| chain.visible_data(reader).map(|d| (*id, d.clone())))
+                .collect(),
+        );
+        let mut cache = self.cache();
+        if cache.len() >= VISIBLE_CACHE_MAX_READERS {
+            cache.clear();
+        }
+        cache.insert(reader, rows.clone());
+        rows
+    }
+
     /// Registers a brand-new logical tuple with its initial version.
     pub fn insert_new(&mut self, tuple: TupleId, version: TupleVersion) {
+        self.invalidate_cache();
         if let Some(data) = &version.data {
             self.index_values(tuple, data);
         }
@@ -59,6 +138,7 @@ impl RelationStore {
                 } else {
                     chain.push(version);
                 }
+                self.invalidate_cache();
                 true
             }
             None => false,
@@ -92,15 +172,26 @@ impl RelationStore {
 
     /// All tuples visible to `reader`, in tuple-id order.
     pub fn scan(&self, reader: UpdateId) -> Vec<(TupleId, TupleData)> {
-        self.tuples
-            .iter()
-            .filter_map(|(id, chain)| chain.visible_data(reader).map(|d| (*id, d.clone())))
-            .collect()
+        (*self.visible_rows(reader)).clone()
     }
 
-    /// Number of tuples visible to `reader`.
+    /// Number of tuples visible to `reader`. Served from the row cache when a
+    /// scan already materialised it, and from a count memo otherwise —
+    /// counting never materialises rows.
     pub fn visible_count(&self, reader: UpdateId) -> usize {
-        self.tuples.values().filter(|c| c.visible_data(reader).is_some()).count()
+        if let Some(rows) = self.cache().get(&reader) {
+            return rows.len();
+        }
+        let mut counts = self.count_cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(&count) = counts.get(&reader) {
+            return count;
+        }
+        let count = self.tuples.values().filter(|c| c.visible_data(reader).is_some()).count();
+        if counts.len() >= VISIBLE_CACHE_MAX_READERS {
+            counts.clear();
+        }
+        counts.insert(reader, count);
+        count
     }
 
     /// Tuples visible to `reader` whose value at `column` equals `value`.
@@ -138,18 +229,23 @@ impl RelationStore {
     pub fn remove_versions_of(&mut self, update: UpdateId) -> Vec<TupleId> {
         let mut removed = Vec::new();
         let ids: Vec<TupleId> = self.tuples.keys().copied().collect();
+        let mut touched = false;
         for id in ids {
             let empty = {
                 let chain = self.tuples.get_mut(&id).expect("id listed above");
                 if !chain.written_by(update) {
                     continue;
                 }
+                touched = true;
                 chain.remove_versions_of(update)
             };
             if empty {
                 self.tuples.remove(&id);
                 removed.push(id);
             }
+        }
+        if touched {
+            self.invalidate_cache();
         }
         removed
     }
@@ -259,5 +355,41 @@ mod tests {
         assert_eq!(store.tuple_ids().count(), 0);
         assert_eq!(store.arity(), 1);
         assert_eq!(store.id(), RelationId(0));
+    }
+
+    #[test]
+    fn visible_cache_is_invalidated_by_writes_and_rollbacks() {
+        let mut store = RelationStore::new(RelationId(0), 1);
+        let a = V::constant("a");
+        let b = V::constant("b");
+        store.insert_new(TupleId(1), version(1, 1, Some(&[a])));
+        // Prime the cache, then mutate through every write path and re-check.
+        assert_eq!(store.scan(UpdateId::OMNISCIENT).len(), 1);
+        store.insert_new(TupleId(2), version(1, 2, Some(&[b])));
+        assert_eq!(store.scan(UpdateId::OMNISCIENT).len(), 2);
+        store.push_version(TupleId(2), version(2, 3, None));
+        assert_eq!(store.scan(UpdateId::OMNISCIENT).len(), 1);
+        assert_eq!(store.visible_count(UpdateId(1)), 2);
+        store.remove_versions_of(UpdateId(2));
+        assert_eq!(store.scan(UpdateId::OMNISCIENT).len(), 2);
+        // A clone starts with a cold cache but identical contents.
+        let clone = store.clone();
+        assert_eq!(clone.scan(UpdateId::OMNISCIENT), store.scan(UpdateId::OMNISCIENT));
+    }
+
+    #[test]
+    fn visible_cache_bounds_reader_entries() {
+        let mut store = RelationStore::new(RelationId(0), 1);
+        store.insert_new(TupleId(1), version(1, 1, Some(&[V::constant("a")])));
+        for reader in 0..(2 * VISIBLE_CACHE_MAX_READERS as u64) {
+            let expected = usize::from(reader >= 1);
+            // `visible_count` populates the count memo, `scan` the row cache;
+            // both must respect the per-relation reader bound.
+            assert_eq!(store.visible_count(UpdateId(reader)), expected);
+            assert_eq!(store.scan(UpdateId(reader)).len(), expected);
+        }
+        assert!(store.cache().len() <= VISIBLE_CACHE_MAX_READERS);
+        let counts = store.count_cache.lock().unwrap();
+        assert!(!counts.is_empty() && counts.len() <= VISIBLE_CACHE_MAX_READERS);
     }
 }

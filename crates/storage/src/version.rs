@@ -200,6 +200,29 @@ impl TupleChange {
             | TupleChange::Modified { tuple, .. } => *tuple,
         }
     }
+
+    /// The tuple image that *appeared* through this change (the inserted
+    /// values, or the post-modification values), if any. Appearing images seed
+    /// LHS violation queries; a modification is conservatively treated as a
+    /// delete followed by an insert (Section 5).
+    pub fn appeared(&self) -> Option<&TupleData> {
+        match self {
+            TupleChange::Inserted { values, .. } => Some(values),
+            TupleChange::Modified { new, .. } => Some(new),
+            TupleChange::Deleted { .. } => None,
+        }
+    }
+
+    /// The tuple image that *vanished* through this change (the deleted
+    /// values, or the pre-modification values), if any. Vanishing images seed
+    /// RHS violation queries.
+    pub fn vanished(&self) -> Option<&TupleData> {
+        match self {
+            TupleChange::Deleted { old, .. } => Some(old),
+            TupleChange::Modified { old, .. } => Some(old),
+            TupleChange::Inserted { .. } => None,
+        }
+    }
 }
 
 /// A write together with the changes it caused, stamped with the writer and a
@@ -306,6 +329,20 @@ mod tests {
         };
         assert_eq!(ch.relation(), RelationId(4));
         assert_eq!(ch.tuple(), TupleId(9));
+        assert_eq!(ch.appeared(), Some(&data(&["b"])));
+        assert_eq!(ch.vanished(), Some(&data(&["a"])));
+
+        let ins = TupleChange::Inserted {
+            relation: RelationId(0),
+            tuple: TupleId(1),
+            values: data(&["v"]),
+        };
+        assert_eq!(ins.appeared(), Some(&data(&["v"])));
+        assert_eq!(ins.vanished(), None);
+        let del =
+            TupleChange::Deleted { relation: RelationId(0), tuple: TupleId(1), old: data(&["v"]) };
+        assert_eq!(del.appeared(), None);
+        assert_eq!(del.vanished(), Some(&data(&["v"])));
     }
 
     #[test]

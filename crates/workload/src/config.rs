@@ -1,6 +1,8 @@
 //! Experiment configuration (the parameters of Section 6).
 
-/// Which workload of Section 6 to generate.
+/// Which workload to generate. The first two are the Section 6 workloads of
+/// the paper; the last two go beyond the paper's figures to stress the
+/// trackers in ways the uniform workloads cannot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// The all-insert workload of Figure 3.
@@ -8,14 +10,43 @@ pub enum WorkloadKind {
     /// The mixed workload of Figure 4: eighty percent inserts, twenty percent
     /// deletes, in randomised order.
     Mixed,
+    /// Null-replacement-heavy: half the updates replace labeled nulls of the
+    /// initial database with pool constants, the rest are inserts, in
+    /// randomised order. Null-replacements touch every relation the null
+    /// occurs in and pose the wildcard correction queries, which is the worst
+    /// case for relation-granular dependency tracking.
+    NullReplacementHeavy,
+    /// Skewed (hot-relation): the usual 80/20 insert/delete mix, but eighty
+    /// percent of the operations target the single largest relation of the
+    /// initial database. Contention concentrates on one relation's mappings,
+    /// separating the trackers far more sharply than the uniform choice.
+    Skewed,
 }
 
 impl WorkloadKind {
     /// Fraction of deletes in the workload.
     pub fn delete_fraction(&self) -> f64 {
         match self {
-            WorkloadKind::AllInserts => 0.0,
-            WorkloadKind::Mixed => 0.2,
+            WorkloadKind::AllInserts | WorkloadKind::NullReplacementHeavy => 0.0,
+            WorkloadKind::Mixed | WorkloadKind::Skewed => 0.2,
+        }
+    }
+
+    /// Fraction of null-replacement operations in the workload (best effort:
+    /// shrinks when the initial database has fewer distinct nulls).
+    pub fn null_replace_fraction(&self) -> f64 {
+        match self {
+            WorkloadKind::NullReplacementHeavy => 0.5,
+            _ => 0.0,
+        }
+    }
+
+    /// Probability that an operation targets the hot relation instead of a
+    /// uniformly random one.
+    pub fn hot_relation_probability(&self) -> f64 {
+        match self {
+            WorkloadKind::Skewed => 0.8,
+            _ => 0.0,
         }
     }
 
@@ -24,6 +55,8 @@ impl WorkloadKind {
         match self {
             WorkloadKind::AllInserts => "all-insert",
             WorkloadKind::Mixed => "mixed (80% insert / 20% delete)",
+            WorkloadKind::NullReplacementHeavy => "null-replacement-heavy (50% replace)",
+            WorkloadKind::Skewed => "skewed (80% of ops on the hot relation)",
         }
     }
 }
@@ -76,6 +109,11 @@ pub struct ExperimentConfig {
     /// latency). The paper does not model latency explicitly; a small delay
     /// recreates the interference window of Example 3.1.
     pub frontier_delay_rounds: usize,
+    /// Worker threads for the experiment sweep: the (density, tracker, run)
+    /// grid cells are embarrassingly parallel and every cell derives its own
+    /// seed, so the results are identical at any thread count. `0` means "one
+    /// per available core".
+    pub worker_threads: usize,
 }
 
 impl ExperimentConfig {
@@ -97,6 +135,7 @@ impl ExperimentConfig {
             runs: 100,
             seed: 2009,
             frontier_delay_rounds: 2,
+            worker_threads: 0,
         }
     }
 
@@ -118,6 +157,7 @@ impl ExperimentConfig {
             runs: 10,
             seed: 7,
             frontier_delay_rounds: 2,
+            worker_threads: 0,
         }
     }
 
@@ -137,6 +177,7 @@ impl ExperimentConfig {
             runs: 2,
             seed: 13,
             frontier_delay_rounds: 1,
+            worker_threads: 0,
         }
     }
 

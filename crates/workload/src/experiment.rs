@@ -1,6 +1,15 @@
 //! The Section 6 experiment driver: sweep mapping density, run each workload
 //! under each tracker, average over repeated runs.
+//!
+//! The (density, tracker, run) grid is embarrassingly parallel: every cell
+//! clones the shared fixture database and derives its own random seed from
+//! `(config.seed, run index)`, so no cell observes another. [`run_experiment`]
+//! therefore fans the cells out over scoped worker threads (no external
+//! dependencies — just `std::thread::scope`) and reassembles the results in
+//! grid order, which makes the output byte-identical at any thread count.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use youtopia_concurrency::{
@@ -138,25 +147,45 @@ pub fn run_single(
     Ok(metrics)
 }
 
-/// Runs the full experiment for one workload: every mapping density, every
-/// requested tracker, `config.runs` repetitions each. `progress` (if given) is
-/// called after every completed (density, tracker) cell.
-pub fn run_experiment(
+/// One (density, tracker, run) cell of the experiment grid.
+#[derive(Clone, Copy, Debug)]
+struct GridCell {
+    mappings: usize,
+    tracker: TrackerKind,
+    run_index: u64,
+}
+
+/// Resolves the number of worker threads for a grid of `cells` cells:
+/// `config.worker_threads`, or one per available core when it is `0`, never
+/// more than there are cells.
+fn effective_worker_threads(config: &ExperimentConfig, cells: usize) -> usize {
+    let requested = if config.worker_threads > 0 {
+        config.worker_threads
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    };
+    requested.clamp(1, cells.max(1))
+}
+
+/// Walks the grid in deterministic (density, tracker, run) order, pulling
+/// each cell's outcome from `next_outcome` (by cell index), accumulating the
+/// per-point averages and firing `progress` as soon as each (density,
+/// tracker) point completes. The first error in grid order wins, matching
+/// what a serial sweep would have reported.
+fn assemble_points(
     config: &ExperimentConfig,
-    kind: WorkloadKind,
     trackers: &[TrackerKind],
-    mut progress: Option<&mut dyn FnMut(&ExperimentPoint)>,
-) -> Result<ExperimentResults, ChaseError> {
-    let started = Instant::now();
-    let fixture = build_fixture(config)?;
+    mut next_outcome: impl FnMut(usize) -> Result<RunMetrics, ChaseError>,
+    progress: &mut Option<&mut dyn FnMut(&ExperimentPoint)>,
+) -> Result<Vec<ExperimentPoint>, ChaseError> {
     let mut points = Vec::new();
+    let mut cell = 0usize;
     for &mapping_count in &config.mapping_counts {
         for &tracker in trackers {
             let mut total = RunMetrics::default();
-            for run_index in 0..config.runs {
-                let metrics =
-                    run_single(&fixture, config, kind, mapping_count, tracker, run_index as u64)?;
-                total.accumulate(&metrics);
+            for _ in 0..config.runs {
+                total.accumulate(&next_outcome(cell)?);
+                cell += 1;
             }
             let point = ExperimentPoint {
                 mappings: mapping_count,
@@ -170,6 +199,108 @@ pub fn run_experiment(
             points.push(point);
         }
     }
+    Ok(points)
+}
+
+/// Runs the grid on `workers` scoped threads, streaming the points out in
+/// grid order as their cells complete — live progress is preserved even
+/// though cells finish out of order. Each cell's outcome is independent of
+/// scheduling, so any worker count yields identical results.
+fn run_grid_parallel(
+    fixture: &ExperimentFixture,
+    config: &ExperimentConfig,
+    kind: WorkloadKind,
+    trackers: &[TrackerKind],
+    cells: &[GridCell],
+    workers: usize,
+    progress: &mut Option<&mut dyn FnMut(&ExperimentPoint)>,
+) -> Result<Vec<ExperimentPoint>, ChaseError> {
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let slots: Mutex<Vec<Option<Result<RunMetrics, ChaseError>>>> =
+        Mutex::new(cells.iter().map(|_| None).collect());
+    let ready = Condvar::new();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let outcome =
+                    run_single(fixture, config, kind, cell.mappings, cell.tracker, cell.run_index);
+                slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(outcome);
+                ready.notify_all();
+            });
+        }
+        // The main thread assembles (and reports progress) while the workers
+        // crunch, blocking only on the next cell it needs in grid order.
+        let result = assemble_points(
+            config,
+            trackers,
+            |i| {
+                let mut guard = slots.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(outcome) = guard[i].take() {
+                        return outcome;
+                    }
+                    guard = ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+                }
+            },
+            progress,
+        );
+        if result.is_err() {
+            // Let idle workers wind down instead of finishing the grid.
+            stop.store(true, Ordering::Relaxed);
+        }
+        result
+    })
+}
+
+/// Runs the full experiment for one workload: every mapping density, every
+/// requested tracker, `config.runs` repetitions each, fanned out over
+/// `config.worker_threads` workers (all cores when `0`). `progress` (if given)
+/// is called for every (density, tracker) cell, in grid order, as soon as the
+/// cell completes.
+pub fn run_experiment(
+    config: &ExperimentConfig,
+    kind: WorkloadKind,
+    trackers: &[TrackerKind],
+    mut progress: Option<&mut dyn FnMut(&ExperimentPoint)>,
+) -> Result<ExperimentResults, ChaseError> {
+    let started = Instant::now();
+    let fixture = build_fixture(config)?;
+
+    // Lay the grid out in deterministic order: density, then tracker, then
+    // run. Each cell keeps its existing seed derivation (the run index), so
+    // parallel execution cannot change any cell's outcome.
+    let mut cells = Vec::with_capacity(config.mapping_counts.len() * trackers.len() * config.runs);
+    for &mapping_count in &config.mapping_counts {
+        for &tracker in trackers {
+            for run_index in 0..config.runs {
+                cells.push(GridCell {
+                    mappings: mapping_count,
+                    tracker,
+                    run_index: run_index as u64,
+                });
+            }
+        }
+    }
+    let workers = effective_worker_threads(config, cells.len());
+    let points = if workers <= 1 {
+        assemble_points(
+            config,
+            trackers,
+            |i| {
+                let cell = &cells[i];
+                run_single(&fixture, config, kind, cell.mappings, cell.tracker, cell.run_index)
+            },
+            &mut progress,
+        )?
+    } else {
+        run_grid_parallel(&fixture, config, kind, trackers, &cells, workers, &mut progress)?
+    };
     Ok(ExperimentResults {
         workload: kind,
         config: config.clone(),
@@ -222,6 +353,19 @@ mod tests {
         let p = &results.points[0];
         assert!(p.avg.frontier_ops >= 0.0);
         assert!(p.avg.changes > 0.0);
+    }
+
+    #[test]
+    fn new_workload_kinds_run_end_to_end() {
+        let mut config = ExperimentConfig::tiny();
+        config.runs = 1;
+        config.mapping_counts = vec![config.total_mappings];
+        for kind in [WorkloadKind::NullReplacementHeavy, WorkloadKind::Skewed] {
+            let results = run_experiment(&config, kind, &[TrackerKind::Coarse], None).unwrap();
+            assert_eq!(results.points.len(), 1, "{kind} must produce its point");
+            assert!(results.points[0].avg.steps > 0.0);
+            assert_eq!(results.workload, kind);
+        }
     }
 
     #[test]

@@ -48,4 +48,4 @@ pub use experiment::{
 pub use mapping_gen::{generate_mappings, mapping_stats, MappingSetStats};
 pub use report::{render_figure, to_csv};
 pub use schema_gen::{generate_schema, GeneratedSchema};
-pub use update_gen::{generate_workload, workload_mix, WorkloadMix};
+pub use update_gen::{generate_workload, hot_relation, visible_nulls, workload_mix, WorkloadMix};

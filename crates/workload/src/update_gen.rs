@@ -10,15 +10,39 @@
 //! tuple to delete is chosen uniformly at random from the relation. In the
 //! mixed insert/delete workload, the order of the updates is then randomized."
 
+use std::collections::BTreeSet;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use youtopia_core::InitialOp;
-use youtopia_storage::{Database, UpdateId, Value};
+use youtopia_storage::{nulls_of, Database, NullId, RelationId, UpdateId, Value};
 
 use crate::config::{ExperimentConfig, WorkloadKind};
 use crate::schema_gen::GeneratedSchema;
+
+/// The distinct labeled nulls visible anywhere in `db`, in deterministic
+/// (ascending id) order — the targets of the null-replacement-heavy workload.
+pub fn visible_nulls(db: &Database) -> Vec<NullId> {
+    let mut nulls = BTreeSet::new();
+    for relation in db.catalog().relation_ids() {
+        for (_, data) in db.scan(relation, UpdateId::OMNISCIENT) {
+            nulls.extend(nulls_of(&data));
+        }
+    }
+    nulls.into_iter().collect()
+}
+
+/// The relation with the most visible tuples in `db` (ties broken by the
+/// lower id) — the "hot" relation the skewed workload concentrates on.
+pub fn hot_relation(db: &Database) -> Option<RelationId> {
+    db.catalog()
+        .relation_ids()
+        .map(|r| (r, db.visible_count(r, UpdateId::OMNISCIENT)))
+        .max_by(|(ra, ca), (rb, cb)| ca.cmp(cb).then(rb.0.cmp(&ra.0)))
+        .map(|(r, _)| r)
+}
 
 /// Generates one workload of `config.workload_updates` initial operations
 /// against the (already populated) `initial_db`. The `variant` index selects a
@@ -35,18 +59,32 @@ pub fn generate_workload(
         match kind {
             WorkloadKind::AllInserts => 0,
             WorkloadKind::Mixed => 0x5DEECE66,
+            WorkloadKind::NullReplacementHeavy => 0x0BAD_5EED,
+            WorkloadKind::Skewed => 0x5EED_CAFE,
         },
     );
     let mut rng = StdRng::seed_from_u64(seed);
     let relation_ids: Vec<_> = schema.db.catalog().relation_ids().collect();
+    let hot = hot_relation(initial_db);
+    let hot_probability = kind.hot_relation_probability();
+    let pick_relation = |rng: &mut StdRng| match hot {
+        Some(hot) if hot_probability > 0.0 && rng.gen_bool(hot_probability) => hot,
+        _ => relation_ids[rng.gen_range(0..relation_ids.len())],
+    };
 
     let total = config.workload_updates;
+    // Each null can be replaced once, so the null-replacement share is capped
+    // by the distinct nulls the initial database actually contains.
+    let mut null_pool =
+        if kind.null_replace_fraction() > 0.0 { visible_nulls(initial_db) } else { Vec::new() };
+    let null_replaces =
+        ((total as f64 * kind.null_replace_fraction()).round() as usize).min(null_pool.len());
     let deletes = (total as f64 * kind.delete_fraction()).round() as usize;
-    let inserts = total - deletes;
+    let inserts = total - deletes - null_replaces;
 
     let mut ops = Vec::with_capacity(total);
     for i in 0..inserts {
-        let relation = relation_ids[rng.gen_range(0..relation_ids.len())];
+        let relation = pick_relation(&mut rng);
         let arity = schema.db.schema(relation).arity();
         let values = (0..arity)
             .map(|pos| {
@@ -59,13 +97,20 @@ pub fn generate_workload(
             .collect();
         ops.push(InitialOp::Insert { relation, values });
     }
+    for _ in 0..null_replaces {
+        // Draw a distinct null (uniformly, without replacement) and complete
+        // it with a pool constant.
+        let null = null_pool.swap_remove(rng.gen_range(0..null_pool.len()));
+        let replacement = schema.random_constant(&mut rng);
+        ops.push(InitialOp::NullReplace { null, replacement });
+    }
     for _ in 0..deletes {
-        // Choose a relation uniformly at random, then a tuple uniformly at
-        // random from it; fall back to another relation if the chosen one is
-        // empty in the initial database.
+        // Choose a relation (skew-aware), then a tuple uniformly at random
+        // from it; fall back to another relation if the chosen one is empty in
+        // the initial database.
         let mut op = None;
         for _ in 0..relation_ids.len() * 4 {
-            let relation = relation_ids[rng.gen_range(0..relation_ids.len())];
+            let relation = pick_relation(&mut rng);
             let tuples = initial_db.scan(relation, UpdateId::OMNISCIENT);
             if tuples.is_empty() {
                 continue;
@@ -85,7 +130,7 @@ pub fn generate_workload(
             }
         }));
     }
-    if kind == WorkloadKind::Mixed {
+    if kind != WorkloadKind::AllInserts {
         ops.shuffle(&mut rng);
     }
     ops
@@ -169,6 +214,68 @@ mod tests {
         let first_half_deletes =
             a.iter().take(20).filter(|op| matches!(op, InitialOp::Delete { .. })).count();
         assert!(first_half_deletes > 0, "shuffle should spread deletes around");
+    }
+
+    #[test]
+    fn null_replacement_heavy_workload_targets_initial_nulls() {
+        let (config, schema, db) = setup();
+        let nulls = visible_nulls(&db);
+        let ops = generate_workload(&config, &schema, &db, WorkloadKind::NullReplacementHeavy, 0);
+        assert_eq!(ops.len(), config.workload_updates);
+        let mix = workload_mix(&ops);
+        assert_eq!(mix.deletes, 0);
+        let expected = ((config.workload_updates as f64 * 0.5).round() as usize).min(nulls.len());
+        assert_eq!(mix.null_replacements, expected);
+        assert!(
+            !nulls.is_empty() && mix.null_replacements > 0,
+            "the chase-populated tiny fixture must contain labeled nulls to replace \
+             (found {} nulls)",
+            nulls.len()
+        );
+        // Each replacement targets a distinct, existing null.
+        let mut seen = Vec::new();
+        for op in &ops {
+            if let InitialOp::NullReplace { null, replacement } = op {
+                assert!(nulls.contains(null), "replacement targets a null of the initial db");
+                assert!(!seen.contains(null), "nulls are drawn without replacement");
+                assert!(replacement.is_const());
+                seen.push(*null);
+            }
+        }
+        // Reproducible under the variant seed.
+        let again = generate_workload(&config, &schema, &db, WorkloadKind::NullReplacementHeavy, 0);
+        assert_eq!(ops, again);
+    }
+
+    #[test]
+    fn skewed_workload_concentrates_on_the_hot_relation() {
+        let (mut config, schema, db) = setup();
+        config.workload_updates = 60;
+        let hot = hot_relation(&db).expect("populated fixture has relations");
+        let ops = generate_workload(&config, &schema, &db, WorkloadKind::Skewed, 0);
+        assert_eq!(ops.len(), 60);
+        let mix = workload_mix(&ops);
+        assert_eq!(mix.deletes, 12, "20% of 60");
+        let on_hot = ops
+            .iter()
+            .filter(|op| match op {
+                InitialOp::Insert { relation, .. } | InitialOp::Delete { relation, .. } => {
+                    *relation == hot
+                }
+                InitialOp::NullReplace { .. } => false,
+            })
+            .count();
+        assert!(
+            on_hot * 2 > ops.len(),
+            "most operations should hit the hot relation ({on_hot}/{} did)",
+            ops.len()
+        );
+        // Deletes still reference existing tuples.
+        for op in &ops {
+            if let InitialOp::Delete { relation, tuple } = op {
+                assert!(db.visible(*relation, *tuple, UpdateId::OMNISCIENT).is_some());
+            }
+        }
     }
 
     #[test]

@@ -2,26 +2,44 @@
 //!
 //! Generates a random schema, a random mapping set, an initial database
 //! populated through the cooperative chase, and an update workload; then runs
-//! the workload concurrently under the `COARSE` and `PRECISE` trackers and
-//! prints the resulting abort statistics — a scaled-down version of what the
-//! `fig3`/`fig4` binaries in `crates/bench` produce for every mapping density.
+//! the workload concurrently under the `COARSE` and `PRECISE` trackers for
+//! every mapping density — a scaled-down version of what the `fig3`/`fig4`
+//! binaries in `crates/bench` produce. The (density, tracker) grid is fanned
+//! out over worker threads; results are identical at any thread count.
 //!
-//! Run with `cargo run --example experiment --release [-- mixed]`.
+//! ```text
+//! cargo run --example experiment --release [-- mixed|null-heavy|skewed] [--threads N]
+//! ```
 
 use youtopia::workload::{
-    build_fixture, generate_workload, mapping_stats, run_single, ExperimentConfig, WorkloadKind,
+    build_fixture, generate_workload, mapping_stats, run_experiment, ExperimentConfig, WorkloadKind,
 };
 use youtopia::{TrackerKind, UpdateId};
 
 fn main() {
-    let kind = if std::env::args().any(|a| a == "mixed") {
-        WorkloadKind::Mixed
-    } else {
-        WorkloadKind::AllInserts
-    };
+    let mut kind = WorkloadKind::AllInserts;
+    let mut threads = 0usize; // 0 = one worker per core
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "mixed" => kind = WorkloadKind::Mixed,
+            "null-heavy" => kind = WorkloadKind::NullReplacementHeavy,
+            "skewed" => kind = WorkloadKind::Skewed,
+            "--threads" => {
+                threads =
+                    args.next().and_then(|v| v.parse().ok()).expect("--threads needs a number");
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: experiment [mixed|null-heavy|skewed] [--threads N]");
+                std::process::exit(2);
+            }
+        }
+    }
 
     let mut config = ExperimentConfig::quick();
     config.runs = 1;
+    config.worker_threads = threads;
     println!("Building the experiment fixture (schema, mappings, initial database)…");
     let fixture = build_fixture(&config).expect("fixture generation succeeds");
     let stats = mapping_stats(&fixture.mappings);
@@ -34,27 +52,29 @@ fn main() {
         fixture.initial_db.total_visible(UpdateId::OMNISCIENT),
     );
     let workload = generate_workload(&config, &fixture.schema, &fixture.initial_db, kind, 0);
-    println!("  workload: {} updates ({kind})\n", workload.len());
+    let worker_label = if threads == 0 { "all cores".to_string() } else { threads.to_string() };
+    println!("  workload: {} updates ({kind}), workers: {worker_label}\n", workload.len());
 
     println!(
         "{:>10} {:>9} {:>9} {:>11} {:>11} {:>9}",
         "tracker", "mappings", "aborts", "cascading", "conflicts", "steps"
     );
-    for mapping_count in config.mapping_counts.clone() {
-        for tracker in [TrackerKind::Coarse, TrackerKind::Precise] {
-            let metrics = run_single(&fixture, &config, kind, mapping_count, tracker, 0)
-                .expect("run terminates");
-            println!(
-                "{:>10} {:>9} {:>9} {:>11} {:>11} {:>9}",
-                tracker.name(),
-                mapping_count,
-                metrics.aborts,
-                metrics.cascading_abort_requests,
-                metrics.direct_conflict_requests,
-                metrics.steps
-            );
-        }
-    }
+    let trackers = [TrackerKind::Coarse, TrackerKind::Precise];
+    let mut print_point = |point: &youtopia::workload::ExperimentPoint| {
+        println!(
+            "{:>10} {:>9} {:>9} {:>11} {:>11} {:>9}",
+            point.tracker.name(),
+            point.mappings,
+            point.avg.aborts,
+            point.avg.cascading_abort_requests,
+            point.avg.direct_conflict_requests,
+            point.avg.steps
+        );
+    };
+    let results = run_experiment(&config, kind, &trackers, Some(&mut print_point))
+        .expect("experiment terminates");
+    println!("\nsweep wall time: {:.2}s", results.total_seconds);
+
     println!("\nRun the full sweeps (all three trackers, averaged over repeated runs) with:");
     println!("  cargo run -p youtopia-bench --bin fig3 --release");
     println!("  cargo run -p youtopia-bench --bin fig4 --release");

@@ -101,6 +101,38 @@ fn run_experiment_reports_are_byte_identical_modulo_wall_clock() {
 }
 
 #[test]
+fn parallel_sweep_is_byte_identical_to_the_serial_sweep() {
+    // The whole point of assigning each grid cell its own derived seed: the
+    // thread count must not be observable in the results. Run the same
+    // experiment single-threaded and with four workers and demand identical
+    // points and CSV (modulo the wall-clock fields, which are scrubbed).
+    let mut config = ExperimentConfig::tiny();
+    config.runs = 2;
+    let trackers = [TrackerKind::Coarse, TrackerKind::Precise];
+
+    let mut serial_config = config.clone();
+    serial_config.worker_threads = 1;
+    let mut parallel_config = config.clone();
+    parallel_config.worker_threads = 4;
+
+    for kind in [WorkloadKind::Mixed, WorkloadKind::NullReplacementHeavy] {
+        let serial =
+            scrub_results_time(run_experiment(&serial_config, kind, &trackers, None).unwrap());
+        let parallel =
+            scrub_results_time(run_experiment(&parallel_config, kind, &trackers, None).unwrap());
+        assert_eq!(
+            serial.points, parallel.points,
+            "{kind}: parallel sweep must reproduce the serial points exactly"
+        );
+        assert_eq!(
+            to_csv(&serial),
+            to_csv(&parallel),
+            "{kind}: CSV reports must be byte-identical across thread counts"
+        );
+    }
+}
+
+#[test]
 fn distinct_seeds_actually_change_the_stream() {
     // Guards against a stub RNG that ignores its seed: the two seeds must
     // diverge somewhere in the quickstart scenario's frontier decisions, or —

@@ -10,9 +10,15 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::{self, Display};
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Results recorded by every benchmark of the current process, for the
+/// machine-readable summary written by [`write_json_summary`].
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// How many timed batches we take per benchmark; the median is reported.
 const MEASURED_BATCHES: usize = 7;
@@ -182,6 +188,55 @@ where
     per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
     let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0.0);
     println!("{id:<60} {:>14}/iter", format_seconds(median));
+    RESULTS.lock().unwrap_or_else(|e| e.into_inner()).push((id.to_string(), median * 1e9));
+}
+
+/// Writes a machine-readable `BENCH_<target>.json` summary — the median
+/// ns/iter of every benchmark the process ran — so the perf trajectory can be
+/// tracked across commits without scraping stdout. The file lands in the
+/// cargo target directory (derived from the bench executable's own path,
+/// `<target>/release/deps/<name>-<hash>`), falling back to the working
+/// directory. Called automatically by [`criterion_main!`].
+pub fn write_json_summary() {
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    if results.is_empty() {
+        return;
+    }
+    let exe = std::env::args().next().map(PathBuf::from).unwrap_or_default();
+    let target_name = exe
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .map(|s| s.rsplit_once('-').map(|(name, _)| name).unwrap_or(s).to_string())
+        .unwrap_or_else(|| "bench".to_string());
+    // …/target/<profile>/deps/<exe> → …/target
+    let dir = exe
+        .parent()
+        .and_then(|deps| deps.parent())
+        .and_then(|profile| profile.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"bench\": \"{}\",\n  \"results\": [\n", escape(&target_name)));
+    for (i, (id, median_ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"median_ns\": {:.1} }}{comma}\n",
+            escape(id),
+            median_ns
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = dir.join(format!("BENCH_{target_name}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn format_seconds(secs: f64) -> String {
@@ -215,6 +270,7 @@ macro_rules! criterion_main {
             // `cargo bench` / `cargo test` pass harness flags like `--bench`;
             // the stub ignores them (it has no filtering).
             $($group();)+
+            $crate::write_json_summary();
         }
     };
 }
