@@ -1,12 +1,19 @@
 //! Benchmarks for the cooperative chase itself: forward-chase throughput on
-//! the travel schema, backward-chase cascades, and the effect of the user's
+//! the travel schema, backward-chase cascades, the effect of the user's
 //! unify-versus-expand behaviour on chase length (an ablation the paper's
-//! design discussion motivates but does not measure).
+//! design discussion motivates but does not measure), and end-to-end chase
+//! wall-clock under long-lived violation queues — the delta-driven
+//! (`Incremental`) queue against the pre-optimisation `FullRecheck` reference
+//! path, so `BENCH_chase.json` records the step-cost-vs-queue-size win.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use youtopia_core::{InitialOp, RandomResolver, UnifyResolver, UpdateExchange};
+use youtopia_core::{
+    ChaseMode, ExchangeConfig, InitialOp, RandomResolver, UnifyResolver, UpdateExchange,
+    UpdateExecution,
+};
 use youtopia_mappings::MappingSet;
 use youtopia_storage::{Database, UpdateId, Value};
+use youtopia_workload::{build_fixture, generate_workload, ExperimentConfig, WorkloadKind};
 
 fn travel(rows: usize) -> (Database, MappingSet) {
     let mut db = Database::new();
@@ -130,10 +137,173 @@ fn bench_resolver_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Hub(x) → Spokeᵢ(x) fan-out: a single insert into `Hub` discovers `spokes`
+/// violations in one step, and every later step deterministically repairs
+/// exactly one, so the violation queue stays ~`spokes` long for ~`spokes`
+/// steps. The reference path re-runs `still_violated` over the whole queue
+/// every step — O(queue²) query evaluations per update — while the
+/// delta-driven queue only revisits violations whose read relations were
+/// written.
+fn hub_spokes(spokes: usize) -> (Database, MappingSet) {
+    let mut db = Database::new();
+    db.add_relation("Hub", ["k"]).unwrap();
+    let mut rules = String::new();
+    for i in 0..spokes {
+        db.add_relation(format!("Spoke{i}"), ["k"]).unwrap();
+        rules.push_str(&format!("m{i}: Hub(x) -> Spoke{i}(x)\n"));
+    }
+    let mut mappings = MappingSet::new();
+    mappings.add_parsed_many(db.catalog(), &rules).unwrap();
+    (db, mappings)
+}
+
+/// C₀(x) → C₁(x) → … → C_d(x): a single insert cascades `d` steps deep with a
+/// short queue — the per-step overhead case.
+fn chain(depth: usize) -> (Database, MappingSet) {
+    let mut db = Database::new();
+    let mut rules = String::new();
+    for i in 0..=depth {
+        db.add_relation(format!("C{i}"), ["k"]).unwrap();
+    }
+    for i in 0..depth {
+        rules.push_str(&format!("c{i}: C{i}(x) -> C{}(x)\n", i + 1));
+    }
+    let mut mappings = MappingSet::new();
+    mappings.add_parsed_many(db.catalog(), &rules).unwrap();
+    (db, mappings)
+}
+
+/// Drives one update to termination with the given queue-maintenance mode.
+/// The fixtures are frontier-free (copy mappings, fresh constants), so no
+/// resolver is needed.
+fn run_single_update(
+    db: &Database,
+    mappings: &MappingSet,
+    op: InitialOp,
+    mode: ChaseMode,
+) -> usize {
+    let mut db = db.clone();
+    let mut exec = UpdateExecution::with_mode(UpdateId(1), op, mode);
+    while !exec.is_terminated() {
+        exec.step(&mut db, mappings).expect("frontier-free chase");
+    }
+    exec.stats().steps
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/end_to_end");
+    group.sample_size(10);
+
+    // A single shallow update: the fixed per-update overhead both modes pay.
+    {
+        let (db, mappings) = hub_spokes(4);
+        let hub = db.relation_id("Hub").unwrap();
+        group.bench_function("single_update", |b| {
+            b.iter(|| {
+                let op =
+                    InitialOp::Insert { relation: hub, values: vec![Value::constant("fresh")] };
+                black_box(run_single_update(&db, &mappings, op, ChaseMode::Incremental))
+            })
+        });
+    }
+
+    // Deep cascade with a long-lived queue: the case the delta-driven queue
+    // exists for. `incremental` versus the pre-change `full_recheck` path is
+    // the ≥2× acceptance comparison recorded in BENCH_chase.json.
+    for spokes in [32usize, 96] {
+        let (db, mappings) = hub_spokes(spokes);
+        let hub = db.relation_id("Hub").unwrap();
+        for (label, mode) in
+            [("incremental", ChaseMode::Incremental), ("full_recheck", ChaseMode::FullRecheck)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(format!("deep_cascade/{spokes}"), label),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        let op = InitialOp::Insert {
+                            relation: hub,
+                            values: vec![Value::constant("fresh")],
+                        };
+                        black_box(run_single_update(&db, &mappings, op, mode))
+                    })
+                },
+            );
+        }
+    }
+
+    // Deep chain, short queue: per-step bookkeeping must not regress.
+    {
+        let (db, mappings) = chain(64);
+        let c0 = db.relation_id("C0").unwrap();
+        for (label, mode) in
+            [("incremental", ChaseMode::Incremental), ("full_recheck", ChaseMode::FullRecheck)]
+        {
+            group.bench_with_input(BenchmarkId::new("chain/64", label), &mode, |b, &mode| {
+                b.iter(|| {
+                    let op =
+                        InitialOp::Insert { relation: c0, values: vec![Value::constant("fresh")] };
+                    black_box(run_single_update(&db, &mappings, op, mode))
+                })
+            });
+        }
+    }
+
+    group.finish();
+}
+
+/// End-to-end chase over the paper-scale generated mapping graph: a slice of
+/// the deep-cascade workload run through the single-threaded exchange, under
+/// both queue-maintenance modes.
+fn bench_end_to_end_mapping_graph(c: &mut Criterion) {
+    let mut config = ExperimentConfig::quick();
+    config.initial_tuples = 200;
+    config.workload_updates = 12;
+    let fixture = build_fixture(&config).expect("fixture builds");
+    let ops = generate_workload(
+        &config,
+        &fixture.schema,
+        &fixture.initial_db,
+        &fixture.mappings,
+        WorkloadKind::DeepCascade,
+        0,
+    );
+
+    let mut group = c.benchmark_group("chase/end_to_end/mapping_graph");
+    group.sample_size(10);
+    for (label, mode) in
+        [("incremental", ChaseMode::Incremental), ("full_recheck", ChaseMode::FullRecheck)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter_batched(
+                || {
+                    let exchange_config = ExchangeConfig { chase_mode: mode, ..Default::default() };
+                    UpdateExchange::with_config(
+                        fixture.initial_db.clone(),
+                        fixture.mappings.clone(),
+                        exchange_config,
+                    )
+                },
+                |mut exchange| {
+                    let mut user = RandomResolver::seeded(9);
+                    for op in &ops {
+                        exchange.run_update(op.clone(), &mut user).unwrap();
+                    }
+                    black_box(exchange.db().total_visible(UpdateId::OMNISCIENT))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_forward_chase_insert,
     bench_backward_chase_delete,
-    bench_resolver_ablation
+    bench_resolver_ablation,
+    bench_end_to_end,
+    bench_end_to_end_mapping_graph
 );
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! ([`ReadQuery::NullOccurrences`] — a null may occur anywhere) are filed as
 //! *wildcards* and consulted for every change.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use youtopia_core::ReadQuery;
 use youtopia_mappings::MappingSet;
@@ -138,9 +138,22 @@ struct StoredRead {
 
 /// The stored read queries of every update (Algorithm 4: "store Q for future
 /// checks"), indexed by the relations each query reads.
+///
+/// Stored reads are *retained*: once recorded they stay live — and keep
+/// participating in conflict checks — until the update aborts
+/// ([`ReadLog::clear`]) or the run ends. This is what lets the chase memoise
+/// a violation's repair plan across steps: the plan's correction queries were
+/// logged when the plan was computed, and a later write that retroactively
+/// changes one of their answers still aborts the owner even though the plan
+/// is never re-executed. Exact duplicates are stored once (the reference
+/// full-recheck chase re-poses identical correction queries every step;
+/// collapsing them keeps the log small without changing any conflict
+/// decision, which is per-query set membership).
 #[derive(Clone, Debug, Default)]
 pub struct ReadLog {
     by_update: HashMap<UpdateId, Vec<StoredRead>>,
+    /// update → the distinct queries already stored for it (duplicate filter).
+    seen_by_update: HashMap<UpdateId, HashSet<ReadQuery>>,
     /// relation → updates with at least one stored query reading it.
     readers_by_relation: HashMap<RelationId, BTreeSet<UpdateId>>,
     /// Updates with at least one wildcard query (consulted for every change).
@@ -153,7 +166,8 @@ impl ReadLog {
         ReadLog::default()
     }
 
-    /// Logs the read queries an update performed in one step. The mapping set
+    /// Logs the read queries an update performed in one step, skipping exact
+    /// duplicates of queries already stored for the update. The mapping set
     /// is needed to resolve each query's relation footprint once, at record
     /// time, so later conflict checks are index lookups.
     pub fn record(
@@ -163,7 +177,11 @@ impl ReadLog {
         mappings: &MappingSet,
     ) {
         let entry = self.by_update.entry(update).or_default();
+        let seen = self.seen_by_update.entry(update).or_default();
         for query in reads {
+            if !seen.insert(query.clone()) {
+                continue;
+            }
             let relations = query.relations_read(mappings);
             if relations.is_empty() {
                 self.wildcard_readers.insert(update);
@@ -231,9 +249,12 @@ impl ReadLog {
     }
 
     /// Clears the stored reads of an update (called when it aborts and
-    /// restarts from scratch).
+    /// restarts from scratch). This is the only way retained reads die: a
+    /// memoised repair plan's queries must outlive the plan's computation
+    /// step, so per-step expiry would lose conflicts.
     pub fn clear(&mut self, update: UpdateId) {
         self.by_update.remove(&update);
+        self.seen_by_update.remove(&update);
         self.wildcard_readers.remove(&update);
         for readers in self.readers_by_relation.values_mut() {
             readers.remove(&update);
@@ -330,6 +351,31 @@ mod tests {
         assert_eq!(log.readers_above(UpdateId(2)), vec![UpdateId(5)]);
         log.clear(UpdateId(5));
         assert_eq!(log.readers_above(UpdateId(1)), vec![UpdateId(2)]);
+    }
+
+    #[test]
+    fn read_log_stores_duplicate_queries_once() {
+        let mappings = MappingSet::new();
+        let mut log = ReadLog::new();
+        let q = ReadQuery::MoreSpecific {
+            relation: RelationId(0),
+            pattern: vec![Value::constant("a")].into(),
+        };
+        // The reference full-recheck chase re-poses the same correction query
+        // every step; the log keeps one copy but the read stays live.
+        log.record(UpdateId(4), vec![q.clone()], &mappings);
+        log.record(UpdateId(4), vec![q.clone(), q.clone()], &mappings);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.reads_of(UpdateId(4)).count(), 1);
+        assert_eq!(log.readers_above_touching(UpdateId(0), RelationId(0)), vec![UpdateId(4)]);
+        // A different query for the same update still records.
+        log.record(UpdateId(4), vec![ReadQuery::NullOccurrences { null: NullId(1) }], &mappings);
+        assert_eq!(log.len(), 2);
+        // After a clear the same query records afresh.
+        log.clear(UpdateId(4));
+        assert!(log.is_empty());
+        log.record(UpdateId(4), vec![q], &mappings);
+        assert_eq!(log.len(), 1);
     }
 
     #[test]

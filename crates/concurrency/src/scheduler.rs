@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 use youtopia_core::{
-    ChaseError, FrontierResolver, InitialOp, ReadQuery, UpdateExecution, UpdateState,
+    ChaseError, ChaseMode, FrontierResolver, InitialOp, ReadQuery, UpdateExecution, UpdateState,
 };
 use youtopia_mappings::MappingSet;
 use youtopia_storage::{Database, TupleChange, UpdateId};
@@ -47,6 +47,10 @@ pub struct SchedulerConfig {
     /// same round; larger values widen the window in which other updates can
     /// interleave, mimicking slow humans.
     pub frontier_delay_rounds: usize,
+    /// How the executions maintain their violation queues (delta-driven by
+    /// default; [`ChaseMode::FullRecheck`] is the reference path the
+    /// conflict-semantics differential tests compare against).
+    pub chase_mode: ChaseMode,
 }
 
 impl Default for SchedulerConfig {
@@ -56,6 +60,7 @@ impl Default for SchedulerConfig {
             policy: SchedulingPolicy::StepRoundRobin,
             max_total_steps: 5_000_000,
             frontier_delay_rounds: 0,
+            chase_mode: ChaseMode::default(),
         }
     }
 }
@@ -102,7 +107,11 @@ impl ConcurrentRun {
             .into_iter()
             .enumerate()
             .map(|(i, op)| Slot {
-                exec: UpdateExecution::new(UpdateId(first_update_number + i as u64), op),
+                exec: UpdateExecution::with_mode(
+                    UpdateId(first_update_number + i as u64),
+                    op,
+                    config.chase_mode,
+                ),
                 frontier_wait: 0,
             })
             .collect();

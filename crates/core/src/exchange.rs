@@ -11,7 +11,7 @@ use youtopia_storage::{Database, NullId, RelationId, TupleId, UpdateId, Value};
 
 use crate::error::ChaseError;
 use crate::resolver::FrontierResolver;
-use crate::update::{InitialOp, UpdateExecution, UpdateState, UpdateStats};
+use crate::update::{ChaseMode, InitialOp, UpdateExecution, UpdateState, UpdateStats};
 
 /// Summary of one completed update.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,11 +33,15 @@ pub struct ExchangeConfig {
     /// [`crate::resolver::ExpandResolver`] under cyclic mappings) would
     /// otherwise run forever.
     pub max_steps_per_update: usize,
+    /// How executions maintain their violation queues (delta-driven by
+    /// default; [`ChaseMode::FullRecheck`] is the differential-testing /
+    /// benchmarking reference path).
+    pub chase_mode: ChaseMode,
 }
 
 impl Default for ExchangeConfig {
     fn default() -> Self {
-        ExchangeConfig { max_steps_per_update: 100_000 }
+        ExchangeConfig { max_steps_per_update: 100_000, chase_mode: ChaseMode::default() }
     }
 }
 
@@ -111,7 +115,7 @@ impl UpdateExchange {
     ) -> Result<UpdateReport, ChaseError> {
         let id = UpdateId(self.next_update);
         self.next_update += 1;
-        let mut exec = UpdateExecution::new(id, op);
+        let mut exec = UpdateExecution::with_mode(id, op, self.config.chase_mode);
         loop {
             if exec.stats().steps >= self.config.max_steps_per_update {
                 return Err(ChaseError::StepLimitExceeded {
@@ -274,8 +278,11 @@ mod tests {
                 ",
             )
             .unwrap();
-        let mut ex =
-            UpdateExchange::with_config(db, mappings, ExchangeConfig { max_steps_per_update: 200 });
+        let mut ex = UpdateExchange::with_config(
+            db,
+            mappings,
+            ExchangeConfig { max_steps_per_update: 200, ..ExchangeConfig::default() },
+        );
         let mut expand = ExpandResolver;
         let err = ex.insert_constants("C", &["Ithaca"], &mut expand);
         assert!(matches!(err, Err(ChaseError::StepLimitExceeded { .. })));

@@ -67,4 +67,4 @@ pub use read_query::{more_specific_tuples, ReadQuery};
 pub use resolver::{
     ExpandResolver, FrontierResolver, RandomResolver, ScriptedResolver, UnifyResolver,
 };
-pub use update::{InitialOp, StepOutcome, UpdateExecution, UpdateState, UpdateStats};
+pub use update::{ChaseMode, InitialOp, StepOutcome, UpdateExecution, UpdateState, UpdateStats};

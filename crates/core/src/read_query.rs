@@ -12,7 +12,7 @@ use youtopia_storage::{
 };
 
 /// A read query performed by a chase step.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ReadQuery {
     /// A violation query (Section 4.2, Example 4.1): which violations of a
     /// mapping are consistent with a written tuple?

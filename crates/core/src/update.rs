@@ -8,12 +8,12 @@
 //! chase-step granularity; the single-threaded
 //! [`UpdateExchange`](crate::exchange::UpdateExchange) drives one at a time.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use youtopia_mappings::{violations_from_change, MappingSet, Violation, ViolationKind};
 use youtopia_storage::{
-    specialization, substitute_nulls, AppliedWrite, Database, NullId, RelationId, TupleData,
-    TupleId, UpdateId, Value, Write,
+    specialization, substitute_nulls, AppliedWrite, DataView, Database, NullId, RelationId,
+    TupleData, TupleId, UpdateId, Value, Write,
 };
 
 use crate::error::ChaseError;
@@ -117,36 +117,118 @@ pub struct StepOutcome {
     pub state: UpdateState,
 }
 
+/// How a chase execution maintains its violation queue and repair plans
+/// across steps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ChaseMode {
+    /// Delta-driven maintenance (the default): the queue is indexed by the
+    /// relations each violation reads, `still_violated` only re-runs on
+    /// violations whose read relations' write epochs moved since their last
+    /// check, and each queued violation keeps a memoised repair plan that is
+    /// invalidated by the same epoch test. Step cost is proportional to what
+    /// changed, not to what is queued.
+    #[default]
+    Incremental,
+    /// The pre-optimisation reference path: every step re-runs
+    /// `still_violated` over the whole queue and re-plans every violation
+    /// until a deterministic one is found. Kept for differential testing
+    /// (`tests/queue_equivalence.rs`) and the `chase/end_to_end` benchmark
+    /// baseline, mirroring how `replan_violation_queries_for_change` backs
+    /// the compiled-plan cache.
+    FullRecheck,
+}
+
+/// One queued violation together with the bookkeeping the delta-driven queue
+/// needs: the relations it reads, the epochs those relations had when the
+/// violation was last known to be live, and the memoised repair plan.
+#[derive(Clone, Debug)]
+struct QueuedViolation {
+    violation: Violation,
+    /// Relations whose writes can change this violation's status or repair
+    /// ([`Violation::read_relations`]).
+    read_relations: Vec<RelationId>,
+    /// `read_relations`' write epochs at the last `still_violated` check (or
+    /// at discovery). While they all still match the store, the violation is
+    /// live without re-evaluating anything.
+    checked_epochs: Vec<u64>,
+    /// Memoised repair plan, reusable while its epochs match the store.
+    plan: Option<MemoisedPlan>,
+}
+
+/// A repair plan computed in an earlier step, valid while the epochs of the
+/// violation's read relations are unchanged. The plan's read queries were
+/// logged when it was computed and stay live in the concurrency layer's read
+/// log until the owning update terminates or aborts, so reusing the plan
+/// never loses a conflict.
+#[derive(Clone, Debug)]
+struct MemoisedPlan {
+    plan: RepairPlan,
+    /// Write epochs of the violation's read relations at plan time.
+    epochs: Vec<u64>,
+}
+
 /// The execution state machine of a single Youtopia update.
 #[derive(Clone, Debug)]
 pub struct UpdateExecution {
     id: UpdateId,
     initial: InitialOp,
+    mode: ChaseMode,
     state: UpdateState,
     pending_writes: Vec<Write>,
-    viol_queue: VecDeque<Violation>,
+    /// The violation queue, keyed by a monotonically increasing enqueue
+    /// sequence number so iteration preserves discovery order (the order the
+    /// old `VecDeque` queue repaired in).
+    viol_queue: BTreeMap<u64, QueuedViolation>,
+    next_viol_seq: u64,
+    /// Hash membership of the queue (dedup of re-discovered violations).
+    queued_set: HashSet<Violation>,
+    /// relation → enqueue numbers of the queued violations reading it.
+    queue_index: HashMap<RelationId, BTreeSet<u64>>,
+    /// relation → write epoch up to which every queued violation indexed
+    /// under the relation has been validated. A step only revisits relations
+    /// whose store epoch differs (covering its own writes, other updates'
+    /// writes and rollbacks alike).
+    index_epochs: HashMap<RelationId, u64>,
     pending_frontier: Option<FrontierRequest>,
     stats: UpdateStats,
 }
 
+#[derive(Clone, Debug)]
 enum RepairPlan {
     Deterministic(Vec<Write>),
     Frontier(FrontierRequest),
 }
 
 impl UpdateExecution {
-    /// Creates the execution for an update with priority number `id`.
+    /// Creates the execution for an update with priority number `id`, using
+    /// the default delta-driven queue maintenance.
     pub fn new(id: UpdateId, initial: InitialOp) -> UpdateExecution {
+        UpdateExecution::with_mode(id, initial, ChaseMode::default())
+    }
+
+    /// Creates the execution with an explicit [`ChaseMode`] (tests and
+    /// benchmarks use [`ChaseMode::FullRecheck`] as the reference path).
+    pub fn with_mode(id: UpdateId, initial: InitialOp, mode: ChaseMode) -> UpdateExecution {
         let first_write = initial.to_write();
         UpdateExecution {
             id,
             initial,
+            mode,
             state: UpdateState::Ready,
             pending_writes: vec![first_write],
-            viol_queue: VecDeque::new(),
+            viol_queue: BTreeMap::new(),
+            next_viol_seq: 0,
+            queued_set: HashSet::new(),
+            queue_index: HashMap::new(),
+            index_epochs: HashMap::new(),
             pending_frontier: None,
             stats: UpdateStats::default(),
         }
+    }
+
+    /// The queue-maintenance mode this execution runs with.
+    pub fn mode(&self) -> ChaseMode {
+        self.mode
     }
 
     /// The update's priority number.
@@ -179,6 +261,30 @@ impl UpdateExecution {
         self.viol_queue.len()
     }
 
+    /// The queued violations in queue (discovery) order. Exposed for the
+    /// queue-equivalence differential tests.
+    pub fn queued_violation_list(&self) -> Vec<Violation> {
+        self.viol_queue.values().map(|e| e.violation.clone()).collect()
+    }
+
+    /// The reference implementation of queue maintenance, kept for
+    /// differential testing (mirroring the compiled-plan cache's
+    /// `replan_violation_queries_for_change` reference): re-runs
+    /// `still_violated` over the *whole* queue on this update's current
+    /// snapshot and returns the violations that survive, in queue order.
+    /// After every step of a [`ChaseMode::Incremental`] execution the queue
+    /// must equal exactly this set (pinned by `tests/queue_equivalence.rs`);
+    /// a [`ChaseMode::FullRecheck`] execution retains exactly this set as its
+    /// in-step maintenance.
+    pub fn recheck_all_violations(&self, db: &Database, mappings: &MappingSet) -> Vec<Violation> {
+        let snap = db.snapshot(self.id);
+        self.viol_queue
+            .values()
+            .filter(|e| e.violation.still_violated(&snap, mappings.get(e.violation.mapping)))
+            .map(|e| e.violation.clone())
+            .collect()
+    }
+
     /// Execution counters.
     pub fn stats(&self) -> UpdateStats {
         self.stats
@@ -191,8 +297,116 @@ impl UpdateExecution {
         self.state = UpdateState::Ready;
         self.pending_writes = vec![self.initial.to_write()];
         self.viol_queue.clear();
+        self.queued_set.clear();
+        self.queue_index.clear();
+        self.index_epochs.clear();
         self.pending_frontier = None;
         self.stats.restarts += 1;
+    }
+
+    /// Enqueues a newly discovered violation (the caller has already checked
+    /// `queued_set` for membership), indexing it under the relations it reads
+    /// and stamping the current write epochs.
+    fn enqueue(&mut self, db: &Database, mappings: &MappingSet, violation: Violation) {
+        let tgd = mappings.get(violation.mapping);
+        let read_relations = violation.read_relations(tgd);
+        let checked_epochs: Vec<u64> =
+            read_relations.iter().map(|r| db.relation_epoch(*r)).collect();
+        let seq = self.next_viol_seq;
+        self.next_viol_seq += 1;
+        for (&relation, &epoch) in read_relations.iter().zip(checked_epochs.iter()) {
+            self.queue_index.entry(relation).or_default().insert(seq);
+            // First entry under the relation: the index is clean up to now.
+            // An existing (possibly older) watermark is kept — other entries
+            // under the relation may still need a recheck.
+            self.index_epochs.entry(relation).or_insert(epoch);
+        }
+        self.queued_set.insert(violation.clone());
+        self.viol_queue
+            .insert(seq, QueuedViolation { violation, read_relations, checked_epochs, plan: None });
+    }
+
+    /// Removes a queue entry, unregistering it from the membership set and
+    /// the relation index.
+    fn remove_entry(&mut self, seq: u64) {
+        let Some(entry) = self.viol_queue.remove(&seq) else { return };
+        self.queued_set.remove(&entry.violation);
+        for relation in entry.read_relations {
+            if let Some(seqs) = self.queue_index.get_mut(&relation) {
+                seqs.remove(&seq);
+                if seqs.is_empty() {
+                    self.queue_index.remove(&relation);
+                    self.index_epochs.remove(&relation);
+                }
+            }
+        }
+    }
+
+    /// Delta-driven queue maintenance: re-runs `still_violated` only on the
+    /// violations indexed under a relation whose write epoch moved since that
+    /// relation was last validated — everything else is provably unchanged.
+    /// Dirty relations cover this step's own writes as well as writes and
+    /// rollbacks other updates performed since our previous step.
+    fn recheck_touched(&mut self, db: &Database, view: &dyn DataView, mappings: &MappingSet) {
+        let dirty: Vec<RelationId> = self
+            .queue_index
+            .keys()
+            .copied()
+            .filter(|r| self.index_epochs.get(r).copied() != Some(db.relation_epoch(*r)))
+            .collect();
+        if dirty.is_empty() {
+            return;
+        }
+        let mut candidates: BTreeSet<u64> = BTreeSet::new();
+        for relation in &dirty {
+            if let Some(seqs) = self.queue_index.get(relation) {
+                candidates.extend(seqs.iter().copied());
+            }
+        }
+        for seq in candidates {
+            let alive = {
+                let Some(entry) = self.viol_queue.get_mut(&seq) else { continue };
+                let unchanged = entry
+                    .read_relations
+                    .iter()
+                    .zip(entry.checked_epochs.iter())
+                    .all(|(r, e)| db.relation_epoch(*r) == *e);
+                if unchanged {
+                    // The dirty relation's epoch moved for someone else; every
+                    // epoch this violation reads is unchanged.
+                    continue;
+                }
+                if entry.violation.still_violated(view, mappings.get(entry.violation.mapping)) {
+                    entry.checked_epochs =
+                        entry.read_relations.iter().map(|r| db.relation_epoch(*r)).collect();
+                    true
+                } else {
+                    false
+                }
+            };
+            if !alive {
+                self.remove_entry(seq);
+            }
+        }
+        for relation in dirty {
+            if self.queue_index.contains_key(&relation) {
+                self.index_epochs.insert(relation, db.relation_epoch(relation));
+            }
+        }
+    }
+
+    /// Reference queue maintenance ([`ChaseMode::FullRecheck`]): the old
+    /// whole-queue `retain` over `still_violated`.
+    fn recheck_everything(&mut self, view: &dyn DataView, mappings: &MappingSet) {
+        let stale: Vec<u64> = self
+            .viol_queue
+            .iter()
+            .filter(|(_, e)| !e.violation.still_violated(view, mappings.get(e.violation.mapping)))
+            .map(|(seq, _)| *seq)
+            .collect();
+        for seq in stale {
+            self.remove_entry(seq);
+        }
     }
 
     /// Executes one chase step (Algorithm 2): performs the pending writes,
@@ -220,37 +434,86 @@ impl UpdateExecution {
         let mut reads: Vec<ReadQuery> = Vec::new();
         let mut new_violations = 0usize;
 
-        // 2. Violation queries: which new violations did the writes cause?
+        // 2. Queue maintenance + violation queries. The incremental mode
+        //    re-checks only violations indexed under a relation whose write
+        //    epoch moved (its own writes this step, or anything other updates
+        //    did since its previous step); the reference mode re-checks the
+        //    whole queue after detection, like the pre-optimisation chase.
         {
             let snap = db.snapshot(self.id);
+            if self.mode == ChaseMode::Incremental {
+                self.recheck_touched(db, &snap, mappings);
+            }
             for aw in &applied {
                 for change in &aw.changes {
                     let (queries, violations) = violations_from_change(&snap, mappings, change);
                     reads.extend(queries.into_iter().map(ReadQuery::Violation));
                     for v in violations {
-                        if !self.viol_queue.contains(&v) {
-                            self.viol_queue.push_back(v);
-                            new_violations += 1;
-                            self.stats.violations_seen += 1;
+                        if self.queued_set.contains(&v) {
+                            continue;
                         }
+                        new_violations += 1;
+                        self.stats.violations_seen += 1;
+                        self.enqueue(db, mappings, v);
                     }
                 }
             }
-            // Remove violations the writes have (directly or indirectly)
-            // repaired, and violations whose witnesses vanished.
-            self.viol_queue.retain(|v| v.still_violated(&snap, mappings.get(v.mapping)));
+            if self.mode == ChaseMode::FullRecheck {
+                // Remove violations the writes have (directly or indirectly)
+                // repaired, and violations whose witnesses vanished.
+                self.recheck_everything(&snap, mappings);
+            }
         }
 
         // 3. Pick the next violation, preferring deterministically repairable
-        //    ones; generate its corrective writes or a frontier request.
-        let mut chosen: Option<(usize, RepairPlan)> = None;
-        let queue: Vec<Violation> = self.viol_queue.iter().cloned().collect();
-        for (idx, violation) in queue.iter().enumerate() {
-            let (plan, plan_reads) = self.plan_repair(db, mappings, violation);
-            reads.extend(plan_reads);
+        //    ones; generate its corrective writes or a frontier request. The
+        //    incremental mode reuses each violation's memoised plan while the
+        //    write epochs of its read relations are unchanged — the plan (and
+        //    its logged reads) can only be stale if one of those relations
+        //    was written.
+        let mut chosen: Option<(u64, RepairPlan)> = None;
+        let seqs: Vec<u64> = self.viol_queue.keys().copied().collect();
+        for seq in seqs {
+            let plan = match self.mode {
+                ChaseMode::FullRecheck => {
+                    let violation =
+                        self.viol_queue.get(&seq).expect("seq collected above").violation.clone();
+                    let (plan, plan_reads) = self.plan_repair(db, mappings, &violation);
+                    reads.extend(plan_reads);
+                    plan
+                }
+                ChaseMode::Incremental => {
+                    // Epoch validation compares in place; the epoch vector is
+                    // only materialised when a fresh memo is stored.
+                    let entry = self.viol_queue.get(&seq).expect("seq collected above");
+                    let memo = entry.plan.as_ref().filter(|m| {
+                        entry
+                            .read_relations
+                            .iter()
+                            .zip(m.epochs.iter())
+                            .all(|(r, e)| db.relation_epoch(*r) == *e)
+                    });
+                    match memo {
+                        Some(memo) => memo.plan.clone(),
+                        None => {
+                            let violation = entry.violation.clone();
+                            let current: Vec<u64> = entry
+                                .read_relations
+                                .iter()
+                                .map(|r| db.relation_epoch(*r))
+                                .collect();
+                            let (plan, plan_reads) = self.plan_repair(db, mappings, &violation);
+                            reads.extend(plan_reads);
+                            let entry = self.viol_queue.get_mut(&seq).expect("seq collected above");
+                            entry.plan = Some(MemoisedPlan { plan: plan.clone(), epochs: current });
+                            plan
+                        }
+                    }
+                }
+            };
             let deterministic = matches!(plan, RepairPlan::Deterministic(_));
             if chosen.is_none() || deterministic {
-                chosen = Some((idx, plan));
+                chosen = Some((seq, plan));
             }
             if deterministic {
                 break;
@@ -259,13 +522,13 @@ impl UpdateExecution {
 
         let mut frontier_request = None;
         match chosen {
-            Some((idx, RepairPlan::Deterministic(corrective))) => {
-                self.viol_queue.remove(idx);
+            Some((seq, RepairPlan::Deterministic(corrective))) => {
+                self.remove_entry(seq);
                 self.pending_writes = corrective;
                 self.state = UpdateState::Ready;
             }
-            Some((idx, RepairPlan::Frontier(request))) => {
-                self.viol_queue.remove(idx);
+            Some((seq, RepairPlan::Frontier(request))) => {
+                self.remove_entry(seq);
                 frontier_request = Some(request.clone());
                 self.pending_frontier = Some(request);
                 self.state = UpdateState::AwaitingFrontier;
@@ -866,6 +1129,102 @@ mod tests {
         let r = db.relation_id("R").unwrap();
         assert_eq!(db.scan(r, UpdateId::OMNISCIENT).len(), 1);
         assert_eq!(db.scan(t, UpdateId::OMNISCIENT).len(), 1);
+    }
+
+    /// Hub(x) → Spokeᵢ(x) fan-out: one insert discovers `spokes` violations
+    /// at once and each subsequent step deterministically repairs one, so the
+    /// queue stays long across many steps.
+    fn hub_spokes(spokes: usize) -> (Database, MappingSet) {
+        let mut db = Database::new();
+        db.add_relation("Hub", ["k"]).unwrap();
+        let mut rules = String::new();
+        for i in 0..spokes {
+            db.add_relation(format!("Spoke{i}"), ["k"]).unwrap();
+            rules.push_str(&format!("m{i}: Hub(x) -> Spoke{i}(x)\n"));
+        }
+        let mut set = MappingSet::new();
+        set.add_parsed_many(db.catalog(), &rules).unwrap();
+        (db, set)
+    }
+
+    #[test]
+    fn incremental_queue_matches_the_full_recheck_reference() {
+        // The copy mappings have no existential variables, so both modes are
+        // byte-identical step for step — compare queues directly.
+        let (db, set) = hub_spokes(6);
+        let hub = db.relation_id("Hub").unwrap();
+        let op = InitialOp::Insert { relation: hub, values: vec![Value::constant("a")] };
+        let mut db_inc = db.clone();
+        let mut db_full = db;
+        let mut inc = UpdateExecution::new(UpdateId(1), op.clone());
+        let mut full = UpdateExecution::with_mode(UpdateId(1), op, ChaseMode::FullRecheck);
+        assert_eq!(inc.mode(), ChaseMode::Incremental);
+        assert_eq!(full.mode(), ChaseMode::FullRecheck);
+
+        let mut steps = 0usize;
+        while !inc.is_terminated() {
+            inc.step(&mut db_inc, &set).unwrap();
+            full.step(&mut db_full, &set).unwrap();
+            steps += 1;
+            assert_eq!(
+                inc.queued_violation_list(),
+                full.queued_violation_list(),
+                "after step {steps} both modes must queue the same violations"
+            );
+            // Invariant of the delta-driven queue: everything queued is still
+            // violated (exactly what the reference full recheck retains).
+            assert_eq!(
+                inc.queued_violation_list(),
+                inc.recheck_all_violations(&db_inc, &set),
+                "after step {steps} no stale violation may linger"
+            );
+        }
+        assert!(full.is_terminated());
+        assert!(steps > 6, "each spoke repair is its own step");
+        for i in 0..6 {
+            let spoke = db_inc.relation_id(&format!("Spoke{i}")).unwrap();
+            assert_eq!(db_inc.visible_count(spoke, UpdateId::OMNISCIENT), 1);
+        }
+    }
+
+    #[test]
+    fn rediscovered_violations_are_not_double_counted() {
+        // σa: A(x) → B(x) ∧ C(x); σb: B(x) ∧ C(y) → D(x). Repairing σa writes
+        // B(a) and C(a) in one step; both changes re-discover the *same* σb
+        // violation, which must be enqueued (and counted) once.
+        let mut db = Database::new();
+        db.add_relation("A", ["k"]).unwrap();
+        db.add_relation("B", ["k"]).unwrap();
+        db.add_relation("C", ["k"]).unwrap();
+        db.add_relation("D", ["k"]).unwrap();
+        let mut set = MappingSet::new();
+        set.add_parsed_many(
+            db.catalog(),
+            "
+            sa: A(x) -> B(x) & C(x)
+            sb: B(x) & C(y) -> D(x)
+            ",
+        )
+        .unwrap();
+        let a = db.relation_id("A").unwrap();
+        let mut exec = UpdateExecution::new(
+            UpdateId(1),
+            InitialOp::Insert { relation: a, values: vec![Value::constant("a")] },
+        );
+        let out = exec.step(&mut db, &set).unwrap();
+        assert_eq!(out.new_violations, 1, "σa fires");
+        // Step 2 inserts B(a) and C(a); the σb violation is seeded by both
+        // changes but counted once.
+        let out = exec.step(&mut db, &set).unwrap();
+        assert_eq!(out.writes.len(), 2);
+        assert_eq!(out.new_violations, 1, "one σb violation despite two seeding changes");
+        assert_eq!(exec.queued_violations(), 0, "σb was chosen for repair immediately");
+        while !exec.is_terminated() {
+            exec.step(&mut db, &set).unwrap();
+        }
+        let d = db.relation_id("D").unwrap();
+        assert_eq!(db.visible_count(d, UpdateId::OMNISCIENT), 1);
+        assert_eq!(exec.stats().violations_seen, 2);
     }
 
     #[test]

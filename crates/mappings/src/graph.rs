@@ -41,6 +41,11 @@ impl MappingGraph {
         self.edges.get(&relation).into_iter().flatten().copied()
     }
 
+    /// Iterates over the relations participating in some mapping (unordered).
+    pub fn nodes(&self) -> impl Iterator<Item = RelationId> + '_ {
+        self.nodes.iter().copied()
+    }
+
     /// Number of relations participating in some mapping.
     pub fn node_count(&self) -> usize {
         self.nodes.len()

@@ -23,7 +23,7 @@ pub enum ViolationKind {
 
 /// A violation of a mapping: an LHS match (the *witness*, Definition 2.2) that
 /// has no matching right-hand side.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Violation {
     /// The violated mapping.
     pub mapping: MappingId,
@@ -41,6 +41,19 @@ impl Violation {
     /// of Definition 2.1.
     pub fn frontier_bindings(&self, tgd: &Tgd) -> Bindings {
         restrict(&self.lhs_bindings, tgd.frontier_vars())
+    }
+
+    /// The relations a re-examination of this violation reads: the relations
+    /// of the witness tuples (the LHS atoms) and the relations of the RHS
+    /// atoms probed by the `NOT EXISTS` check — together with the relations a
+    /// repair plan for the violation would read (forward repair scans the RHS
+    /// relations for more-specific tuples, backward repair looks the witness
+    /// tuples up in the LHS relations). The chase's delta-driven queue indexes
+    /// each queued violation under exactly these relations: only a write to
+    /// one of them can change the violation's status or invalidate its
+    /// memoised repair plan.
+    pub fn read_relations(&self, tgd: &Tgd) -> Vec<youtopia_storage::RelationId> {
+        tgd.relations()
     }
 
     /// Checks whether the violation still holds on `view`: every witness tuple
@@ -80,7 +93,7 @@ impl fmt::Display for Violation {
 /// How a violation query is seeded by a written tuple (Section 4.2): the
 /// tuple's values become constants of the query, exactly like the bound
 /// `A.name = 'Geneva Winery' AND T.company = 'XYZ'` predicates of Example 4.1.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ViolationSeed {
     /// Seeded by a tuple that appeared (insert / null-replacement result):
     /// looks for new LHS matches consistent with binding the LHS atom at
@@ -108,7 +121,7 @@ pub enum ViolationSeed {
 /// A *violation query*: the read query a chase step performs to discover the
 /// new violations of one mapping caused by one write (Section 4.2). These are
 /// the objects logged by the concurrency layer.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ViolationQuery {
     /// The mapping being checked.
     pub mapping: MappingId,
@@ -556,6 +569,36 @@ mod tests {
         assert!(rels.contains(&db.relation_id("A").unwrap()));
         assert!(rels.contains(&db.relation_id("T").unwrap()));
         assert!(rels.contains(&db.relation_id("R").unwrap()));
+    }
+
+    #[test]
+    fn violation_read_relations_cover_witness_and_rhs() {
+        let (mut db, set) = figure2();
+        let t = db.relation_id("T").unwrap();
+        let changes = db
+            .apply(
+                &Write::Insert {
+                    relation: t,
+                    values: vec![
+                        Value::constant("Niagara Falls"),
+                        Value::constant("ABC Tours"),
+                        Value::constant("Buffalo"),
+                    ],
+                },
+                UpdateId(1),
+            )
+            .unwrap();
+        let snap = db.snapshot(UpdateId::OMNISCIENT);
+        let (_, violations) = violations_from_change(&snap, &set, &changes[0]);
+        let v = &violations[0];
+        let tgd = set.get(v.mapping);
+        let reads = v.read_relations(tgd);
+        // σ3 reads A and T (the witness) and R (the NOT EXISTS probe / the
+        // forward-repair scan target).
+        assert_eq!(reads.len(), 3);
+        for name in ["A", "T", "R"] {
+            assert!(reads.contains(&db.relation_id(name).unwrap()), "{name} must be read");
+        }
     }
 
     #[test]

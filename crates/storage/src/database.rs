@@ -224,6 +224,13 @@ impl Database {
         self.store.tuple_relation(tuple)
     }
 
+    /// The write epoch of a relation (see [`VersionStore::relation_epoch`]):
+    /// bumped on every mutation of the relation, so "has anything I read
+    /// changed?" is one integer compare per relation.
+    pub fn relation_epoch(&self, relation: RelationId) -> u64 {
+        self.store.relation_epoch(relation)
+    }
+
     /// All tuples of `relation` visible to `reader`.
     pub fn scan(&self, relation: RelationId, reader: UpdateId) -> Vec<(TupleId, TupleData)> {
         self.store.scan(relation, reader)
@@ -452,6 +459,44 @@ mod tests {
             db_b.scan(r, UpdateId::OMNISCIENT),
             "both entry points must produce identical states"
         );
+    }
+
+    #[test]
+    fn relation_epochs_track_writes_per_relation() {
+        let mut db = Database::new();
+        let r = db.add_relation("R", ["a", "b"]).unwrap();
+        let s = db.add_relation("S", ["a"]).unwrap();
+        assert_eq!(db.relation_epoch(r), 0);
+        assert_eq!(db.relation_epoch(s), 0);
+
+        let x = db.fresh_null();
+        db.apply(
+            &Write::Insert { relation: r, values: vec![V::Null(x), V::constant("k")] },
+            UpdateId(1),
+        )
+        .unwrap();
+        db.apply(&Write::Insert { relation: s, values: vec![V::Null(x)] }, UpdateId(1)).unwrap();
+        assert_eq!(db.relation_epoch(r), 1);
+        assert_eq!(db.relation_epoch(s), 1);
+
+        // A null-replacement rewrites tuples in both relations: both epochs move.
+        db.apply(&Write::NullReplace { null: x, replacement: V::constant("v") }, UpdateId(1))
+            .unwrap();
+        assert_eq!(db.relation_epoch(r), 2);
+        assert_eq!(db.relation_epoch(s), 2);
+
+        // A no-op write (deleting an invisible tuple) moves nothing.
+        db.apply(&Write::Delete { relation: s, tuple: TupleId(999) }, UpdateId(1)).unwrap();
+        assert_eq!(db.relation_epoch(s), 2);
+
+        // Rollback mutates exactly the relations the update touched.
+        db.insert_by_name("S", &["w"], UpdateId(7));
+        assert_eq!(db.relation_epoch(s), 3);
+        db.rollback_update(UpdateId(7));
+        assert_eq!(db.relation_epoch(s), 4);
+        assert_eq!(db.relation_epoch(r), 2);
+        // Unknown relations report epoch 0.
+        assert_eq!(db.relation_epoch(RelationId(55)), 0);
     }
 
     #[test]

@@ -39,10 +39,16 @@ pub struct RelationStore {
     /// *some* version carries that value at that position. Entries are never
     /// removed (stale-tolerant); lookups re-check visible data.
     index: Vec<HashMap<Value, Vec<TupleId>>>,
-    /// reader → visible rows, cleared on every mutation of this relation.
-    /// Behind a mutex (not a `RefCell`) so `&RelationStore` stays `Sync` and
-    /// the parallel experiment sweep can share a fixture database across
-    /// worker threads.
+    /// Write epoch: bumped on every mutation of this relation (insert, new
+    /// version, rollback). Readers that cached derived state (visible sets,
+    /// violation checks, repair plans) validate it with a single integer
+    /// compare instead of re-reading the data.
+    epoch: u64,
+    /// reader → visible rows, invalidated on every mutation *visible to that
+    /// reader* (a write by update `w` can only change the visible set of
+    /// readers with number ≥ `w`). Behind a mutex (not a `RefCell`) so
+    /// `&RelationStore` stays `Sync` and the parallel experiment sweep can
+    /// share a fixture database across worker threads.
     visible_cache: Mutex<HashMap<UpdateId, VisibleRows>>,
     /// reader → visible-row count. Separate from the row cache so count-only
     /// paths (`visible_count`, the join planner's `relation_size`) never pay
@@ -52,12 +58,14 @@ pub struct RelationStore {
 
 impl Clone for RelationStore {
     fn clone(&self) -> RelationStore {
-        // The cache is a pure memo: a clone starts cold.
+        // The cache is a pure memo: a clone starts cold. The epoch is carried
+        // over so epoch-validated state behaves the same on either copy.
         RelationStore {
             id: self.id,
             arity: self.arity,
             tuples: self.tuples.clone(),
             index: self.index.clone(),
+            epoch: self.epoch,
             visible_cache: Mutex::new(HashMap::new()),
             count_cache: Mutex::new(HashMap::new()),
         }
@@ -72,6 +80,7 @@ impl RelationStore {
             arity,
             tuples: BTreeMap::new(),
             index: vec![HashMap::new(); arity],
+            epoch: 0,
             visible_cache: Mutex::new(HashMap::new()),
             count_cache: Mutex::new(HashMap::new()),
         }
@@ -87,11 +96,30 @@ impl RelationStore {
         self.arity
     }
 
-    /// Drops every memoised visible set and count (called on every mutation).
-    fn invalidate_cache(&mut self) {
+    /// The relation's write epoch: monotonically increasing, bumped on every
+    /// mutation. Equal epochs guarantee identical relation contents, so any
+    /// derived state (cached visible sets, still-violated checks, memoised
+    /// repair plans) can be validated with one integer compare.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Registers a mutation performed by `writer`: bumps the write epoch and
+    /// drops the memoised visible sets and counts of every reader the
+    /// mutation is visible to. A version written by update `w` is only ever
+    /// visible to readers with number ≥ `w`, so lower-numbered readers' memos
+    /// are still exact and survive the write.
+    fn note_mutation(&mut self, writer: UpdateId) {
+        self.epoch += 1;
         // `get_mut` needs no lock: `&mut self` proves exclusive access.
-        self.visible_cache.get_mut().unwrap_or_else(|e| e.into_inner()).clear();
-        self.count_cache.get_mut().unwrap_or_else(|e| e.into_inner()).clear();
+        self.visible_cache
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|reader, _| *reader < writer);
+        self.count_cache
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|reader, _| *reader < writer);
     }
 
     fn cache(&self) -> MutexGuard<'_, HashMap<UpdateId, VisibleRows>> {
@@ -119,7 +147,7 @@ impl RelationStore {
 
     /// Registers a brand-new logical tuple with its initial version.
     pub fn insert_new(&mut self, tuple: TupleId, version: TupleVersion) {
-        self.invalidate_cache();
+        self.note_mutation(version.update);
         if let Some(data) = &version.data {
             self.index_values(tuple, data);
         }
@@ -131,6 +159,7 @@ impl RelationStore {
     pub fn push_version(&mut self, tuple: TupleId, version: TupleVersion) -> bool {
         match self.tuples.get_mut(&tuple) {
             Some(chain) => {
+                let writer = version.update;
                 if let Some(data) = &version.data {
                     let data = data.clone();
                     chain.push(version);
@@ -138,7 +167,7 @@ impl RelationStore {
                 } else {
                     chain.push(version);
                 }
-                self.invalidate_cache();
+                self.note_mutation(writer);
                 true
             }
             None => false,
@@ -245,7 +274,9 @@ impl RelationStore {
             }
         }
         if touched {
-            self.invalidate_cache();
+            // Rolling back `update`'s versions can only change what readers
+            // numbered ≥ `update` see.
+            self.note_mutation(update);
         }
         removed
     }
@@ -375,6 +406,62 @@ mod tests {
         // A clone starts with a cold cache but identical contents.
         let clone = store.clone();
         assert_eq!(clone.scan(UpdateId::OMNISCIENT), store.scan(UpdateId::OMNISCIENT));
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation() {
+        let mut store = RelationStore::new(RelationId(0), 1);
+        assert_eq!(store.epoch(), 0);
+        store.insert_new(TupleId(1), version(1, 1, Some(&[V::constant("a")])));
+        assert_eq!(store.epoch(), 1);
+        store.push_version(TupleId(1), version(2, 2, None));
+        assert_eq!(store.epoch(), 2);
+        // Reads do not move the epoch.
+        store.scan(UpdateId::OMNISCIENT);
+        store.visible_count(UpdateId(1));
+        assert_eq!(store.epoch(), 2);
+        store.remove_versions_of(UpdateId(2));
+        assert_eq!(store.epoch(), 3);
+        // Rolling back an update that never wrote here is a no-op.
+        store.remove_versions_of(UpdateId(99));
+        assert_eq!(store.epoch(), 3);
+        // A failed push (unknown tuple) mutates nothing.
+        assert!(!store.push_version(TupleId(77), version(3, 4, None)));
+        assert_eq!(store.epoch(), 3);
+        // The epoch survives a clone.
+        assert_eq!(store.clone().epoch(), 3);
+    }
+
+    #[test]
+    fn writes_only_invalidate_readers_that_can_see_them() {
+        let mut store = RelationStore::new(RelationId(0), 1);
+        store.insert_new(TupleId(1), version(1, 1, Some(&[V::constant("a")])));
+        // Prime memos for a low-numbered and a high-numbered reader.
+        assert_eq!(store.scan(UpdateId(2)).len(), 1);
+        assert_eq!(store.scan(UpdateId(9)).len(), 1);
+        assert_eq!(store.visible_count(UpdateId(2)), 1);
+        assert_eq!(store.cache().len(), 2);
+
+        // A write by update 5 is invisible to reader 2: its memo survives,
+        // reader 9's is dropped.
+        store.insert_new(TupleId(2), version(5, 2, Some(&[V::constant("b")])));
+        {
+            let cache = store.cache();
+            assert!(cache.contains_key(&UpdateId(2)), "reader 2 cannot see update 5's write");
+            assert!(!cache.contains_key(&UpdateId(9)), "reader 9 can see it");
+        }
+        // The retained memo still answers correctly; the invalidated reader
+        // recomputes and sees the new row.
+        assert_eq!(store.scan(UpdateId(2)).len(), 1);
+        assert_eq!(store.scan(UpdateId(9)).len(), 2);
+        assert_eq!(store.visible_count(UpdateId(2)), 1);
+        assert_eq!(store.visible_count(UpdateId(9)), 2);
+
+        // Rollback of update 5 likewise only touches readers ≥ 5.
+        store.remove_versions_of(UpdateId(5));
+        assert!(store.cache().contains_key(&UpdateId(2)));
+        assert!(!store.cache().contains_key(&UpdateId(9)));
+        assert_eq!(store.scan(UpdateId(9)).len(), 1);
     }
 
     #[test]

@@ -48,6 +48,16 @@ impl VersionStore {
         self.relations.len()
     }
 
+    /// The write epoch of a relation: bumped on every mutation of that
+    /// relation (insert, new version, rollback), `0` for unknown relations.
+    /// Equal epochs guarantee identical relation contents, which lets derived
+    /// state — the chase's violation queue, memoised repair plans, readers'
+    /// visible-set memos — validate with an integer compare instead of
+    /// re-evaluating queries.
+    pub fn relation_epoch(&self, relation: RelationId) -> u64 {
+        self.relation(relation).map(|s| s.epoch()).unwrap_or(0)
+    }
+
     /// Registers a brand-new logical tuple.
     pub(crate) fn insert_new(
         &mut self,

@@ -21,13 +21,23 @@ pub enum WorkloadKind {
     /// initial database. Contention concentrates on one relation's mappings,
     /// separating the trackers far more sharply than the uniform choice.
     Skewed,
+    /// Deep-cascade: all inserts, with fresh values, and eighty percent of
+    /// them aimed at the relations from which the longest mapping chains
+    /// start (computed over the mapping graph). Every such insert violates a
+    /// mapping whose repair violates the next one, so chases run long and the
+    /// violation queues actually grow — the stress case for delta-driven
+    /// queue maintenance, where per-step cost must track the *touched*
+    /// violations rather than the queue length.
+    DeepCascade,
 }
 
 impl WorkloadKind {
     /// Fraction of deletes in the workload.
     pub fn delete_fraction(&self) -> f64 {
         match self {
-            WorkloadKind::AllInserts | WorkloadKind::NullReplacementHeavy => 0.0,
+            WorkloadKind::AllInserts
+            | WorkloadKind::NullReplacementHeavy
+            | WorkloadKind::DeepCascade => 0.0,
             WorkloadKind::Mixed | WorkloadKind::Skewed => 0.2,
         }
     }
@@ -50,6 +60,15 @@ impl WorkloadKind {
         }
     }
 
+    /// Probability that an insert targets a relation from which one of the
+    /// longest mapping-graph cascades starts.
+    pub fn cascade_probability(&self) -> f64 {
+        match self {
+            WorkloadKind::DeepCascade => 0.8,
+            _ => 0.0,
+        }
+    }
+
     /// Human-readable name used in reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -57,6 +76,7 @@ impl WorkloadKind {
             WorkloadKind::Mixed => "mixed (80% insert / 20% delete)",
             WorkloadKind::NullReplacementHeavy => "null-replacement-heavy (50% replace)",
             WorkloadKind::Skewed => "skewed (80% of ops on the hot relation)",
+            WorkloadKind::DeepCascade => "deep-cascade (80% of inserts start long chains)",
         }
     }
 }

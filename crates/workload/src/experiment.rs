@@ -118,6 +118,14 @@ pub fn build_fixture(config: &ExperimentConfig) -> Result<ExperimentFixture, Cha
 
 /// Runs one concurrent execution of one workload variant under one tracker and
 /// mapping prefix, returning its metrics. Exposed for benchmarks.
+///
+/// The workload is generated against the *active* mapping prefix. For the
+/// paper's kinds this changes nothing across a density sweep (they ignore the
+/// mappings), but [`WorkloadKind::DeepCascade`] aims its inserts at the
+/// prefix's longest chains, so its op stream varies with `mapping_count` —
+/// deep-cascade points measure "the hardest workload for this density", not
+/// one fixed workload under varying density. Keep that in mind before putting
+/// it on a Figure 3-style x-axis.
 pub fn run_single(
     fixture: &ExperimentFixture,
     config: &ExperimentConfig,
@@ -127,7 +135,8 @@ pub fn run_single(
     variant: u64,
 ) -> Result<RunMetrics, ChaseError> {
     let mappings = fixture.mappings.prefix(mapping_count);
-    let ops = generate_workload(config, &fixture.schema, &fixture.initial_db, kind, variant);
+    let ops =
+        generate_workload(config, &fixture.schema, &fixture.initial_db, &mappings, kind, variant);
     let scheduler = SchedulerConfig {
         tracker,
         frontier_delay_rounds: config.frontier_delay_rounds,
@@ -360,7 +369,9 @@ mod tests {
         let mut config = ExperimentConfig::tiny();
         config.runs = 1;
         config.mapping_counts = vec![config.total_mappings];
-        for kind in [WorkloadKind::NullReplacementHeavy, WorkloadKind::Skewed] {
+        for kind in
+            [WorkloadKind::NullReplacementHeavy, WorkloadKind::Skewed, WorkloadKind::DeepCascade]
+        {
             let results = run_experiment(&config, kind, &[TrackerKind::Coarse], None).unwrap();
             assert_eq!(results.points.len(), 1, "{kind} must produce its point");
             assert!(results.points[0].avg.steps > 0.0);

@@ -48,4 +48,7 @@ pub use experiment::{
 pub use mapping_gen::{generate_mappings, mapping_stats, MappingSetStats};
 pub use report::{render_figure, to_csv};
 pub use schema_gen::{generate_schema, GeneratedSchema};
-pub use update_gen::{generate_workload, hot_relation, visible_nulls, workload_mix, WorkloadMix};
+pub use update_gen::{
+    cascade_depths, cascade_relations, generate_workload, hot_relation, visible_nulls,
+    workload_mix, WorkloadMix,
+};

@@ -10,13 +10,14 @@
 //! tuple to delete is chosen uniformly at random from the relation. In the
 //! mixed insert/delete workload, the order of the updates is then randomized."
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use youtopia_core::InitialOp;
+use youtopia_mappings::{MappingGraph, MappingSet};
 use youtopia_storage::{nulls_of, Database, NullId, RelationId, UpdateId, Value};
 
 use crate::config::{ExperimentConfig, WorkloadKind};
@@ -44,14 +45,68 @@ pub fn hot_relation(db: &Database) -> Option<RelationId> {
         .map(|(r, _)| r)
 }
 
+/// For every relation in the mapping graph: the length of the longest
+/// forward-cascade chain an insert into it can start (the number of mapping
+/// edges a repair can be forced to walk). Relations on a cycle are assigned
+/// the node count — a chase there can cascade until a user unifies.
+pub fn cascade_depths(mappings: &MappingSet) -> HashMap<RelationId, usize> {
+    let graph = MappingGraph::new(mappings);
+    let cap = graph.node_count();
+    // memo: `None` marks "on the DFS stack" (a cycle when revisited).
+    fn depth_of(
+        graph: &MappingGraph,
+        relation: RelationId,
+        cap: usize,
+        memo: &mut HashMap<RelationId, Option<usize>>,
+    ) -> usize {
+        match memo.get(&relation) {
+            Some(Some(depth)) => return *depth,
+            Some(None) => return cap,
+            None => {}
+        }
+        memo.insert(relation, None);
+        let mut best = 0usize;
+        for succ in graph.successors(relation) {
+            best = best.max(1 + depth_of(graph, succ, cap, memo));
+        }
+        best = best.min(cap);
+        memo.insert(relation, Some(best));
+        best
+    }
+    let mut memo = HashMap::new();
+    let mut out = HashMap::new();
+    let mut nodes: Vec<RelationId> = graph.nodes().collect();
+    nodes.sort();
+    for relation in nodes {
+        let depth = depth_of(&graph, relation, cap, &mut memo);
+        out.insert(relation, depth);
+    }
+    out
+}
+
+/// The relations from which the longest mapping cascades start, in ascending
+/// id order — the targets of the deep-cascade workload. Empty when the
+/// mapping set is empty.
+pub fn cascade_relations(mappings: &MappingSet) -> Vec<RelationId> {
+    let depths = cascade_depths(mappings);
+    let Some(max) = depths.values().copied().max() else { return Vec::new() };
+    let mut out: Vec<RelationId> =
+        depths.iter().filter(|(_, d)| **d == max).map(|(r, _)| *r).collect();
+    out.sort();
+    out
+}
+
 /// Generates one workload of `config.workload_updates` initial operations
-/// against the (already populated) `initial_db`. The `variant` index selects a
-/// distinct derived seed so repeated runs use independent workloads while
-/// remaining reproducible.
+/// against the (already populated) `initial_db`. `mappings` is the mapping
+/// set the workload will run under — the deep-cascade kind aims its inserts
+/// at the relations whose mapping chains are longest, the other kinds ignore
+/// it. The `variant` index selects a distinct derived seed so repeated runs
+/// use independent workloads while remaining reproducible.
 pub fn generate_workload(
     config: &ExperimentConfig,
     schema: &GeneratedSchema,
     initial_db: &Database,
+    mappings: &MappingSet,
     kind: WorkloadKind,
     variant: u64,
 ) -> Vec<InitialOp> {
@@ -61,15 +116,30 @@ pub fn generate_workload(
             WorkloadKind::Mixed => 0x5DEECE66,
             WorkloadKind::NullReplacementHeavy => 0x0BAD_5EED,
             WorkloadKind::Skewed => 0x5EED_CAFE,
+            WorkloadKind::DeepCascade => 0x00CA_5CAD,
         },
     );
     let mut rng = StdRng::seed_from_u64(seed);
     let relation_ids: Vec<_> = schema.db.catalog().relation_ids().collect();
     let hot = hot_relation(initial_db);
     let hot_probability = kind.hot_relation_probability();
-    let pick_relation = |rng: &mut StdRng| match hot {
-        Some(hot) if hot_probability > 0.0 && rng.gen_bool(hot_probability) => hot,
-        _ => relation_ids[rng.gen_range(0..relation_ids.len())],
+    let cascade_probability = kind.cascade_probability();
+    let cascades = if cascade_probability > 0.0 { cascade_relations(mappings) } else { Vec::new() };
+    let pick_relation = |rng: &mut StdRng| {
+        if !cascades.is_empty() && rng.gen_bool(cascade_probability) {
+            return cascades[rng.gen_range(0..cascades.len())];
+        }
+        match hot {
+            Some(hot) if hot_probability > 0.0 && rng.gen_bool(hot_probability) => hot,
+            _ => relation_ids[rng.gen_range(0..relation_ids.len())],
+        }
+    };
+    // Deep cascades need violations to actually fire: a pooled constant can
+    // coincide with an existing RHS match and stop the chain, a fresh value
+    // cannot.
+    let fresh_probability = match kind {
+        WorkloadKind::DeepCascade => 1.0,
+        _ => config.fresh_value_probability,
     };
 
     let total = config.workload_updates;
@@ -88,7 +158,7 @@ pub fn generate_workload(
         let arity = schema.db.schema(relation).arity();
         let values = (0..arity)
             .map(|pos| {
-                if rng.gen_bool(config.fresh_value_probability) {
+                if fresh_probability >= 1.0 || rng.gen_bool(fresh_probability) {
                     Value::constant(&format!("fresh_{variant}_{i}_{pos}"))
                 } else {
                     schema.random_constant(&mut rng)
@@ -167,18 +237,18 @@ mod tests {
     use crate::mapping_gen::generate_mappings;
     use crate::schema_gen::generate_schema;
 
-    fn setup() -> (ExperimentConfig, GeneratedSchema, Database) {
+    fn setup() -> (ExperimentConfig, GeneratedSchema, Database, MappingSet) {
         let config = ExperimentConfig::tiny();
         let schema = generate_schema(&config);
         let mappings = generate_mappings(&config, &schema);
         let (db, _) = generate_initial_database(&config, &schema, &mappings).unwrap();
-        (config, schema, db)
+        (config, schema, db, mappings)
     }
 
     #[test]
     fn all_insert_workload_contains_only_inserts() {
-        let (config, schema, db) = setup();
-        let ops = generate_workload(&config, &schema, &db, WorkloadKind::AllInserts, 0);
+        let (config, schema, db, mappings) = setup();
+        let ops = generate_workload(&config, &schema, &db, &mappings, WorkloadKind::AllInserts, 0);
         assert_eq!(ops.len(), config.workload_updates);
         let mix = workload_mix(&ops);
         assert_eq!(mix.inserts, config.workload_updates);
@@ -187,9 +257,9 @@ mod tests {
 
     #[test]
     fn mixed_workload_is_about_twenty_percent_deletes() {
-        let (mut config, schema, db) = setup();
+        let (mut config, schema, db, mappings) = setup();
         config.workload_updates = 50;
-        let ops = generate_workload(&config, &schema, &db, WorkloadKind::Mixed, 0);
+        let ops = generate_workload(&config, &schema, &db, &mappings, WorkloadKind::Mixed, 0);
         let mix = workload_mix(&ops);
         assert_eq!(mix.inserts + mix.deletes, 50);
         assert_eq!(mix.deletes, 10, "20% of 50");
@@ -203,12 +273,12 @@ mod tests {
 
     #[test]
     fn mixed_workload_order_is_shuffled_but_deterministic() {
-        let (mut config, schema, db) = setup();
+        let (mut config, schema, db, mappings) = setup();
         config.workload_updates = 40;
-        let a = generate_workload(&config, &schema, &db, WorkloadKind::Mixed, 1);
-        let b = generate_workload(&config, &schema, &db, WorkloadKind::Mixed, 1);
+        let a = generate_workload(&config, &schema, &db, &mappings, WorkloadKind::Mixed, 1);
+        let b = generate_workload(&config, &schema, &db, &mappings, WorkloadKind::Mixed, 1);
         assert_eq!(a, b, "same variant seed gives the same workload");
-        let c = generate_workload(&config, &schema, &db, WorkloadKind::Mixed, 2);
+        let c = generate_workload(&config, &schema, &db, &mappings, WorkloadKind::Mixed, 2);
         assert_ne!(a, c, "different variants differ");
         // The deletes are not all clumped at the end after shuffling.
         let first_half_deletes =
@@ -218,9 +288,16 @@ mod tests {
 
     #[test]
     fn null_replacement_heavy_workload_targets_initial_nulls() {
-        let (config, schema, db) = setup();
+        let (config, schema, db, mappings) = setup();
         let nulls = visible_nulls(&db);
-        let ops = generate_workload(&config, &schema, &db, WorkloadKind::NullReplacementHeavy, 0);
+        let ops = generate_workload(
+            &config,
+            &schema,
+            &db,
+            &mappings,
+            WorkloadKind::NullReplacementHeavy,
+            0,
+        );
         assert_eq!(ops.len(), config.workload_updates);
         let mix = workload_mix(&ops);
         assert_eq!(mix.deletes, 0);
@@ -243,16 +320,23 @@ mod tests {
             }
         }
         // Reproducible under the variant seed.
-        let again = generate_workload(&config, &schema, &db, WorkloadKind::NullReplacementHeavy, 0);
+        let again = generate_workload(
+            &config,
+            &schema,
+            &db,
+            &mappings,
+            WorkloadKind::NullReplacementHeavy,
+            0,
+        );
         assert_eq!(ops, again);
     }
 
     #[test]
     fn skewed_workload_concentrates_on_the_hot_relation() {
-        let (mut config, schema, db) = setup();
+        let (mut config, schema, db, mappings) = setup();
         config.workload_updates = 60;
         let hot = hot_relation(&db).expect("populated fixture has relations");
-        let ops = generate_workload(&config, &schema, &db, WorkloadKind::Skewed, 0);
+        let ops = generate_workload(&config, &schema, &db, &mappings, WorkloadKind::Skewed, 0);
         assert_eq!(ops.len(), 60);
         let mix = workload_mix(&ops);
         assert_eq!(mix.deletes, 12, "20% of 60");
@@ -279,9 +363,81 @@ mod tests {
     }
 
     #[test]
+    fn deep_cascade_workload_targets_long_mapping_chains() {
+        let (mut config, schema, db, mappings) = setup();
+        config.workload_updates = 50;
+        let targets = cascade_relations(&mappings);
+        assert!(!targets.is_empty(), "the generated mapping set is non-empty");
+        let depths = cascade_depths(&mappings);
+        let max_depth = depths.values().copied().max().unwrap();
+        for r in &targets {
+            assert_eq!(depths[r], max_depth);
+        }
+
+        let ops = generate_workload(&config, &schema, &db, &mappings, WorkloadKind::DeepCascade, 0);
+        assert_eq!(ops.len(), 50);
+        let mix = workload_mix(&ops);
+        assert_eq!(mix.inserts, 50, "deep-cascade is all inserts");
+        let on_target = ops
+            .iter()
+            .filter(|op| match op {
+                InitialOp::Insert { relation, .. } => targets.contains(relation),
+                _ => false,
+            })
+            .count();
+        assert!(
+            on_target * 2 > ops.len(),
+            "most inserts start a longest chain ({on_target}/{} did)",
+            ops.len()
+        );
+        // Values are always fresh so the chains actually fire.
+        for op in &ops {
+            if let InitialOp::Insert { values, .. } = op {
+                for v in values {
+                    if let Value::Const(sym) = v {
+                        assert!(!schema.constants.contains(sym), "deep-cascade values are fresh");
+                    }
+                }
+            }
+        }
+        // Reproducible, and distinct variants differ.
+        let again =
+            generate_workload(&config, &schema, &db, &mappings, WorkloadKind::DeepCascade, 0);
+        assert_eq!(ops, again);
+    }
+
+    #[test]
+    fn cascade_depths_follow_the_mapping_graph() {
+        // Chain: A → B → C plus an isolated copy D → D (self-cycle).
+        let mut db = Database::new();
+        for name in ["A", "B", "C", "D"] {
+            db.add_relation(name, ["k"]).unwrap();
+        }
+        let mut set = MappingSet::new();
+        set.add_parsed_many(
+            db.catalog(),
+            "
+            ab: A(x) -> B(x)
+            bc: B(x) -> C(x)
+            dd: D(x) -> D(x)
+            ",
+        )
+        .unwrap();
+        let depths = cascade_depths(&set);
+        let id = |n: &str| db.relation_id(n).unwrap();
+        assert_eq!(depths[&id("A")], 2);
+        assert_eq!(depths[&id("B")], 1);
+        assert_eq!(depths[&id("C")], 0);
+        // The self-cycle is capped at the node count.
+        assert_eq!(depths[&id("D")], 4);
+        assert_eq!(cascade_relations(&set), vec![id("D")]);
+        assert!(cascade_relations(&MappingSet::new()).is_empty());
+    }
+
+    #[test]
     fn insert_values_mix_fresh_and_pool_constants() {
-        let (config, schema, db) = setup();
-        let ops = generate_workload(&config, &schema, &db, WorkloadKind::AllInserts, 3);
+        let (config, schema, db, mappings) = setup();
+        let ops = generate_workload(&config, &schema, &db, &mappings, WorkloadKind::AllInserts, 3);
         let mut fresh = 0;
         let mut pooled = 0;
         for op in &ops {

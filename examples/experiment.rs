@@ -25,13 +25,14 @@ fn main() {
             "mixed" => kind = WorkloadKind::Mixed,
             "null-heavy" => kind = WorkloadKind::NullReplacementHeavy,
             "skewed" => kind = WorkloadKind::Skewed,
+            "deep-cascade" => kind = WorkloadKind::DeepCascade,
             "--threads" => {
                 threads =
                     args.next().and_then(|v| v.parse().ok()).expect("--threads needs a number");
             }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: experiment [mixed|null-heavy|skewed] [--threads N]");
+                eprintln!("usage: experiment [mixed|null-heavy|skewed|deep-cascade] [--threads N]");
                 std::process::exit(2);
             }
         }
@@ -51,7 +52,14 @@ fn main() {
         stats.avg_rhs_atoms,
         fixture.initial_db.total_visible(UpdateId::OMNISCIENT),
     );
-    let workload = generate_workload(&config, &fixture.schema, &fixture.initial_db, kind, 0);
+    let workload = generate_workload(
+        &config,
+        &fixture.schema,
+        &fixture.initial_db,
+        &fixture.mappings,
+        kind,
+        0,
+    );
     let worker_label = if threads == 0 { "all cores".to_string() } else { threads.to_string() };
     println!("  workload: {} updates ({kind}), workers: {worker_label}\n", workload.len());
 

@@ -106,8 +106,11 @@ fn main() {
     println!();
 
     println!("== The classical chase (always expand) never terminates ==");
-    let mut exchange =
-        UpdateExchange::with_config(db, mappings, ExchangeConfig { max_steps_per_update: 500 });
+    let mut exchange = UpdateExchange::with_config(
+        db,
+        mappings,
+        ExchangeConfig { max_steps_per_update: 500, ..ExchangeConfig::default() },
+    );
     let mut classical = ExpandResolver;
     match exchange.insert_constants("Person", &["John"], &mut classical) {
         Err(ChaseError::StepLimitExceeded { limit, .. }) => {

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Compares freshly produced target/BENCH_<name>.json files against the
+# committed bench-baselines/ and emits a GitHub warning annotation for every
+# benchmark whose median regressed by more than the threshold. Soft check:
+# always exits 0 — the CI runner is a single shared core, so medians are
+# indicative, not authoritative. Update the baselines intentionally by copying
+# target/BENCH_*.json over bench-baselines/ in the PR that changes the perf.
+#
+# Usage: scripts/check_bench_regression.sh [threshold-percent]
+set -u
+
+THRESHOLD=${1:-25}
+BASELINE_DIR="$(dirname "$0")/../bench-baselines"
+TARGET_DIR="$(dirname "$0")/../target"
+
+if ! command -v jq >/dev/null 2>&1; then
+    echo "jq not found; skipping bench regression check"
+    exit 0
+fi
+
+status=0
+for baseline in "$BASELINE_DIR"/BENCH_*.json; do
+    name=$(basename "$baseline")
+    current="$TARGET_DIR/$name"
+    if [ ! -f "$current" ]; then
+        echo "::warning::bench summary $name was not produced by this run"
+        continue
+    fi
+    # id -> median pairs from both files, joined on id.
+    while IFS=$'\t' read -r id base_ns cur_ns; do
+        # Regression percentage, integer math via jq above.
+        pct=$(jq -n --argjson b "$base_ns" --argjson c "$cur_ns" \
+            '(($c - $b) / $b * 100) | round')
+        if [ "$pct" -gt "$THRESHOLD" ]; then
+            echo "::warning file=bench-baselines/$name::$id regressed ${pct}% (baseline ${base_ns}ns -> ${cur_ns}ns, threshold ${THRESHOLD}%)"
+            status=1
+        fi
+    done < <(jq -r --slurpfile cur "$current" '
+        (.results | map({(.id): .median_ns}) | add) as $base
+        | ($cur[0].results | map({(.id): .median_ns}) | add) as $now
+        | $base | to_entries[]
+        | select($now[.key] != null)
+        | [.key, (.value | tostring), ($now[.key] | tostring)] | @tsv' "$baseline")
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "bench medians within ${THRESHOLD}% of baselines"
+else
+    echo "bench regressions detected (warnings above; soft check on a 1-core runner)"
+fi
+exit 0

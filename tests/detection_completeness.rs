@@ -41,7 +41,7 @@ proptest! {
         let mut config = ExperimentConfig::tiny();
         config.initial_tuples = 60;
         let workload =
-            generate_workload(&config, &fixture.schema, &fixture.initial_db, WorkloadKind::Mixed, variant);
+            generate_workload(&config, &fixture.schema, &fixture.initial_db, &fixture.mappings, WorkloadKind::Mixed, variant);
         let op = &workload[op_index % workload.len()];
 
         let mut db = fixture.initial_db.clone();
@@ -78,7 +78,7 @@ proptest! {
         let mut config = ExperimentConfig::tiny();
         config.initial_tuples = 60;
         let workload =
-            generate_workload(&config, &fixture.schema, &fixture.initial_db, WorkloadKind::Mixed, variant);
+            generate_workload(&config, &fixture.schema, &fixture.initial_db, &fixture.mappings, WorkloadKind::Mixed, variant);
         let op = &workload[op_index % workload.len()];
         let probe_op = &workload[probe_index % workload.len()];
         let mappings = &fixture.mappings;

@@ -190,7 +190,7 @@ fn genealogy_cycle_is_controlled_by_cooperation() {
     let mut classical = UpdateExchange::with_config(
         db.clone(),
         mappings.clone(),
-        ExchangeConfig { max_steps_per_update: 300 },
+        ExchangeConfig { max_steps_per_update: 300, ..ExchangeConfig::default() },
     );
     assert!(matches!(
         classical.insert_constants("Person", &["John"], &mut ExpandResolver),

@@ -21,7 +21,7 @@ fn compiled_path_matches_replanning(seed: u64, kind: WorkloadKind) {
     let fixture = build_fixture(&config).expect("fixture builds");
     let mappings = fixture.mappings;
     let mut db = fixture.initial_db;
-    let ops = generate_workload(&config, &fixture.schema, &db, kind, seed);
+    let ops = generate_workload(&config, &fixture.schema, &db, &mappings, kind, seed);
 
     let mut changes_checked = 0usize;
     for (i, op) in ops.iter().enumerate() {

@@ -1,0 +1,156 @@
+//! Differential tests for delta-driven violation-queue maintenance: the
+//! incremental queue (relation-indexed, epoch-validated, memoised repair
+//! plans) must behave exactly like the old full `still_violated` retain,
+//! which is kept as `UpdateExecution::recheck_all_violations` /
+//! `ChaseMode::FullRecheck` — mirroring how PR 2 keeps
+//! `replan_violation_queries_for_change` as the compiled-plan reference.
+//!
+//! Two layers:
+//! * after every chase step of an incremental execution, the queue must equal
+//!   what a full recheck of the whole queue retains (no stale violation
+//!   lingers, no live one is dropped);
+//! * whole concurrent runs under `Incremental` and `FullRecheck` must agree
+//!   on every conflict-semantics observable — PRECISE/COARSE abort counts,
+//!   direct-conflict and cascading-abort requests, steps — and leave
+//!   consistent databases.
+
+use proptest::prelude::*;
+use youtopia::chase::{ChaseMode, FrontierResolver, UpdateExecution, UpdateState};
+use youtopia::concurrency::{ConcurrentRun, RunMetrics, SchedulerConfig};
+use youtopia::mappings::satisfies_all;
+use youtopia::workload::{build_fixture, generate_workload, ExperimentConfig, WorkloadKind};
+use youtopia::{InitialOp, RandomResolver, TrackerKind, UpdateId};
+
+/// Plays a generated workload through manual chase executions and pins the
+/// per-step queue invariant: the incremental queue always equals the
+/// reference full recheck.
+fn incremental_queue_matches_full_recheck(seed: u64, kind: WorkloadKind) {
+    let mut config = ExperimentConfig::tiny();
+    config.seed = seed;
+    let fixture = build_fixture(&config).expect("fixture builds");
+    let mappings = fixture.mappings;
+    let mut db = fixture.initial_db;
+    let ops = generate_workload(&config, &fixture.schema, &db, &mappings, kind, seed);
+
+    let mut resolver = RandomResolver::seeded(seed ^ 0xDE1A);
+    let mut steps_checked = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        let id = UpdateId(10_000 + i as u64);
+        let mut exec = UpdateExecution::new(id, op.clone());
+        assert_eq!(exec.mode(), ChaseMode::Incremental);
+        while !exec.is_terminated() {
+            assert!(steps_checked < 200_000, "seed {seed}: runaway chase");
+            match exec.state() {
+                UpdateState::Ready => {
+                    exec.step(&mut db, &mappings).expect("chase step");
+                    steps_checked += 1;
+                    let queued = exec.queued_violation_list();
+                    let rechecked = exec.recheck_all_violations(&db, &mappings);
+                    assert_eq!(
+                        queued, rechecked,
+                        "seed {seed}, op {i}: after a step the incremental queue must \
+                         retain exactly what a full still_violated recheck retains"
+                    );
+                }
+                UpdateState::AwaitingFrontier => {
+                    let request = exec.pending_frontier().expect("awaiting frontier").clone();
+                    let decision = {
+                        let snap = db.snapshot(id);
+                        resolver.resolve(&snap, &request)
+                    };
+                    exec.resolve_frontier(&mappings, decision).expect("frontier decision");
+                }
+                UpdateState::Terminated => unreachable!(),
+            }
+        }
+    }
+    assert!(steps_checked > 0, "seed {seed}: the workload must take at least one step");
+}
+
+/// Strips the wall-clock field so metrics compare byte-exactly.
+fn scrub(mut m: RunMetrics) -> RunMetrics {
+    m.wall_time = std::time::Duration::ZERO;
+    m
+}
+
+/// Runs one generated workload concurrently under both chase modes and one
+/// tracker; every conflict-semantics observable must be identical.
+fn concurrent_modes_agree(seed: u64, tracker: TrackerKind, kind: WorkloadKind) {
+    let mut config = ExperimentConfig::tiny();
+    config.seed = seed;
+    let fixture = build_fixture(&config).expect("fixture builds");
+    let ops: Vec<InitialOp> = generate_workload(
+        &config,
+        &fixture.schema,
+        &fixture.initial_db,
+        &fixture.mappings,
+        kind,
+        seed,
+    )
+    .into_iter()
+    .take(16)
+    .collect();
+    let first_number = config.initial_tuples as u64 + 1_000;
+
+    let run_with = |chase_mode: ChaseMode| {
+        let scheduler = SchedulerConfig {
+            tracker,
+            frontier_delay_rounds: 3,
+            chase_mode,
+            ..SchedulerConfig::default()
+        };
+        let mut run = ConcurrentRun::new(
+            fixture.initial_db.clone(),
+            fixture.mappings.clone(),
+            ops.clone(),
+            first_number,
+            scheduler,
+        );
+        let mut resolver = RandomResolver::seeded(seed ^ 0xC0FFEE);
+        let metrics = run.run(&mut resolver).expect("run terminates");
+        let (db, mappings, _) = run.into_parts();
+        assert!(
+            satisfies_all(&db.snapshot(UpdateId::OMNISCIENT), &mappings),
+            "seed {seed} ({tracker}, {chase_mode:?}): final database must satisfy all mappings"
+        );
+        scrub(metrics)
+    };
+
+    let incremental = run_with(ChaseMode::Incremental);
+    let full = run_with(ChaseMode::FullRecheck);
+    assert_eq!(
+        incremental, full,
+        "seed {seed} ({tracker}): incremental queue maintenance must not change \
+         aborts, conflict requests, cascades, steps or frontier counts"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Mixed workloads exercise LHS- and RHS-violations (inserts, deletes,
+    /// forward and backward repairs) over random schemas and mapping sets.
+    #[test]
+    fn mixed_workload_queues_agree(seed in 0u64..10_000) {
+        incremental_queue_matches_full_recheck(seed, WorkloadKind::Mixed);
+    }
+
+    /// Deep-cascade workloads chain mappings so the queues actually grow —
+    /// the case the delta-driven maintenance optimises.
+    #[test]
+    fn deep_cascade_queues_agree(seed in 0u64..10_000) {
+        incremental_queue_matches_full_recheck(seed, WorkloadKind::DeepCascade);
+    }
+
+    /// PRECISE abort sets are unchanged by incremental maintenance.
+    #[test]
+    fn precise_conflict_semantics_unchanged(seed in 0u64..10_000) {
+        concurrent_modes_agree(seed, TrackerKind::Precise, WorkloadKind::Mixed);
+    }
+
+    /// COARSE abort sets are unchanged by incremental maintenance.
+    #[test]
+    fn coarse_conflict_semantics_unchanged(seed in 0u64..10_000) {
+        concurrent_modes_agree(seed, TrackerKind::Coarse, WorkloadKind::DeepCascade);
+    }
+}
