@@ -52,6 +52,10 @@ impl Default for FigureOptions {
 ///   densities).
 /// * `--threads N` — worker threads for the sweep (0 = one per core, the
 ///   default). Results are identical at any thread count.
+/// * `--chase-threads N` — worker threads for the chase scheduler inside each
+///   run (0 = the single-threaded reference scheduler, the default; `N ≥ 1`
+///   uses the deterministic `ParallelRun`). Results are identical at any
+///   value.
 /// * `--csv` — also print CSV output.
 pub fn parse_figure_options<I: IntoIterator<Item = String>>(
     args: I,
@@ -83,6 +87,11 @@ pub fn parse_figure_options<I: IntoIterator<Item = String>>(
                 let value = iter.next().ok_or("--threads needs a value")?;
                 options.config.worker_threads =
                     value.parse().map_err(|_| format!("bad --threads value `{value}`"))?;
+            }
+            "--chase-threads" => {
+                let value = iter.next().ok_or("--chase-threads needs a value")?;
+                options.config.chase_workers =
+                    value.parse().map_err(|_| format!("bad --chase-threads value `{value}`"))?;
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -168,6 +177,15 @@ mod tests {
         assert_eq!(options.config.worker_threads, 3);
         assert!(parse_figure_options(args(&["--threads", "x"])).is_err());
         assert!(parse_figure_options(args(&["--threads"])).is_err());
+    }
+
+    #[test]
+    fn chase_threads_flag_sets_scheduler_workers() {
+        let options = parse_figure_options(args(&["--chase-threads", "4"])).unwrap();
+        assert_eq!(options.config.chase_workers, 4);
+        assert_eq!(options.config.worker_threads, 0, "sweep threads are independent");
+        assert!(parse_figure_options(args(&["--chase-threads", "x"])).is_err());
+        assert!(parse_figure_options(args(&["--chase-threads"])).is_err());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use youtopia_core::ReadQuery;
 use youtopia_mappings::MappingSet;
 use youtopia_storage::{AppliedWrite, DataView, RelationId, UpdateId};
 
-use crate::log::WriteLog;
+use crate::log::ChangeSource;
 
 /// Which dependency-tracking algorithm a run uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -80,21 +80,26 @@ impl std::fmt::Display for TrackerKind {
 }
 
 /// Tracks which updates read from which (lower-numbered) updates.
-pub trait DependencyTracker {
+///
+/// `Send` so a scheduler can hand the boxed tracker to worker threads (the
+/// parallel scheduler keeps it behind a mutex — tracker updates are already a
+/// global serialisation point in the algorithm).
+pub trait DependencyTracker: Send {
     /// The algorithm's name (`NAIVE`, `COARSE`, `PRECISE`).
     fn name(&self) -> &'static str;
 
     /// Records the writes of a chase step (needed by `COARSE`'s relation-level
-    /// bookkeeping; `NAIVE` and `PRECISE` rely on the shared [`WriteLog`]).
+    /// bookkeeping; `NAIVE` and `PRECISE` rely on the shared write log).
     fn record_writes(&mut self, writer: UpdateId, writes: &[AppliedWrite]);
 
     /// Records the read dependencies created by `reader` performing `reads` on
-    /// its snapshot `view`.
+    /// its snapshot `view`. `write_log` is the scheduler's log of prior
+    /// changes (a [`crate::WriteLog`] or its lock-striped parallel variant).
     fn record_reads(
         &mut self,
         reader: UpdateId,
         reads: &[ReadQuery],
-        write_log: &WriteLog,
+        write_log: &dyn ChangeSource,
         view: &dyn DataView,
         mappings: &MappingSet,
     );
@@ -134,7 +139,7 @@ impl DependencyTracker for NaiveTracker {
         &mut self,
         _reader: UpdateId,
         _reads: &[ReadQuery],
-        _write_log: &WriteLog,
+        _write_log: &dyn ChangeSource,
         _view: &dyn DataView,
         _mappings: &MappingSet,
     ) {
@@ -180,7 +185,7 @@ impl DependencyTracker for CoarseTracker {
         &mut self,
         reader: UpdateId,
         reads: &[ReadQuery],
-        write_log: &WriteLog,
+        write_log: &dyn ChangeSource,
         view: &dyn DataView,
         mappings: &MappingSet,
     ) {
@@ -198,13 +203,15 @@ impl DependencyTracker for CoarseTracker {
                 // Correction queries: exact, computed from the in-memory write
                 // log without touching the database. The relation-keyed log
                 // hands back only the changes the query could read.
-                for (w, change) in
-                    write_log.changes_before_touching(reader, &read.relations_read(mappings))
-                {
-                    if read.affected_by(view, mappings, change) {
-                        entry.insert(w.update);
-                    }
-                }
+                write_log.for_each_change_before(
+                    reader,
+                    &read.relations_read(mappings),
+                    &mut |writer, change| {
+                        if read.affected_by(view, mappings, change) {
+                            entry.insert(writer);
+                        }
+                    },
+                );
             }
         }
     }
@@ -250,7 +257,7 @@ impl DependencyTracker for PreciseTracker {
         &mut self,
         reader: UpdateId,
         reads: &[ReadQuery],
-        write_log: &WriteLog,
+        write_log: &dyn ChangeSource,
         view: &dyn DataView,
         mappings: &MappingSet,
     ) {
@@ -260,16 +267,18 @@ impl DependencyTracker for PreciseTracker {
             // reads; the relation-keyed write log skips everything else. An
             // empty footprint (null-occurrence queries) falls back to the full
             // log.
-            for (w, change) in
-                write_log.changes_before_touching(reader, &read.relations_read(mappings))
-            {
-                if entry.contains(&w.update) {
-                    continue;
-                }
-                if read.affected_by(view, mappings, change) {
-                    entry.insert(w.update);
-                }
-            }
+            write_log.for_each_change_before(
+                reader,
+                &read.relations_read(mappings),
+                &mut |writer, change| {
+                    if entry.contains(&writer) {
+                        return;
+                    }
+                    if read.affected_by(view, mappings, change) {
+                        entry.insert(writer);
+                    }
+                },
+            );
         }
     }
 
@@ -340,7 +349,7 @@ impl DependencyTracker for HybridTracker {
         &mut self,
         reader: UpdateId,
         reads: &[ReadQuery],
-        write_log: &WriteLog,
+        write_log: &dyn ChangeSource,
         view: &dyn DataView,
         mappings: &MappingSet,
     ) {
@@ -386,6 +395,7 @@ impl DependencyTracker for HybridTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::log::WriteLog;
     use youtopia_mappings::{ViolationQuery, ViolationSeed};
     use youtopia_storage::{Database, Value, Write};
 

@@ -43,7 +43,9 @@ pub mod conflict;
 pub mod deps;
 pub mod log;
 pub mod metrics;
+pub mod parallel;
 pub mod scheduler;
+pub mod striped;
 
 pub use conflict::{
     change_conflicts_with_reader, change_conflicts_with_reader_keyed, direct_conflicts,
@@ -52,6 +54,8 @@ pub use conflict::{
 pub use deps::{
     CoarseTracker, DependencyTracker, HybridTracker, NaiveTracker, PreciseTracker, TrackerKind,
 };
-pub use log::{ReadLog, WriteLog};
+pub use log::{ChangeSource, ReadLog, WriteLog};
 pub use metrics::{AveragedMetrics, RunMetrics};
+pub use parallel::ParallelRun;
 pub use scheduler::{ConcurrentRun, SchedulerConfig, SchedulingPolicy};
+pub use striped::{StripedReadLog, StripedWriteLog};

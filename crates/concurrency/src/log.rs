@@ -127,6 +127,40 @@ impl WriteLog {
     }
 }
 
+/// Read access to the logged tuple changes of lower-numbered updates.
+///
+/// Dependency trackers only ever ask one question of the write log: "which
+/// changes, performed by updates numbered below this reader and touching one
+/// of these relations, exist — in log order?". Abstracting that question lets
+/// the trackers work over both the single-threaded [`WriteLog`] and the
+/// lock-striped parallel write log (whose entries live behind per-relation
+/// stripe locks and cannot be borrowed out).
+pub trait ChangeSource {
+    /// Invokes `f` with `(writer, change)` for every logged change of an
+    /// update numbered strictly below `reader` that touches one of
+    /// `relations`, in log order. An empty relation list is the wildcard: all
+    /// changes qualify.
+    fn for_each_change_before(
+        &self,
+        reader: UpdateId,
+        relations: &[RelationId],
+        f: &mut dyn FnMut(UpdateId, &TupleChange),
+    );
+}
+
+impl ChangeSource for WriteLog {
+    fn for_each_change_before(
+        &self,
+        reader: UpdateId,
+        relations: &[RelationId],
+        f: &mut dyn FnMut(UpdateId, &TupleChange),
+    ) {
+        for (w, change) in self.changes_before_touching(reader, relations) {
+            f(w.update, change);
+        }
+    }
+}
+
 /// One stored read query together with its precomputed relation footprint.
 #[derive(Clone, Debug)]
 struct StoredRead {

@@ -51,6 +51,13 @@ pub struct SchedulerConfig {
     /// default; [`ChaseMode::FullRecheck`] is the reference path the
     /// conflict-semantics differential tests compare against).
     pub chase_mode: ChaseMode,
+    /// Worker threads for [`crate::ParallelRun`] (ignored by the
+    /// single-threaded [`ConcurrentRun`]). `0` means one per available core.
+    pub workers: usize,
+    /// Whether [`crate::ParallelRun`] commits steps in the fixed round-robin
+    /// serialisation order (byte-identical to [`ConcurrentRun`] at any worker
+    /// count) or free-runs for throughput. Ignored by [`ConcurrentRun`].
+    pub deterministic: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -61,6 +68,8 @@ impl Default for SchedulerConfig {
             max_total_steps: 5_000_000,
             frontier_delay_rounds: 0,
             chase_mode: ChaseMode::default(),
+            workers: 1,
+            deterministic: true,
         }
     }
 }

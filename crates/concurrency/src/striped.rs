@@ -1,0 +1,477 @@
+//! Lock-striped read and write logs for the parallel scheduler.
+//!
+//! The single-threaded [`ReadLog`](crate::ReadLog) / [`WriteLog`](crate::WriteLog)
+//! are `&mut self` structures; the parallel scheduler needs many workers to
+//! record reads, log writes and validate conflicts concurrently. Both striped
+//! variants shard their state **by relation** — the same key the PR 2 logs
+//! are indexed by — so two workers whose steps touch disjoint relations never
+//! contend on a stripe. Queries whose relation set is unknown up front
+//! ([`ReadQuery::NullOccurrences`]) go to a dedicated wildcard stripe that is
+//! consulted for every change, mirroring the single-threaded logs.
+//!
+//! Lock discipline: stripe locks are leaves — no other lock is ever acquired
+//! while one is held, and multi-stripe operations (wildcard walks,
+//! [`StripedReadLog::clear`], [`StripedWriteLog::remove_update`]) take the
+//! stripes in ascending index order, so stripe locks cannot deadlock.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use youtopia_core::ReadQuery;
+use youtopia_mappings::MappingSet;
+use youtopia_storage::{AppliedWrite, RelationId, TupleChange, UpdateId};
+
+use crate::log::ChangeSource;
+
+/// Default stripe count: enough to keep a handful of workers off each other's
+/// locks without bloating tiny runs.
+const DEFAULT_STRIPES: usize = 16;
+
+fn stripe_of(relation: RelationId, stripes: usize) -> usize {
+    relation.0 as usize % stripes
+}
+
+/// One stripe of the read log: for the relations hashed to this stripe, the
+/// stored read queries per (relation, reader).
+#[derive(Debug, Default)]
+struct ReadStripe {
+    /// relation → reader → queries whose footprint contains the relation.
+    /// `BTreeMap` so reader iteration is ascending (conflict checks walk
+    /// readers in priority order, like the single-threaded log).
+    queries: HashMap<RelationId, BTreeMap<UpdateId, Vec<ReadQuery>>>,
+}
+
+/// The wildcard stripe: queries with an unknown relation footprint, consulted
+/// for every change.
+#[derive(Debug, Default)]
+struct WildcardStripe {
+    queries: BTreeMap<UpdateId, Vec<ReadQuery>>,
+}
+
+/// The lock-striped variant of [`crate::ReadLog`]: stored read queries of
+/// every update, sharded by the relations each query reads.
+///
+/// Same retained-read semantics as the single-threaded log: a stored read
+/// stays live — and keeps participating in conflict checks — until the update
+/// aborts ([`StripedReadLog::clear`]) or the run ends, and exact duplicate
+/// queries are stored once per update.
+#[derive(Debug)]
+pub struct StripedReadLog {
+    stripes: Vec<Mutex<ReadStripe>>,
+    wildcard: Mutex<WildcardStripe>,
+    /// update → the distinct queries already stored for it (duplicate
+    /// filter). A single lock: recording is per-update and updates are owned
+    /// by one worker at a time, so this lock is effectively uncontended.
+    seen: Mutex<HashMap<UpdateId, HashSet<ReadQuery>>>,
+}
+
+impl Default for StripedReadLog {
+    fn default() -> Self {
+        StripedReadLog::new(DEFAULT_STRIPES)
+    }
+}
+
+impl StripedReadLog {
+    /// Creates an empty log with the given number of stripes (at least one).
+    pub fn new(stripes: usize) -> StripedReadLog {
+        StripedReadLog {
+            stripes: (0..stripes.max(1)).map(|_| Mutex::new(ReadStripe::default())).collect(),
+            wildcard: Mutex::new(WildcardStripe::default()),
+            seen: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn stripe(&self, relation: RelationId) -> MutexGuard<'_, ReadStripe> {
+        self.stripes[stripe_of(relation, self.stripes.len())]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Logs the read queries an update performed in one step, skipping exact
+    /// duplicates of queries already stored for the update.
+    pub fn record(
+        &self,
+        update: UpdateId,
+        reads: impl IntoIterator<Item = ReadQuery>,
+        mappings: &MappingSet,
+    ) {
+        for query in reads {
+            {
+                let mut seen = self.seen.lock().unwrap_or_else(|e| e.into_inner());
+                if !seen.entry(update).or_default().insert(query.clone()) {
+                    continue;
+                }
+            }
+            let relations = query.relations_read(mappings);
+            if relations.is_empty() {
+                let mut wc = self.wildcard.lock().unwrap_or_else(|e| e.into_inner());
+                wc.queries.entry(update).or_default().push(query);
+            } else {
+                for &relation in &relations {
+                    self.stripe(relation)
+                        .queries
+                        .entry(relation)
+                        .or_default()
+                        .entry(update)
+                        .or_default()
+                        .push(query.clone());
+                }
+            }
+        }
+    }
+
+    /// Updates above `writer` with at least one stored query that a write to
+    /// `relation` could affect (queries reading the relation, plus wildcard
+    /// readers), in ascending order — the same candidates the single-threaded
+    /// [`crate::ReadLog::readers_above_touching`] reports.
+    pub fn readers_above_touching(&self, writer: UpdateId, relation: RelationId) -> Vec<UpdateId> {
+        let mut ids: BTreeSet<UpdateId> = {
+            let wc = self.wildcard.lock().unwrap_or_else(|e| e.into_inner());
+            wc.queries.keys().copied().filter(|u| *u > writer).collect()
+        };
+        let stripe = self.stripe(relation);
+        if let Some(readers) = stripe.queries.get(&relation) {
+            ids.extend(readers.keys().copied().filter(|u| *u > writer));
+        }
+        ids.into_iter().collect()
+    }
+
+    /// The stored queries of `update` that a write to `relation` could affect
+    /// (footprint contains the relation, plus the wildcards), cloned out so
+    /// the caller can evaluate them without holding any stripe lock.
+    pub fn queries_touching(&self, update: UpdateId, relation: RelationId) -> Vec<ReadQuery> {
+        let mut out: Vec<ReadQuery> = {
+            let stripe = self.stripe(relation);
+            stripe
+                .queries
+                .get(&relation)
+                .and_then(|readers| readers.get(&update))
+                .cloned()
+                .unwrap_or_default()
+        };
+        let wc = self.wildcard.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(queries) = wc.queries.get(&update) {
+            out.extend(queries.iter().cloned());
+        }
+        out
+    }
+
+    /// Clears the stored reads of an update (called when it aborts and
+    /// restarts from scratch).
+    pub fn clear(&self, update: UpdateId) {
+        for stripe in &self.stripes {
+            let mut stripe = stripe.lock().unwrap_or_else(|e| e.into_inner());
+            stripe.queries.retain(|_, readers| {
+                readers.remove(&update);
+                !readers.is_empty()
+            });
+        }
+        self.wildcard.lock().unwrap_or_else(|e| e.into_inner()).queries.remove(&update);
+        self.seen.lock().unwrap_or_else(|e| e.into_inner()).remove(&update);
+    }
+
+    /// Total number of distinct stored read queries across all updates.
+    pub fn len(&self) -> usize {
+        self.seen.lock().unwrap_or_else(|e| e.into_inner()).values().map(HashSet::len).sum()
+    }
+
+    /// Whether no reads are stored at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One logged tuple change: the change's position in its step's write record,
+/// plus the shared record itself (a write's changes can span relations, so
+/// the record is `Arc`-shared between the stripes it is filed under).
+#[derive(Clone, Debug)]
+struct LoggedChange {
+    /// Database sequence number of the write (globally increasing — restores
+    /// log order across stripes).
+    seq: u64,
+    /// Index of the change within `entry.changes`.
+    change: u32,
+    entry: Arc<AppliedWrite>,
+}
+
+/// The lock-striped variant of [`crate::WriteLog`]: all logged changes,
+/// sharded by the relation each change touches. Log order is recovered from
+/// the database write sequence numbers, which are allocated under the
+/// database write lock and therefore globally ordered.
+#[derive(Debug)]
+pub struct StripedWriteLog {
+    /// stripe → relation → changes touching it, in push order (= seq order,
+    /// since pushes happen while the pusher still owns its step's commit).
+    stripes: Vec<Mutex<HashMap<RelationId, Vec<LoggedChange>>>>,
+}
+
+impl Default for StripedWriteLog {
+    fn default() -> Self {
+        StripedWriteLog::new(DEFAULT_STRIPES)
+    }
+}
+
+impl StripedWriteLog {
+    /// Creates an empty log with the given number of stripes (at least one).
+    pub fn new(stripes: usize) -> StripedWriteLog {
+        StripedWriteLog {
+            stripes: (0..stripes.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Appends the writes of a chase step.
+    pub fn push_all(&self, writes: &[AppliedWrite]) {
+        for w in writes {
+            let entry = Arc::new(w.clone());
+            for (c, change) in w.changes.iter().enumerate() {
+                let relation = change.relation();
+                let mut stripe = self.stripes[stripe_of(relation, self.stripes.len())]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                stripe.entry(relation).or_default().push(LoggedChange {
+                    seq: w.seq,
+                    change: c as u32,
+                    entry: entry.clone(),
+                });
+            }
+        }
+    }
+
+    /// The logged changes of one update, in log order. The free-running
+    /// scheduler captures these just before an abort: their inverses are what
+    /// the rollback does to the database, and are validated against the read
+    /// log like any other write.
+    pub fn changes_of(&self, update: UpdateId) -> Vec<TupleChange> {
+        let mut hits: Vec<(u64, u32, TupleChange)> = Vec::new();
+        for stripe in &self.stripes {
+            let stripe = stripe.lock().unwrap_or_else(|e| e.into_inner());
+            for changes in stripe.values() {
+                hits.extend(
+                    changes
+                        .iter()
+                        .filter(|c| c.entry.update == update)
+                        .map(|c| (c.seq, c.change, c.entry.changes[c.change as usize].clone())),
+                );
+            }
+        }
+        hits.sort_unstable_by_key(|(seq, change, _)| (*seq, *change));
+        hits.into_iter().map(|(_, _, change)| change).collect()
+    }
+
+    /// Drops every change logged for `update` (called when the update aborts).
+    pub fn remove_update(&self, update: UpdateId) {
+        for stripe in &self.stripes {
+            let mut stripe = stripe.lock().unwrap_or_else(|e| e.into_inner());
+            stripe.retain(|_, changes| {
+                changes.retain(|c| c.entry.update != update);
+                !changes.is_empty()
+            });
+        }
+    }
+
+    /// Collects the changes of updates below `reader` touching one of
+    /// `relations` (empty = all), as shared records sorted into log order.
+    fn collect_before(&self, reader: UpdateId, relations: &[RelationId]) -> Vec<LoggedChange> {
+        let mut out: Vec<LoggedChange> = Vec::new();
+        if relations.is_empty() {
+            // Wildcard: every stripe, every relation. Each (seq, change) pair
+            // is filed under exactly one relation, so no dedup is needed.
+            for stripe in &self.stripes {
+                let stripe = stripe.lock().unwrap_or_else(|e| e.into_inner());
+                for changes in stripe.values() {
+                    out.extend(changes.iter().filter(|c| c.entry.update < reader).cloned());
+                }
+            }
+        } else {
+            let mut wanted: Vec<RelationId> = relations.to_vec();
+            wanted.sort_unstable_by_key(|r| (stripe_of(*r, self.stripes.len()), r.0));
+            wanted.dedup();
+            for relation in wanted {
+                let stripe = self.stripes[stripe_of(relation, self.stripes.len())]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                if let Some(changes) = stripe.get(&relation) {
+                    out.extend(changes.iter().filter(|c| c.entry.update < reader).cloned());
+                }
+            }
+        }
+        out.sort_unstable_by_key(|c| (c.seq, c.change));
+        out
+    }
+
+    /// Number of distinct logged step-write records.
+    pub fn len(&self) -> usize {
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        for stripe in &self.stripes {
+            let stripe = stripe.lock().unwrap_or_else(|e| e.into_inner());
+            for changes in stripe.values() {
+                seen.extend(changes.iter().map(|c| c.seq));
+            }
+        }
+        seen.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| s.lock().unwrap_or_else(|e| e.into_inner()).is_empty())
+    }
+}
+
+impl ChangeSource for StripedWriteLog {
+    fn for_each_change_before(
+        &self,
+        reader: UpdateId,
+        relations: &[RelationId],
+        f: &mut dyn FnMut(UpdateId, &TupleChange),
+    ) {
+        // Collect under the stripe locks, evaluate outside them: `f` usually
+        // re-runs a query against the database, which must not happen while a
+        // leaf lock is held.
+        for c in self.collect_before(reader, relations) {
+            f(c.entry.update, &c.entry.changes[c.change as usize]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{ReadLog, WriteLog};
+    use youtopia_storage::{NullId, TupleId, Value, Write};
+
+    fn applied_to(update: u64, seq: u64, relation: RelationId) -> AppliedWrite {
+        AppliedWrite {
+            update: UpdateId(update),
+            seq,
+            write: Write::Insert { relation, values: vec![Value::constant("v")] },
+            changes: vec![TupleChange::Inserted {
+                relation,
+                tuple: TupleId(seq),
+                values: vec![Value::constant("v")].into(),
+            }],
+        }
+    }
+
+    fn changes_of(
+        log: &dyn ChangeSource,
+        reader: UpdateId,
+        rels: &[RelationId],
+    ) -> Vec<(UpdateId, RelationId)> {
+        let mut out = Vec::new();
+        log.for_each_change_before(reader, rels, &mut |u, c| out.push((u, c.relation())));
+        out
+    }
+
+    #[test]
+    fn striped_write_log_agrees_with_the_single_threaded_log() {
+        let r0 = RelationId(0);
+        let r1 = RelationId(1);
+        let r17 = RelationId(17); // collides with r1 at 16 stripes
+        let writes = [
+            applied_to(1, 1, r0),
+            applied_to(2, 2, r1),
+            applied_to(3, 3, r17),
+            applied_to(5, 4, r0),
+        ];
+
+        let mut plain = WriteLog::new();
+        plain.push_all(&writes);
+        let striped = StripedWriteLog::default();
+        striped.push_all(&writes);
+
+        for reader in [0u64, 2, 4, 9] {
+            for rels in [vec![], vec![r0], vec![r1, r17], vec![r17, r0, r1]] {
+                assert_eq!(
+                    changes_of(&striped, UpdateId(reader), &rels),
+                    changes_of(&plain, UpdateId(reader), &rels),
+                    "reader {reader}, relations {rels:?}"
+                );
+            }
+        }
+
+        striped.remove_update(UpdateId(3));
+        plain.remove_update(UpdateId(3));
+        assert_eq!(changes_of(&striped, UpdateId(9), &[]), changes_of(&plain, UpdateId(9), &[]));
+        assert_eq!(striped.len(), 3);
+        assert!(!striped.is_empty());
+    }
+
+    #[test]
+    fn striped_read_log_agrees_with_the_single_threaded_log() {
+        let mappings = MappingSet::new();
+        let r0 = RelationId(0);
+        let r16 = RelationId(16); // collides with r0 at 16 stripes
+        let q0 =
+            ReadQuery::MoreSpecific { relation: r0, pattern: vec![Value::constant("a")].into() };
+        let q16 =
+            ReadQuery::MoreSpecific { relation: r16, pattern: vec![Value::constant("b")].into() };
+        let wq = ReadQuery::NullOccurrences { null: NullId(7) };
+
+        let mut plain = ReadLog::new();
+        let striped = StripedReadLog::default();
+        for (u, q) in [(3u64, &q0), (4, &wq), (5, &q16), (3, &q0) /* duplicate */] {
+            plain.record(UpdateId(u), vec![q.clone()], &mappings);
+            striped.record(UpdateId(u), vec![q.clone()], &mappings);
+        }
+        assert_eq!(striped.len(), plain.len());
+
+        for writer in [0u64, 3, 4] {
+            for rel in [r0, r16] {
+                assert_eq!(
+                    striped.readers_above_touching(UpdateId(writer), rel),
+                    plain.readers_above_touching(UpdateId(writer), rel),
+                    "writer {writer}, relation {rel:?}"
+                );
+            }
+        }
+        // Query retrieval matches footprints, wildcards always qualify.
+        assert_eq!(striped.queries_touching(UpdateId(3), r0), vec![q0.clone()]);
+        assert!(striped.queries_touching(UpdateId(3), r16).is_empty());
+        assert_eq!(striped.queries_touching(UpdateId(4), r16), vec![wq.clone()]);
+
+        striped.clear(UpdateId(4));
+        plain.clear(UpdateId(4));
+        assert_eq!(
+            striped.readers_above_touching(UpdateId(0), r16),
+            plain.readers_above_touching(UpdateId(0), r16)
+        );
+        assert!(!striped.is_empty());
+        striped.clear(UpdateId(3));
+        striped.clear(UpdateId(5));
+        assert!(striped.is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_every_stripe_consistent() {
+        let striped = StripedReadLog::new(4);
+        let wlog = StripedWriteLog::new(4);
+        let mappings = MappingSet::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let striped = &striped;
+                let wlog = &wlog;
+                let mappings = &mappings;
+                scope.spawn(move || {
+                    for i in 0..25u64 {
+                        let rel = RelationId(((t * 25 + i) % 7) as u32);
+                        let q = ReadQuery::MoreSpecific {
+                            relation: rel,
+                            pattern: vec![Value::constant(&format!("{t}-{i}"))].into(),
+                        };
+                        striped.record(UpdateId(10 + t), vec![q], mappings);
+                        wlog.push_all(&[applied_to(10 + t, t * 1000 + i, rel)]);
+                    }
+                });
+            }
+        });
+        assert_eq!(striped.len(), 100);
+        assert_eq!(wlog.len(), 100);
+        let mut total = 0usize;
+        for rel in 0..7u32 {
+            for reader in striped.readers_above_touching(UpdateId(0), RelationId(rel)) {
+                total += striped.queries_touching(reader, RelationId(rel)).len();
+            }
+        }
+        assert_eq!(total, 100, "every recorded query must be reachable through its relation");
+    }
+}

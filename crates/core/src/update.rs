@@ -267,6 +267,27 @@ impl UpdateExecution {
         self.viol_queue.values().map(|e| e.violation.clone()).collect()
     }
 
+    /// The relations the update's next chase step can touch: the targets of
+    /// its pending writes plus the read relations of its queued violations
+    /// (the delta-driven queue's relation index). The parallel scheduler
+    /// shards its run queues by this footprint. Sorted and deduplicated; a
+    /// pending null-replacement contributes nothing (its reach is unknown
+    /// until executed).
+    pub fn next_touched_relations(&self) -> Vec<RelationId> {
+        let mut out: Vec<RelationId> = self
+            .pending_writes
+            .iter()
+            .filter_map(|w| match w {
+                Write::Insert { relation, .. } | Write::Delete { relation, .. } => Some(*relation),
+                Write::NullReplace { .. } => None,
+            })
+            .collect();
+        out.extend(self.queue_index.keys().copied());
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// The reference implementation of queue maintenance, kept for
     /// differential testing (mirroring the compiled-plan cache's
     /// `replan_violation_queries_for_change` reference): re-runs
@@ -418,19 +439,47 @@ impl UpdateExecution {
         db: &mut Database,
         mappings: &MappingSet,
     ) -> Result<StepOutcome, ChaseError> {
+        let applied = self.begin_step(db)?;
+        self.finish_step(db, mappings, applied)
+    }
+
+    /// The write half of a chase step: performs the writes scheduled by the
+    /// previous step (or the initial user operation) and returns their
+    /// effects. This is the only part of a step that needs exclusive database
+    /// access; the parallel scheduler calls it under the database write lock
+    /// and runs [`Self::finish_step`] under a read lock, so analysis of
+    /// different updates can overlap. Calling the two halves back to back is
+    /// exactly [`Self::step`].
+    pub fn begin_step(&mut self, db: &mut Database) -> Result<Vec<AppliedWrite>, ChaseError> {
         if self.state != UpdateState::Ready {
             return Err(ChaseError::NotReady(self.id));
         }
         self.stats.steps += 1;
 
-        // 1. Perform the writes scheduled by the previous step (or the initial
-        //    user operation). The write set is handed over wholesale so the
-        //    batch fast path can move the writes into the log records instead
-        //    of cloning them.
+        // Perform the writes scheduled by the previous step (or the initial
+        // user operation). The write set is handed over wholesale so the
+        // batch fast path can move the writes into the log records instead
+        // of cloning them.
         let writes = std::mem::take(&mut self.pending_writes);
         let applied = db.apply_all_owned(writes, self.id)?;
         self.stats.changes += applied.iter().map(|w| w.changes.len()).sum::<usize>();
+        Ok(applied)
+    }
 
+    /// The read half of a chase step: violation detection, queue maintenance
+    /// and repair planning over the writes `applied` by [`Self::begin_step`].
+    /// Only needs a shared database borrow (fresh nulls come from an atomic
+    /// counter). In a concurrent setting other updates may commit writes
+    /// between the two halves; that is exactly the premature-read situation
+    /// the optimistic scheduler already handles — every read this half
+    /// performs is returned in the [`StepOutcome`] for logging, and a later
+    /// conflict check aborts this update if one of those reads was premature.
+    pub fn finish_step(
+        &mut self,
+        db: &Database,
+        mappings: &MappingSet,
+        applied: Vec<AppliedWrite>,
+    ) -> Result<StepOutcome, ChaseError> {
         let mut reads: Vec<ReadQuery> = Vec::new();
         let mut new_violations = 0usize;
 
@@ -699,7 +748,7 @@ impl UpdateExecution {
     /// correction queries that were needed to decide.
     fn plan_repair(
         &self,
-        db: &mut Database,
+        db: &Database,
         mappings: &MappingSet,
         violation: &Violation,
     ) -> (RepairPlan, Vec<ReadQuery>) {
@@ -714,7 +763,7 @@ impl UpdateExecution {
     /// tuples.
     fn plan_forward(
         &self,
-        db: &mut Database,
+        db: &Database,
         mappings: &MappingSet,
         violation: &Violation,
     ) -> (RepairPlan, Vec<ReadQuery>) {

@@ -2,6 +2,7 @@
 //! of the [`VersionStore`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::StorageError;
 use crate::schema::{Catalog, RelationId, RelationSchema};
@@ -21,13 +22,29 @@ use crate::version::{AppliedWrite, TupleChange, TupleVersion, UpdateId, VersionC
 /// stamps the resulting tuple versions with the writing update's priority
 /// number; readers observe the database through [`Database::snapshot`], which
 /// implements the visibility rule of Section 4.1.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Database {
     catalog: Catalog,
     store: VersionStore,
     next_tuple: u64,
-    next_null: u64,
+    /// Atomic so [`Database::fresh_null`] works through a shared borrow: the
+    /// parallel scheduler plans repairs (which mint fresh nulls) for many
+    /// updates concurrently under a read lock, while tuple and sequence ids
+    /// are only allocated by writes, which hold the write lock.
+    next_null: AtomicU64,
     next_seq: u64,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Database {
+        Database {
+            catalog: self.catalog.clone(),
+            store: self.store.clone(),
+            next_tuple: self.next_tuple,
+            next_null: AtomicU64::new(self.next_null.load(Ordering::Relaxed)),
+            next_seq: self.next_seq,
+        }
+    }
 }
 
 impl Database {
@@ -68,16 +85,16 @@ impl Database {
         self.catalog.relation_id(name)
     }
 
-    /// Allocates a fresh labeled null, unique within this database.
-    pub fn fresh_null(&mut self) -> NullId {
-        let id = NullId(self.next_null);
-        self.next_null += 1;
-        id
+    /// Allocates a fresh labeled null, unique within this database. Takes a
+    /// shared borrow (the counter is atomic) so concurrent repair planning
+    /// can mint nulls without exclusive database access.
+    pub fn fresh_null(&self) -> NullId {
+        NullId(self.next_null.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Largest null id allocated so far (for diagnostics).
     pub fn null_counter(&self) -> u64 {
-        self.next_null
+        self.next_null.load(Ordering::Relaxed)
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -406,7 +423,7 @@ mod tests {
 
     #[test]
     fn fresh_nulls_are_unique() {
-        let (mut db, _) = db_one_relation(1);
+        let (db, _) = db_one_relation(1);
         let a = db.fresh_null();
         let b = db.fresh_null();
         assert_ne!(a, b);

@@ -134,6 +134,12 @@ pub struct ExperimentConfig {
     /// seed, so the results are identical at any thread count. `0` means "one
     /// per available core".
     pub worker_threads: usize,
+    /// Worker threads for the chase scheduler *inside* each run: `0` uses the
+    /// single-threaded `ConcurrentRun` reference; `N ≥ 1` uses the
+    /// deterministic `ParallelRun` with `N` workers, which commits steps in
+    /// the reference serialisation order — results are byte-identical either
+    /// way (pinned by `tests/determinism.rs`).
+    pub chase_workers: usize,
 }
 
 impl ExperimentConfig {
@@ -156,6 +162,7 @@ impl ExperimentConfig {
             seed: 2009,
             frontier_delay_rounds: 2,
             worker_threads: 0,
+            chase_workers: 0,
         }
     }
 
@@ -178,6 +185,7 @@ impl ExperimentConfig {
             seed: 7,
             frontier_delay_rounds: 2,
             worker_threads: 0,
+            chase_workers: 0,
         }
     }
 
@@ -198,6 +206,7 @@ impl ExperimentConfig {
             seed: 13,
             frontier_delay_rounds: 1,
             worker_threads: 0,
+            chase_workers: 0,
         }
     }
 

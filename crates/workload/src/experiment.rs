@@ -13,7 +13,7 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use youtopia_concurrency::{
-    AveragedMetrics, ConcurrentRun, RunMetrics, SchedulerConfig, TrackerKind,
+    AveragedMetrics, ConcurrentRun, ParallelRun, RunMetrics, SchedulerConfig, TrackerKind,
 };
 use youtopia_core::{ChaseError, RandomResolver};
 use youtopia_mappings::{satisfies_all, MappingSet};
@@ -140,19 +140,37 @@ pub fn run_single(
     let scheduler = SchedulerConfig {
         tracker,
         frontier_delay_rounds: config.frontier_delay_rounds,
+        workers: config.chase_workers.max(1),
+        deterministic: true,
         ..SchedulerConfig::default()
     };
     // Workload updates get priority numbers above every update that built the
     // initial database.
     let first_number = config.initial_tuples as u64 + 1_000;
-    let mut run =
-        ConcurrentRun::new(fixture.initial_db.clone(), mappings, ops, first_number, scheduler);
     let mut resolver = RandomResolver::seeded(config.seed ^ (variant.wrapping_mul(0x9E37_79B9)));
-    let metrics = run.run(&mut resolver)?;
-    debug_assert!({
-        let (db, mappings, _) = run.into_parts();
-        satisfies_all(&db.snapshot(UpdateId::OMNISCIENT), &mappings)
-    });
+    // `chase_workers == 0` runs the single-threaded reference scheduler;
+    // otherwise the deterministic ParallelRun commits steps in the reference
+    // serialisation order, so the two paths are byte-identical (pinned by
+    // `tests/determinism.rs`).
+    let metrics = if config.chase_workers == 0 {
+        let mut run =
+            ConcurrentRun::new(fixture.initial_db.clone(), mappings, ops, first_number, scheduler);
+        let metrics = run.run(&mut resolver)?;
+        debug_assert!({
+            let (db, mappings, _) = run.into_parts();
+            satisfies_all(&db.snapshot(UpdateId::OMNISCIENT), &mappings)
+        });
+        metrics
+    } else {
+        let mut run =
+            ParallelRun::new(fixture.initial_db.clone(), mappings, ops, first_number, scheduler);
+        let metrics = run.run(&mut resolver)?;
+        debug_assert!({
+            let (db, mappings, _) = run.into_parts();
+            satisfies_all(&db.snapshot(UpdateId::OMNISCIENT), &mappings)
+        });
+        metrics
+    };
     Ok(metrics)
 }
 

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Mirrors the full CI matrix (.github/workflows/ci.yml) for offline pre-push
+# runs: lint → test → stress → bench, same commands, same gates, one machine.
+# Stops at the first failing stage, like the `needs:` edges do in CI.
+#
+# Usage: scripts/ci_local.sh [stage...]
+#   stages: lint test stress bench   (default: all, in order)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+stage_lint() {
+    echo "==> [lint] cargo fmt --all --check"
+    cargo fmt --all --check
+    echo "==> [lint] cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+stage_test() {
+    echo "==> [test] cargo build --release"
+    cargo build --release
+    echo "==> [test] cargo test --workspace -q"
+    cargo test --workspace -q
+    echo "==> [test] example smoke tests"
+    cargo run --release --example quickstart
+    cargo run --release --example genealogy
+    cargo run --release --example concurrent_updates
+    cargo run --release --example experiment
+}
+
+stage_stress() {
+    echo "==> [stress] free-running stress lane (ignored tests)"
+    cargo test -q --release --test parallel_stress -- --ignored
+    echo "==> [stress] scheduler equivalence"
+    cargo test -q --release --test scheduler_equivalence
+    echo "==> [stress] determinism across worker counts"
+    cargo test -q --release --test determinism
+    echo "==> [stress] fig3 smoke at chase-thread counts 1 2 4"
+    for t in 1 2 4; do
+        cargo run -p youtopia-bench --bin fig3 --release -- --runs 1 --updates 20 --no-naive --chase-threads "$t"
+    done
+}
+
+stage_bench() {
+    echo "==> [bench] cargo bench --no-run --workspace"
+    cargo bench --no-run --workspace
+    echo "==> [bench] bench summaries"
+    cargo bench -p youtopia-bench --bench storage_ops
+    cargo bench -p youtopia-bench --bench violation_queries
+    cargo bench -p youtopia-bench --bench chase
+    echo "==> [bench] two-tier regression gate"
+    bash scripts/check_bench_regression.sh 25 100
+    echo "==> [bench] fig3 smoke (quick profile)"
+    cargo run -p youtopia-bench --bin fig3 --release -- --runs 2 --updates 40 --no-naive
+}
+
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+    stages=(lint test stress bench)
+fi
+for stage in "${stages[@]}"; do
+    case "$stage" in
+        lint) stage_lint ;;
+        test) stage_test ;;
+        stress) stage_stress ;;
+        bench) stage_bench ;;
+        *)
+            echo "unknown stage '$stage' (expected: lint test stress bench)" >&2
+            exit 2
+            ;;
+    esac
+done
+echo "ci_local: all requested stages green"

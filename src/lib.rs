@@ -52,7 +52,9 @@ pub use youtopia_concurrency as concurrency;
 /// `youtopia-workload`).
 pub use youtopia_workload as workload;
 
-pub use youtopia_concurrency::{ConcurrentRun, RunMetrics, SchedulerConfig, TrackerKind};
+pub use youtopia_concurrency::{
+    ConcurrentRun, ParallelRun, RunMetrics, SchedulerConfig, TrackerKind,
+};
 pub use youtopia_core::{
     ChaseError, ExpandResolver, FrontierDecision, FrontierRequest, FrontierResolver, InitialOp,
     PositiveAction, RandomResolver, ScriptedResolver, UnifyResolver, UpdateExchange,
