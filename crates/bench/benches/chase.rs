@@ -7,11 +7,10 @@
 //! path, so `BENCH_chase.json` records the step-cost-vs-queue-size win.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use youtopia_concurrency::{ParallelRun, SchedulerConfig, TrackerKind};
-use youtopia_core::{
-    ChaseMode, ExchangeConfig, InitialOp, RandomResolver, UnifyResolver, UpdateExchange,
-    UpdateExecution,
+use youtopia_concurrency::{
+    ExchangeConfig, ParallelRun, SchedulerConfig, TrackerKind, UpdateExchange,
 };
+use youtopia_core::{ChaseMode, InitialOp, RandomResolver, UnifyResolver, UpdateExecution};
 use youtopia_mappings::MappingSet;
 use youtopia_storage::{Database, UpdateId, Value};
 use youtopia_workload::{build_fixture, generate_workload, ExperimentConfig, WorkloadKind};

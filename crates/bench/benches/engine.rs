@@ -1,0 +1,118 @@
+//! Benchmarks for the long-lived [`ExchangeEngine`]'s ingestion path — the
+//! `chase/engine_ingest` group committed as `bench-baselines/BENCH_engine.json`.
+//!
+//! Three shapes of the same paper-scale workload:
+//!
+//! * `batch/<n>` — one atomic batch through a deterministic one-worker
+//!   engine, pumped to quiescence: the engine-ingest analogue of the
+//!   reference scheduler, so regressions here are submit/publish/answer
+//!   overhead, not chase cost.
+//! * `staggered/<wave>` — the same updates arriving in closed-loop waves,
+//!   measuring the admission + wake-up cost a live deployment pays per wave.
+//! * `submit_wait/<n>` — one update at a time through a persistent engine
+//!   (submit → wait), the `UpdateExchange` serving pattern; dominated by the
+//!   cross-thread handoff per update, which is exactly what this group
+//!   guards.
+//!
+//! The engine spawns OS worker threads, so single-core CI medians include
+//! scheduler noise — the group is exempt from the hard regression tier the
+//! way `chase/parallel/*` is, and guarded by the soft tier.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use youtopia_concurrency::{
+    EngineConfig, ExchangeEngine, ResolverPump, SchedulerConfig, TrackerKind,
+};
+use youtopia_core::RandomResolver;
+use youtopia_workload::{build_fixture, generate_workload, ExperimentConfig, WorkloadKind};
+
+fn bench_engine_ingest(c: &mut Criterion) {
+    let mut config = ExperimentConfig::quick();
+    config.initial_tuples = 200;
+    config.workload_updates = 24;
+    let fixture = build_fixture(&config).expect("fixture builds");
+    let first_number = config.initial_tuples as u64 + 1_000;
+    let ops = generate_workload(
+        &config,
+        &fixture.schema,
+        &fixture.initial_db,
+        &fixture.mappings,
+        WorkloadKind::Mixed,
+        0,
+    );
+    let engine_config = || {
+        EngineConfig::default()
+            .with_scheduler(SchedulerConfig::with_tracker(TrackerKind::Coarse).with_workers(1))
+            .with_first_update_number(first_number)
+    };
+
+    let mut group = c.benchmark_group("chase/engine_ingest");
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::new("batch", ops.len()), &(), |b, ()| {
+        b.iter_batched(
+            || {
+                ExchangeEngine::new(
+                    fixture.initial_db.clone(),
+                    fixture.mappings.clone(),
+                    engine_config(),
+                )
+            },
+            |engine| {
+                engine.submit_batch(ops.clone()).unwrap();
+                let mut resolver = RandomResolver::seeded(7);
+                ResolverPump::new(&engine, &mut resolver).run_until_quiescent().unwrap();
+                black_box(engine.metrics().steps)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    for wave in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("staggered", wave), &wave, |b, &wave| {
+            b.iter_batched(
+                || {
+                    ExchangeEngine::new(
+                        fixture.initial_db.clone(),
+                        fixture.mappings.clone(),
+                        engine_config(),
+                    )
+                },
+                |engine| {
+                    let mut resolver = RandomResolver::seeded(7);
+                    for chunk in ops.chunks(wave) {
+                        engine.submit_batch(chunk.to_vec()).unwrap();
+                        ResolverPump::new(&engine, &mut resolver).run_until_quiescent().unwrap();
+                    }
+                    black_box(engine.metrics().steps)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    group.bench_with_input(BenchmarkId::new("submit_wait", ops.len()), &(), |b, ()| {
+        b.iter_batched(
+            || {
+                ExchangeEngine::new(
+                    fixture.initial_db.clone(),
+                    fixture.mappings.clone(),
+                    engine_config(),
+                )
+            },
+            |engine| {
+                let mut resolver = RandomResolver::seeded(7);
+                for op in &ops {
+                    engine.submit(op.clone()).unwrap();
+                    ResolverPump::new(&engine, &mut resolver).run_until_quiescent().unwrap();
+                }
+                black_box(engine.metrics().steps)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_ingest);
+criterion_main!(benches);

@@ -1,0 +1,1691 @@
+//! The long-lived update-exchange service: [`ExchangeEngine`].
+//!
+//! The batch schedulers ([`ConcurrentRun`](crate::ConcurrentRun),
+//! [`ParallelRun`](crate::ParallelRun)) take every update up front and run to
+//! completion with a synchronous resolver callback. The paper's chase is not
+//! shaped like that: updates arrive continuously and block on frontier
+//! questions that humans answer asynchronously (Youtopia §3–5). The engine is
+//! the service form of the same machinery:
+//!
+//! * **Open-world submission** — [`ExchangeEngine::submit`] accepts an update
+//!   at any time, including while earlier updates are mid-chase or blocked on
+//!   frontiers, and returns an [`UpdateHandle`] exposing
+//!   [`status`](UpdateHandle::status) / [`wait`](UpdateHandle::wait) /
+//!   [`report`](UpdateHandle::report). An admission cap turns overload into
+//!   [`SubmitError::Saturated`] backpressure instead of unbounded queues.
+//! * **Pull-based frontier resolution** — a chase that blocks publishes its
+//!   request; [`ExchangeEngine::pending_frontiers`] lists the outstanding
+//!   [`PendingFrontier`]s and [`ExchangeEngine::answer`] resumes the owning
+//!   update. Tokens go stale when the owner aborts (its restart publishes a
+//!   new one), so a late answer is reported as [`AnswerOutcome::Stale`]
+//!   rather than resuming the wrong incarnation. [`ResolverPump`] drains the
+//!   queue through any existing [`FrontierResolver`] for compatibility with
+//!   the batch world.
+//! * **Snapshot reads** — [`ExchangeEngine::read`] runs a closure over the
+//!   last-committed database state (a read-lock session), the way a serving
+//!   tier would answer queries while chases run.
+//!
+//! Internally the engine owns the worker pool that used to live inside
+//! `ParallelRun` — sharded run queues, two-phase steps over an
+//! `RwLock<Database>`, lock-striped logs, owner-performed aborts with
+//! validated rollbacks — but keeps it alive across submissions. The two modes
+//! carry over ([`SchedulerConfig::deterministic`]): the deterministic
+//! sequencer executes the exact round-robin loop of `ConcurrentRun` (a batch
+//! submitted before anything steps is byte-identical to the reference at any
+//! worker count — pinned by `tests/engine_equivalence.rs`), and free-running
+//! mode drops the sequencer for throughput.
+//!
+//! Unlike the inline resolvers of the batch world, an answer can arrive long
+//! after the snapshot the user looked at: writes may commit in between. That
+//! is exactly the cooperative setting — the machinery that keeps it sound is
+//! unchanged: the request's plan-time reads are in the read log, the
+//! decision's correction queries are recorded in the same read-lock session
+//! that applies them, and any conflicting later write aborts the update.
+//!
+//! Lock order (outermost first): cursor → slots vector → slot → pending →
+//! resolver (in [`ResolverPump`]) → database → tracker → metrics → all-ids →
+//! log stripes. A worker never blocks on a second slot lock while holding one
+//! (victim slots are `try_lock`ed; on failure the victim is flagged and its
+//! owner acts).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, Weak};
+use std::thread::JoinHandle;
+
+use youtopia_core::{
+    ChaseError, FrontierDecision, FrontierResolver, FrontierToken, InitialOp, PendingFrontier,
+    ReadQuery, StepOutcome, UpdateExecution, UpdateReport, UpdateState, UpdateStats,
+};
+use youtopia_mappings::MappingSet;
+use youtopia_storage::{Database, TupleChange, UpdateId};
+
+use crate::deps::DependencyTracker;
+use crate::metrics::RunMetrics;
+use crate::scheduler::{SchedulerConfig, SchedulingPolicy};
+use crate::striped::{StripedReadLog, StripedWriteLog};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The change a rollback performs when it undoes `change`: rolling back an
+/// insert deletes the tuple, rolling back a delete revives it, rolling back a
+/// modification swaps the images.
+fn invert_change(change: &TupleChange) -> TupleChange {
+    match change {
+        TupleChange::Inserted { relation, tuple, values } => {
+            TupleChange::Deleted { relation: *relation, tuple: *tuple, old: values.clone() }
+        }
+        TupleChange::Deleted { relation, tuple, old } => {
+            TupleChange::Inserted { relation: *relation, tuple: *tuple, values: old.clone() }
+        }
+        TupleChange::Modified { relation, tuple, old, new } => TupleChange::Modified {
+            relation: *relation,
+            tuple: *tuple,
+            old: new.clone(),
+            new: old.clone(),
+        },
+    }
+}
+
+/// Configuration of a long-lived [`ExchangeEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// The scheduler knobs the engine inherits from the batch world: tracker,
+    /// policy, chase mode, worker count, deterministic/free mode, the global
+    /// step valve and the frontier delay (deterministic mode only).
+    pub scheduler: SchedulerConfig,
+    /// Priority number of the first submitted update; later submissions count
+    /// up from here in arrival order (the paper's timestamp prioritisation).
+    pub first_update_number: u64,
+    /// Per-update step budget: an update that exceeds it fails alone (its
+    /// writes are rolled back, its handle reports the error) instead of
+    /// tearing the whole engine down the way
+    /// [`SchedulerConfig::max_total_steps`] does.
+    pub max_steps_per_update: usize,
+    /// Admission cap: the maximum number of in-flight (non-terminated)
+    /// updates. Submissions beyond it fail with [`SubmitError::Saturated`] —
+    /// backpressure, not queueing.
+    pub admission_cap: usize,
+    /// Inline mode: spawn **no** worker threads and drive the deterministic
+    /// sequencer on whichever thread pumps the engine ([`ResolverPump`],
+    /// [`UpdateHandle::wait`], [`ExchangeEngine::wait_quiescent`]). The
+    /// submit/poll/answer API is unchanged, but every cross-thread handoff
+    /// disappears — the single-update [`crate::UpdateExchange`] façade uses
+    /// this to keep micro-chases at single-threaded cost. Implies
+    /// deterministic scheduling (the flag overrides
+    /// [`SchedulerConfig::deterministic`]).
+    pub inline: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            // `SchedulerConfig`'s cumulative step valve is a batch-run safety
+            // net; on a long-lived service it would become a lifetime time
+            // bomb (the engine dies for good once total steps ever executed
+            // reach it). Default engines are therefore unbounded globally —
+            // bound individual updates with `max_steps_per_update` instead.
+            // Batch adapters pass their own scheduler config and keep the
+            // valve.
+            scheduler: SchedulerConfig::default().with_max_total_steps(usize::MAX),
+            first_update_number: 1,
+            max_steps_per_update: usize::MAX,
+            admission_cap: usize::MAX,
+            inline: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Replaces the scheduler knobs.
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> EngineConfig {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Replaces the first update number.
+    pub fn with_first_update_number(mut self, first: u64) -> EngineConfig {
+        self.first_update_number = first;
+        self
+    }
+
+    /// Replaces the per-update step budget.
+    pub fn with_max_steps_per_update(mut self, limit: usize) -> EngineConfig {
+        self.max_steps_per_update = limit;
+        self
+    }
+
+    /// Replaces the admission cap.
+    pub fn with_admission_cap(mut self, cap: usize) -> EngineConfig {
+        self.admission_cap = cap;
+        self
+    }
+
+    /// Switches to inline (threadless, caller-driven) mode — see
+    /// [`EngineConfig::inline`].
+    pub fn run_inline(mut self) -> EngineConfig {
+        self.inline = true;
+        self
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission cap is reached; retry after in-flight updates terminate.
+    Saturated {
+        /// In-flight updates at rejection time.
+        active: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The engine has been shut down or has failed fatally (see
+    /// [`ExchangeEngine::error`]).
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Saturated { active, cap } => {
+                write!(f, "engine saturated: {active} in-flight updates at cap {cap}")
+            }
+            SubmitError::ShutDown => write!(f, "engine is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What happened to an [`ExchangeEngine::answer`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnswerOutcome {
+    /// The decision was applied and the owning update resumed.
+    Applied,
+    /// The token no longer names an outstanding request (the owner aborted
+    /// and restarted, or the request was already answered). Harmless: the
+    /// restarted chase publishes a fresh token for whatever it blocks on next.
+    Stale,
+}
+
+/// Where an update submitted to the engine currently stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateStatus {
+    /// Queued or mid-chase.
+    Running,
+    /// Blocked on a frontier request (listed by
+    /// [`ExchangeEngine::pending_frontiers`] once published).
+    AwaitingFrontier,
+    /// Ran to completion; [`UpdateHandle::report`] is available.
+    Terminated,
+    /// Failed terminally (per-update step budget); its writes were rolled
+    /// back and [`UpdateHandle::error`] holds the cause.
+    Failed,
+}
+
+/// Generation-counting wakeup channel: every observable state change bumps the
+/// generation and notifies, waiters re-check their predicate. Coarse but
+/// lost-wakeup-free.
+struct Signal {
+    gen: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl Signal {
+    fn new() -> Signal {
+        Signal { gen: Mutex::new(0), cond: Condvar::new() }
+    }
+
+    fn current(&self) -> u64 {
+        *lock(&self.gen)
+    }
+
+    fn bump(&self) {
+        *lock(&self.gen) += 1;
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the generation moves past `seen` (returns immediately if
+    /// it already has).
+    fn wait_past(&self, seen: u64) {
+        let mut gen = lock(&self.gen);
+        while *gen == seen {
+            gen = self.cond.wait(gen).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+struct Slot {
+    exec: UpdateExecution,
+    /// Rounds remaining before a pending frontier request is published
+    /// (deterministic mode only; free-running has no notion of rounds).
+    frontier_wait: usize,
+    /// Unowned and in no run queue: terminated, blocked on a published
+    /// frontier, or failed. Parked slots are re-enqueued by whoever changes
+    /// their state (an answer, an abort).
+    parked: bool,
+    /// Token of the published-but-unanswered frontier request, if any.
+    published: Option<FrontierToken>,
+    /// Terminal per-update failure (step budget); never cleared.
+    failed: Option<ChaseError>,
+}
+
+struct SlotCell {
+    slot: Mutex<Slot>,
+    /// Set by a validator that could not lock this slot (its owner holds it);
+    /// the owner executes the abort at its next commit point. Cleared only by
+    /// whoever performs the abort, under the slot lock.
+    abort_requested: AtomicBool,
+}
+
+/// The sequencer of deterministic mode: the next index of the round-robin
+/// cursor plus the set of live (non-terminated, non-failed) slot indices, so a
+/// long-lived engine does not re-scan thousands of terminated slots per round.
+/// Iterating the live set in ascending order per round visits exactly the
+/// slots the reference loop would act on, in the same order.
+struct DetCursor {
+    next: usize,
+    live: BTreeSet<usize>,
+}
+
+/// What one deterministic sequencer action accomplished.
+enum DetProgress {
+    /// An action was taken (or a round boundary crossed); keep going.
+    Acted,
+    /// Nothing is live; sleep until a submission arrives.
+    Idle,
+    /// A published frontier awaits its answer; nothing may act until then.
+    AwaitingAnswer,
+}
+
+struct PendingEntry {
+    update: UpdateId,
+    slot: usize,
+    request: youtopia_core::FrontierRequest,
+}
+
+/// Lives for the whole body of a worker thread. A worker that exits its loop
+/// normally does so only on `stop` (or after `fail` set it); a worker that
+/// unwinds from a panic would otherwise leave pumps and `wait()`ers blocked
+/// forever on a signal nobody will bump — this guard's drop turns that into a
+/// visible engine failure instead.
+struct WorkerGuard<'a> {
+    shared: &'a EngineShared,
+}
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        if !self.shared.stop.load(Ordering::SeqCst) {
+            self.shared.fail(ChaseError::InvalidDecision(
+                "engine worker exited unexpectedly (panic in a chase step?)".into(),
+            ));
+        }
+    }
+}
+
+struct EngineShared {
+    mappings: MappingSet,
+    db: RwLock<Database>,
+    config: EngineConfig,
+    deterministic: bool,
+    /// Threadless mode: the deterministic sequencer runs on whichever thread
+    /// pumps or waits (see [`EngineConfig::inline`]).
+    inline: bool,
+    /// Growable slot table; index = update number − `first_update_number`.
+    slots: RwLock<Vec<Arc<SlotCell>>>,
+    all_ids: Mutex<Vec<UpdateId>>,
+    read_log: StripedReadLog,
+    write_log: StripedWriteLog,
+    tracker: Mutex<Box<dyn DependencyTracker>>,
+    metrics: Mutex<RunMetrics>,
+    /// Sharded run queues of slot indices (free-running mode).
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Deterministic sequencer state.
+    cursor: Mutex<DetCursor>,
+    /// Slot indices submitted since the sequencer last looked (deterministic
+    /// mode; absorbed into the live set without taking the cursor lock on the
+    /// submit path).
+    det_incoming: Mutex<Vec<usize>>,
+    /// Outstanding frontier requests, keyed by token (= publish order).
+    pending: Mutex<BTreeMap<u64, PendingEntry>>,
+    /// Number of slots with a published-but-not-fully-answered frontier.
+    /// Unlike `pending` emptiness, this only drops once an answer has been
+    /// *applied* (or the token invalidated by an abort) — the deterministic
+    /// sequencer gates on it, so no step can slip in between `answer()`
+    /// removing the entry and the decision's effects landing.
+    unanswered: AtomicUsize,
+    next_token: AtomicU64,
+    /// Non-terminated, non-failed updates (admission + quiescence).
+    active: AtomicUsize,
+    /// Workers currently processing a slot (free mode).
+    in_flight: AtomicUsize,
+    stop: AtomicBool,
+    error: Mutex<Option<ChaseError>>,
+    signal: Signal,
+}
+
+impl EngineShared {
+    fn slot_cell(&self, idx: usize) -> Arc<SlotCell> {
+        self.slots.read().unwrap_or_else(|e| e.into_inner())[idx].clone()
+    }
+
+    fn index_of(&self, update: UpdateId) -> Option<usize> {
+        let idx = update.0.checked_sub(self.config.first_update_number)? as usize;
+        (idx < self.slots.read().unwrap_or_else(|e| e.into_inner()).len()).then_some(idx)
+    }
+
+    fn fail(&self, e: ChaseError) {
+        let mut slot = lock(&self.error);
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        self.signal.bump();
+    }
+
+    // ------------------------------------------------------------------
+    // Shared step machinery (both modes) — ported from `ParallelRun`
+    // ------------------------------------------------------------------
+
+    /// Records the read queries a step (or frontier resolution) performed:
+    /// dependencies first, then the retained read log. The caller holds the
+    /// database read lock — recording before that lock is released is what
+    /// guarantees any later-committing write sees these reads when it
+    /// validates.
+    fn record_reads_locked(&self, db: &Database, reader: UpdateId, reads: Vec<ReadQuery>) {
+        if reads.is_empty() {
+            return;
+        }
+        // Solo fast path: if `reader` is the only in-flight update it is the
+        // lowest-numbered one, and stays so forever (priority numbers are
+        // monotone and terminated updates below it can never run again). Its
+        // stored reads could only ever be consulted when a *lower*-numbered
+        // writer validates — no such writer will ever exist — so recording
+        // them (and the tracker's dependency walk, the expensive half of a
+        // step) is pure overhead. Updates submitted later get numbered above
+        // `reader` and record normally. This is what keeps the one-at-a-time
+        // `UpdateExchange` façade at near single-threaded cost.
+        if self.active.load(Ordering::SeqCst) <= 1 {
+            return;
+        }
+        {
+            let snap = db.snapshot(reader);
+            lock(&self.tracker).record_reads(
+                reader,
+                &reads,
+                &self.write_log,
+                &snap,
+                &self.mappings,
+            );
+        }
+        self.read_log.record(reader, reads, &self.mappings);
+    }
+
+    /// Executes one chase step for the locked slot: write half under the
+    /// database write lock, read half (analysis, logging, read recording and
+    /// conflict collection) under a read lock. Returns the step outcome and
+    /// the consolidated abort set — the caller decides how to execute the
+    /// aborts (synchronously in deterministic mode, via flags when
+    /// free-running).
+    fn step_and_validate(
+        &self,
+        slot: &mut Slot,
+    ) -> Result<(StepOutcome, BTreeSet<UpdateId>), ChaseError> {
+        // Safety valve, checked per step so the error names the update that
+        // was actually stepping when the limit tripped.
+        if lock(&self.metrics).steps >= self.config.scheduler.max_total_steps {
+            return Err(ChaseError::StepLimitExceeded {
+                update: slot.exec.id(),
+                limit: self.config.scheduler.max_total_steps,
+            });
+        }
+        let applied = {
+            let mut db = self.db.write().unwrap_or_else(|e| e.into_inner());
+            slot.exec.begin_step(&mut db)?
+        };
+        let db = self.db.read().unwrap_or_else(|e| e.into_inner());
+        let outcome = slot.exec.finish_step(&db, &self.mappings, applied)?;
+        {
+            let mut metrics = lock(&self.metrics);
+            metrics.steps += 1;
+            metrics.changes += outcome.writes.iter().map(|w| w.changes.len()).sum::<usize>();
+        }
+        let id = outcome.update;
+
+        // Log writes (for dependency tracking) and reads (for conflicts).
+        self.write_log.push_all(&outcome.writes);
+        lock(&self.tracker).record_writes(id, &outcome.writes);
+        self.record_reads_locked(&db, id, outcome.reads.clone());
+
+        // Algorithm 4: check every change against the stored reads of
+        // higher-numbered updates; cascade through the tracker.
+        let changes: Vec<TupleChange> =
+            outcome.writes.iter().flat_map(|w| w.changes.iter().cloned()).collect();
+        let to_abort = self.collect_aborts_locked(&db, id, &changes);
+        Ok((outcome, to_abort))
+    }
+
+    /// Computes the consolidated abort set caused by a step's changes —
+    /// direct conflicts plus the transitive read-dependents of each directly
+    /// conflicting update — with the same candidate walk and request
+    /// accounting as the single-threaded scheduler, over the striped logs.
+    /// The caller holds the database read lock.
+    fn collect_aborts_locked(
+        &self,
+        db: &Database,
+        writer: UpdateId,
+        changes: &[TupleChange],
+    ) -> BTreeSet<UpdateId> {
+        let mut pending: BTreeSet<UpdateId> = BTreeSet::new();
+        if changes.is_empty() {
+            return pending;
+        }
+        let tracker = lock(&self.tracker);
+        let all_ids = lock(&self.all_ids);
+        // Request counters accumulate locally so the global metrics mutex is
+        // taken once, at the end — other workers' per-step counter bumps must
+        // not queue behind this walk's query re-evaluation.
+        let mut direct_requests = 0usize;
+        let mut cascading_requests = 0usize;
+        for change in changes {
+            let relation = change.relation();
+            for reader in self.read_log.readers_above_touching(writer, relation) {
+                let conflicts = {
+                    let snapshot = db.snapshot(reader);
+                    self.read_log
+                        .queries_touching(reader, relation)
+                        .iter()
+                        .any(|q| q.affected_by(&snapshot, &self.mappings, change))
+                };
+                if !conflicts {
+                    continue;
+                }
+                direct_requests += 1;
+                pending.insert(reader);
+                // Cascade: everyone who (transitively) read from the aborted
+                // reader must abort too; every request is counted, even when
+                // the target is already marked (see ConcurrentRun).
+                let mut stack = vec![reader];
+                let mut visited: BTreeSet<UpdateId> = BTreeSet::new();
+                visited.insert(reader);
+                while let Some(a) = stack.pop() {
+                    for dependent in tracker.dependents_of(a, &all_ids) {
+                        if dependent <= writer {
+                            continue;
+                        }
+                        cascading_requests += 1;
+                        pending.insert(dependent);
+                        if visited.insert(dependent) {
+                            stack.push(dependent);
+                        }
+                    }
+                }
+            }
+        }
+        if direct_requests > 0 || cascading_requests > 0 {
+            let mut metrics = lock(&self.metrics);
+            metrics.direct_conflict_requests += direct_requests;
+            metrics.cascading_abort_requests += cascading_requests;
+        }
+        pending
+    }
+
+    /// Free-running only: an abort's (or failure's) rollback is a write like
+    /// any other — returns the updates whose recorded reads it retroactively
+    /// invalidated (checked exactly, per read query — never via the tracker,
+    /// whose conservative answers would make abort waves feed on themselves
+    /// under `NAIVE`). The caller feeds them back into the abort machinery.
+    fn validate_rollback(&self, victim: UpdateId, rolled_back: &[TupleChange]) -> Vec<UpdateId> {
+        let mut undone_readers: Vec<UpdateId> = Vec::new();
+        if rolled_back.is_empty() {
+            return undone_readers;
+        }
+        let db = self.db.read().unwrap_or_else(|e| e.into_inner());
+        for change in rolled_back {
+            let relation = change.relation();
+            for reader in self.read_log.readers_above_touching(victim, relation) {
+                if undone_readers.contains(&reader) {
+                    continue;
+                }
+                let snapshot = db.snapshot(reader);
+                if self
+                    .read_log
+                    .queries_touching(reader, relation)
+                    .iter()
+                    .any(|q| q.affected_by(&snapshot, &self.mappings, change))
+                {
+                    undone_readers.push(reader);
+                }
+            }
+        }
+        if !undone_readers.is_empty() {
+            // One metrics acquisition after the walk — query re-evaluation
+            // must not hold the global counter mutex.
+            lock(&self.metrics).direct_conflict_requests += undone_readers.len();
+        }
+        undone_readers
+    }
+
+    /// Performs the consolidated abort of a slot whose lock the caller holds:
+    /// roll back its writes, invalidate its published frontier token, clear
+    /// its logs and dependency bookkeeping, reset it to redo its initial
+    /// operation. `revive` is true when the slot had already terminated — the
+    /// abort brings it back into the active count and the caller must hand it
+    /// back to the scheduler (queue or live set).
+    fn execute_abort(
+        &self,
+        cell: &SlotCell,
+        slot: &mut Slot,
+        revive: bool,
+        validate: bool,
+    ) -> Vec<UpdateId> {
+        let victim = slot.exec.id();
+        // `validate` captures the victim's logged changes before they go
+        // away; their inverses are validated like writes. Conflict-decided
+        // aborts under the deterministic sequencer pass `false`: they happen
+        // synchronously inside the validation that decided them, exactly
+        // like the single-threaded reference, so no reader can slip in
+        // between and validating would only skew reference metrics. Every
+        // other abort (free-running, or cascading from a budget failure)
+        // validates.
+        let rolled_back: Vec<TupleChange> = if validate {
+            self.write_log.changes_of(victim).iter().map(invert_change).collect()
+        } else {
+            Vec::new()
+        };
+        {
+            let mut db = self.db.write().unwrap_or_else(|e| e.into_inner());
+            db.rollback_update(victim);
+        }
+        if let Some(token) = slot.published.take() {
+            lock(&self.pending).remove(&token.0);
+            self.unanswered.fetch_sub(1, Ordering::SeqCst);
+        }
+        slot.exec.reset_for_restart();
+        slot.frontier_wait = 0;
+        self.read_log.clear(victim);
+        self.write_log.remove_update(victim);
+        {
+            let mut tracker = lock(&self.tracker);
+            tracker.note_abort(victim);
+            tracker.clear_update(victim);
+        }
+        lock(&self.metrics).aborts += 1;
+        let undone_readers = self.validate_rollback(victim, &rolled_back);
+        cell.abort_requested.store(false, Ordering::SeqCst);
+        if revive {
+            self.active.fetch_add(1, Ordering::SeqCst);
+        }
+        self.signal.bump();
+        undone_readers
+    }
+
+    /// Fails the locked slot terminally (per-update step budget): its writes
+    /// are rolled back (validated like an abort's in free mode), its logs and
+    /// bookkeeping cleared, and the error parked on the slot for its handle.
+    /// Unlike an abort it does not restart.
+    fn fail_slot(&self, cell: &SlotCell, slot: &mut Slot, error: ChaseError) -> Vec<UpdateId> {
+        let victim = slot.exec.id();
+        // Unlike a conflict-decided abort, a budget failure fires at an
+        // arbitrary point in the schedule — in *both* modes its rollback can
+        // retroactively invalidate reads other updates already performed, so
+        // it is always validated like a write and the caller must abort the
+        // returned dependents (synchronously under the deterministic
+        // sequencer, via `abort_all` when free-running).
+        let rolled_back: Vec<TupleChange> =
+            self.write_log.changes_of(victim).iter().map(invert_change).collect();
+        {
+            let mut db = self.db.write().unwrap_or_else(|e| e.into_inner());
+            db.rollback_update(victim);
+        }
+        if let Some(token) = slot.published.take() {
+            lock(&self.pending).remove(&token.0);
+            self.unanswered.fetch_sub(1, Ordering::SeqCst);
+        }
+        self.read_log.clear(victim);
+        self.write_log.remove_update(victim);
+        lock(&self.tracker).clear_update(victim);
+        slot.failed = Some(error);
+        slot.parked = true;
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        let undone_readers = self.validate_rollback(victim, &rolled_back);
+        cell.abort_requested.store(false, Ordering::SeqCst);
+        self.signal.bump();
+        undone_readers
+    }
+
+    /// Quiescence garbage collection: once nothing is active, in flight or
+    /// awaiting an answer, every retained read, logged write and tracker
+    /// dependency is provably dead — only a still-running lower-numbered
+    /// update could ever consult them again, and there is none. Dropping
+    /// them keeps a long-lived engine's per-update cost flat instead of
+    /// taxing update N with the whole history of updates 1..N (the wildcard
+    /// reader walk alone would otherwise scan every past null-occurrence
+    /// query on every change).
+    ///
+    /// Serialised against submission by the slots write lock: a submission
+    /// that won the lock first left `active > 0` (checked again inside), and
+    /// one that comes after finds freshly cleared logs its update has not
+    /// touched yet. A worker cannot be mid-step here — a popped slot is
+    /// non-terminated, which keeps `active > 0` for as long as it is owned.
+    fn maybe_gc(&self) {
+        if self.active.load(Ordering::SeqCst) != 0 || self.in_flight.load(Ordering::SeqCst) != 0 {
+            return;
+        }
+        let _slots = self.slots.write().unwrap_or_else(|e| e.into_inner());
+        if self.active.load(Ordering::SeqCst) != 0
+            || self.in_flight.load(Ordering::SeqCst) != 0
+            || self.unanswered.load(Ordering::SeqCst) != 0
+        {
+            return;
+        }
+        self.read_log.clear_all();
+        self.write_log.clear_all();
+        *lock(&self.tracker) = self.config.scheduler.tracker.build();
+    }
+
+    /// Publishes the locked slot's pending frontier request under a fresh
+    /// token. Idempotent while a token is outstanding.
+    fn publish_frontier(&self, slot: &mut Slot, idx: usize) {
+        if slot.published.is_some() {
+            return;
+        }
+        let token = FrontierToken(self.next_token.fetch_add(1, Ordering::SeqCst));
+        let request = slot.exec.pending_frontier().expect("state is AwaitingFrontier").clone();
+        slot.published = Some(token);
+        slot.parked = true;
+        self.unanswered.fetch_add(1, Ordering::SeqCst);
+        lock(&self.pending)
+            .insert(token.0, PendingEntry { update: slot.exec.id(), slot: idx, request });
+        self.signal.bump();
+    }
+
+    /// Applies an answered decision to the owning slot. The pending entry has
+    /// already been removed by the caller; on a rejected (invalid) decision it
+    /// is restored under the same token so the user can retry.
+    fn apply_answer(
+        &self,
+        token: FrontierToken,
+        entry: PendingEntry,
+        decision: FrontierDecision,
+    ) -> Result<AnswerOutcome, ChaseError> {
+        let cell = self.slot_cell(entry.slot);
+        let mut slot = lock(&cell.slot);
+        if slot.published != Some(token) || slot.exec.state() != UpdateState::AwaitingFrontier {
+            return Ok(AnswerOutcome::Stale);
+        }
+        let id = slot.exec.id();
+        {
+            // One read-lock session covers the frontier resolution and the
+            // recording of its correction queries: a write committing after
+            // this session needs the write lock, i.e. happens after the reads
+            // it must be validated against are in the log.
+            let db = self.db.read().unwrap_or_else(|e| e.into_inner());
+            match slot.exec.resolve_frontier(&self.mappings, decision) {
+                Ok(reads) => {
+                    lock(&self.metrics).frontier_ops += 1;
+                    self.record_reads_locked(&db, id, reads);
+                }
+                Err(e) => {
+                    // The execution restored its request; re-list it under
+                    // the same token so the user can retry.
+                    lock(&self.pending).insert(token.0, entry);
+                    return Err(e);
+                }
+            }
+        }
+        slot.published = None;
+        self.unanswered.fetch_sub(1, Ordering::SeqCst);
+        if self.deterministic {
+            drop(slot);
+        } else {
+            slot.parked = false;
+            let shard = self.shard_of(&slot.exec);
+            drop(slot);
+            self.enqueue(shard, entry.slot);
+            self.settle_flag(entry.slot);
+        }
+        self.signal.bump();
+        Ok(AnswerOutcome::Applied)
+    }
+
+    // ------------------------------------------------------------------
+    // Deterministic mode: the reference serialisation order, open world
+    // ------------------------------------------------------------------
+
+    fn det_worker(&self) {
+        let _guard = WorkerGuard { shared: self };
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            // Generation first, action second: any event that would unblock
+            // the sequencer (submission, answer) after this capture moves the
+            // generation and makes the wait below return immediately; any
+            // event before it is visible to `det_action`. No lost wakeups.
+            let gen = self.signal.current();
+            let mut cur = lock(&self.cursor);
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.det_action(&mut cur) {
+                Ok(DetProgress::Acted) => {}
+                Ok(DetProgress::Idle | DetProgress::AwaitingAnswer) => {
+                    drop(cur);
+                    self.signal.wait_past(gen);
+                }
+                Err(e) => {
+                    drop(cur);
+                    self.fail(e);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Drives the deterministic sequencer on the calling thread (inline mode:
+    /// there are no workers) until it goes idle or blocks on an unanswered
+    /// frontier. A step error fails the engine, exactly as a worker would.
+    fn drive_inline(&self) -> Result<(), ChaseError> {
+        let mut cur = lock(&self.cursor);
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match self.det_action(&mut cur) {
+                Ok(DetProgress::Acted) => {}
+                Ok(DetProgress::Idle | DetProgress::AwaitingAnswer) => return Ok(()),
+                Err(e) => {
+                    drop(cur);
+                    self.fail(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Folds newly submitted slot indices into the live set.
+    fn det_absorb_incoming(&self, cur: &mut DetCursor) {
+        let mut incoming = lock(&self.det_incoming);
+        for idx in incoming.drain(..) {
+            cur.live.insert(idx);
+        }
+    }
+
+    /// One sequencer action: the body of the reference loop for the next live
+    /// slot at or after the cursor. Skipping terminated slots via the live
+    /// set visits exactly the indices the reference loop would act on, in the
+    /// same ascending-per-round order. While a published frontier awaits its
+    /// answer the sequencer refuses to act at all — the pull-based analogue
+    /// of the reference blocking in its synchronous resolver call at exactly
+    /// that point in the round.
+    fn det_action(&self, cur: &mut DetCursor) -> Result<DetProgress, ChaseError> {
+        if self.unanswered.load(Ordering::SeqCst) > 0 {
+            return Ok(DetProgress::AwaitingAnswer);
+        }
+        self.det_absorb_incoming(cur);
+        if cur.live.is_empty() {
+            return Ok(DetProgress::Idle);
+        }
+        let idx = match cur.live.range(cur.next..).next() {
+            Some(&idx) => idx,
+            None => {
+                // Round boundary.
+                cur.next = 0;
+                return Ok(DetProgress::Acted);
+            }
+        };
+        cur.next = idx + 1;
+        let cell = self.slot_cell(idx);
+        let state = lock(&cell.slot).exec.state();
+        match state {
+            UpdateState::Terminated => {
+                cur.live.remove(&idx);
+            }
+            UpdateState::AwaitingFrontier => {
+                let mut slot = lock(&cell.slot);
+                if slot.frontier_wait > 0 {
+                    slot.frontier_wait -= 1;
+                } else {
+                    self.publish_frontier(&mut slot, idx);
+                    return Ok(DetProgress::AwaitingAnswer);
+                }
+            }
+            UpdateState::Ready => {
+                self.det_run_ready_slot(cur, idx, &cell)?;
+                // The slot (or a failed one) may have been the last active
+                // update; all slot locks are released again at this point.
+                self.maybe_gc();
+            }
+        }
+        Ok(DetProgress::Acted)
+    }
+
+    /// The reference `run_ready_slot`: step, validate, abort synchronously,
+    /// honour the scheduling policy. The whole routine runs under the
+    /// sequencer, so victim slot locks are uncontended.
+    fn det_run_ready_slot(
+        &self,
+        cur: &mut DetCursor,
+        idx: usize,
+        cell: &Arc<SlotCell>,
+    ) -> Result<(), ChaseError> {
+        loop {
+            let mut slot = lock(&cell.slot);
+            if slot.exec.stats().steps >= self.config.max_steps_per_update {
+                let err = ChaseError::StepLimitExceeded {
+                    update: slot.exec.id(),
+                    limit: self.config.max_steps_per_update,
+                };
+                let dependents = self.fail_slot(cell, &mut slot, err);
+                drop(slot);
+                self.det_abort_worklist(cur, dependents);
+                cur.live.remove(&idx);
+                return Ok(());
+            }
+            let (outcome, to_abort) = self.step_and_validate(&mut slot)?;
+            drop(slot);
+            for &victim in &to_abort {
+                let Some(vidx) = self.index_of(victim) else { continue };
+                let vcell = self.slot_cell(vidx);
+                let mut vslot = lock(&vcell.slot);
+                if vslot.failed.is_some() {
+                    continue;
+                }
+                let was_terminated = vslot.exec.is_terminated();
+                self.execute_abort(&vcell, &mut vslot, was_terminated, false);
+                if was_terminated {
+                    cur.live.insert(vidx);
+                }
+            }
+            let mut slot = lock(&cell.slot);
+            if outcome.frontier_request.is_some() {
+                slot.frontier_wait = self.config.scheduler.frontier_delay_rounds;
+            }
+            if slot.exec.is_terminated() {
+                cur.live.remove(&idx);
+                self.active.fetch_sub(1, Ordering::SeqCst);
+                self.signal.bump();
+                break;
+            }
+            // Step-level round robin hands control back after one step; the
+            // stratum policy keeps going while the update remains ready.
+            if self.config.scheduler.policy == SchedulingPolicy::StepRoundRobin
+                || slot.exec.state() != UpdateState::Ready
+            {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a failure-triggered abort cascade under the sequencer: each
+    /// victim's rollback is validated like a write (a budget failure fires
+    /// outside any conflict validation, so readers may have slipped in
+    /// between), and victims whose own rollbacks retroactively invalidate
+    /// further reads are fed back into the worklist. Revived (previously
+    /// terminated) victims rejoin the live set.
+    fn det_abort_worklist(&self, cur: &mut DetCursor, victims: Vec<UpdateId>) {
+        let mut work: VecDeque<UpdateId> = victims.into();
+        while let Some(victim) = work.pop_front() {
+            let Some(vidx) = self.index_of(victim) else { continue };
+            let cell = self.slot_cell(vidx);
+            let mut slot = lock(&cell.slot);
+            if slot.failed.is_some() {
+                continue;
+            }
+            let was_terminated = slot.exec.is_terminated();
+            let dependents = self.execute_abort(&cell, &mut slot, was_terminated, true);
+            if was_terminated {
+                cur.live.insert(vidx);
+            }
+            work.extend(dependents);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Free-running mode: sharded queues, overlapping read halves
+    // ------------------------------------------------------------------
+
+    /// Shard key of an update: the smallest relation its next step can touch
+    /// (pending write targets plus the violation queue's relation index), so
+    /// updates about to work on the same relations land in the same queue.
+    fn shard_of(&self, exec: &UpdateExecution) -> usize {
+        match exec.next_touched_relations().first() {
+            Some(relation) => relation.0 as usize % self.queues.len(),
+            // Unknown footprint (e.g. a pending null-replacement): spread by
+            // update number.
+            None => exec.id().0 as usize % self.queues.len(),
+        }
+    }
+
+    fn enqueue(&self, shard: usize, idx: usize) {
+        lock(&self.queues[shard % self.queues.len()]).push_back(idx);
+        self.signal.bump();
+    }
+
+    /// Pops a ready slot, preferring the worker's own shard and stealing from
+    /// the others in ring order.
+    fn pop_slot(&self, me: usize) -> Option<usize> {
+        let n = self.queues.len();
+        for k in 0..n {
+            if let Some(idx) = lock(&self.queues[(me + k) % n]).pop_front() {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    fn free_worker(&self, me: usize) {
+        let _guard = WorkerGuard { shared: self };
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let gen = self.signal.current();
+            let Some(idx) = self.pop_slot(me) else {
+                // Long-lived engine: park instead of exiting; a submission, an
+                // answer or an abort re-enqueue bumps the generation.
+                self.signal.wait_past(gen);
+                continue;
+            };
+            self.in_flight.fetch_add(1, Ordering::SeqCst);
+            let result = self.process_slot_free(idx);
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.maybe_gc();
+            self.signal.bump();
+            if let Err(e) = result {
+                self.fail(e);
+                break;
+            }
+        }
+    }
+
+    /// Runs the popped slot until it terminates, parks on a frontier, or
+    /// (under step-level round robin) hands the update back to the queues
+    /// after one step.
+    fn process_slot_free(&self, idx: usize) -> Result<(), ChaseError> {
+        let cell = self.slot_cell(idx);
+        let mut slot = lock(&cell.slot);
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            // A validator flagged us while we were stepping (or while the
+            // update sat in the queue): execute the abort, then continue from
+            // the fresh restart.
+            if cell.abort_requested.load(Ordering::SeqCst) {
+                if slot.failed.is_some() {
+                    cell.abort_requested.store(false, Ordering::SeqCst);
+                } else {
+                    let dependents = self.execute_abort(&cell, &mut slot, false, true);
+                    drop(slot);
+                    self.abort_all(dependents);
+                    slot = lock(&cell.slot);
+                    continue;
+                }
+            }
+            if slot.failed.is_some() {
+                slot.parked = true;
+                return Ok(());
+            }
+            match slot.exec.state() {
+                UpdateState::Terminated => {
+                    slot.parked = true;
+                    self.active.fetch_sub(1, Ordering::SeqCst);
+                    drop(slot);
+                    self.settle_flag(idx);
+                    self.signal.bump();
+                    return Ok(());
+                }
+                UpdateState::AwaitingFrontier => {
+                    // Pull-based: publish the request and hand the worker
+                    // back; the answer re-enqueues the slot.
+                    self.publish_frontier(&mut slot, idx);
+                    drop(slot);
+                    self.settle_flag(idx);
+                    return Ok(());
+                }
+                UpdateState::Ready => {
+                    if slot.exec.stats().steps >= self.config.max_steps_per_update {
+                        let err = ChaseError::StepLimitExceeded {
+                            update: slot.exec.id(),
+                            limit: self.config.max_steps_per_update,
+                        };
+                        let dependents = self.fail_slot(&cell, &mut slot, err);
+                        drop(slot);
+                        self.abort_all(dependents);
+                        self.settle_flag(idx);
+                        return Ok(());
+                    }
+                    let (_outcome, to_abort) = self.step_and_validate(&mut slot)?;
+                    if !to_abort.is_empty() {
+                        // Abort execution takes victim locks; ours stays held
+                        // (victims are always other, higher-numbered updates).
+                        self.abort_all(to_abort.iter().copied().collect());
+                    }
+                    if slot.exec.state() == UpdateState::Ready
+                        && self.config.scheduler.policy == SchedulingPolicy::StepRoundRobin
+                    {
+                        if cell.abort_requested.load(Ordering::SeqCst) {
+                            continue; // execute our own abort before requeueing
+                        }
+                        let shard = self.shard_of(&slot.exec);
+                        drop(slot);
+                        self.enqueue(shard, idx);
+                        self.settle_flag(idx);
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes (or requests) the abort of every update in the worklist,
+    /// feeding each executed abort's at-abort-time dependents back in.
+    /// Victims we cannot lock are flagged for their owner; `settle_flag`
+    /// closes the race with an owner that released without seeing the flag.
+    fn abort_all(&self, victims: Vec<UpdateId>) {
+        let mut work: VecDeque<UpdateId> = victims.into();
+        while let Some(victim) = work.pop_front() {
+            let Some(vidx) = self.index_of(victim) else { continue };
+            let cell = self.slot_cell(vidx);
+            let attempt = cell.slot.try_lock();
+            match attempt {
+                Ok(mut vslot) => {
+                    if vslot.failed.is_some() {
+                        cell.abort_requested.store(false, Ordering::SeqCst);
+                        continue;
+                    }
+                    let was_terminated = vslot.exec.is_terminated();
+                    let was_parked = vslot.parked;
+                    let dependents = self.execute_abort(&cell, &mut vslot, was_terminated, true);
+                    if was_parked {
+                        // Nobody owns a parked slot and it sits in no queue
+                        // (it had terminated or was blocked on a frontier):
+                        // the abort made it Ready again, so hand it back.
+                        vslot.parked = false;
+                        let shard = self.shard_of(&vslot.exec);
+                        drop(vslot);
+                        self.enqueue(shard, vidx);
+                    }
+                    work.extend(dependents);
+                }
+                Err(_) => {
+                    cell.abort_requested.store(true, Ordering::SeqCst);
+                    // If the owner released between our failed try_lock and
+                    // the store, nobody may ever look at the flag again;
+                    // settling re-checks. If the lock is held *now*, the
+                    // holder's post-release settle happens after our store
+                    // and is guaranteed to see it.
+                    self.settle_flag(vidx);
+                }
+            }
+        }
+    }
+
+    /// Ensures a requested abort on an unowned slot is not lost: called after
+    /// every slot-lock release and after flagging a busy victim. Parked
+    /// victims (terminated or frontier-blocked) are executed here and handed
+    /// back to the queues; queued victims are left for the next worker that
+    /// pops them.
+    fn settle_flag(&self, idx: usize) {
+        let cell = self.slot_cell(idx);
+        loop {
+            if !cell.abort_requested.load(Ordering::SeqCst) {
+                return;
+            }
+            let Ok(mut slot) = cell.slot.try_lock() else {
+                // Someone owns the slot right now; their post-release settle
+                // will see the flag.
+                return;
+            };
+            if !cell.abort_requested.load(Ordering::SeqCst) {
+                return;
+            }
+            if slot.failed.is_some() {
+                cell.abort_requested.store(false, Ordering::SeqCst);
+                return;
+            }
+            if !slot.parked {
+                // The slot is in a run queue; its next owner executes the
+                // abort before stepping.
+                return;
+            }
+            let was_terminated = slot.exec.is_terminated();
+            let dependents = self.execute_abort(&cell, &mut slot, was_terminated, true);
+            slot.parked = false;
+            let shard = self.shard_of(&slot.exec);
+            drop(slot);
+            self.enqueue(shard, idx);
+            self.abort_all(dependents);
+        }
+    }
+}
+
+/// A long-lived cooperative update-exchange service. See the module docs for
+/// the execution model; construct with [`ExchangeEngine::new`], feed it with
+/// [`submit`](Self::submit), answer its [`pending_frontiers`](Self::pending_frontiers)
+/// via [`answer`](Self::answer) (or a [`ResolverPump`]), and read committed
+/// state with [`read`](Self::read).
+pub struct ExchangeEngine {
+    shared: Arc<EngineShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ExchangeEngine {
+    /// Starts an engine over `db` and `mappings`: its worker pool
+    /// ([`SchedulerConfig::workers`], 0 = one per core) is spawned immediately
+    /// and stays alive — parked when idle — until [`shutdown`](Self::shutdown)
+    /// or drop.
+    pub fn new(db: Database, mappings: MappingSet, config: EngineConfig) -> ExchangeEngine {
+        let workers = if config.scheduler.workers > 0 {
+            config.scheduler.workers
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        };
+        // Inline mode is caller-driven and therefore sequenced: it implies
+        // the deterministic scheduler regardless of what the config says.
+        let inline = config.inline;
+        let deterministic = config.scheduler.deterministic || inline;
+        let shared = Arc::new(EngineShared {
+            mappings,
+            db: RwLock::new(db),
+            deterministic,
+            inline,
+            slots: RwLock::new(Vec::new()),
+            all_ids: Mutex::new(Vec::new()),
+            read_log: StripedReadLog::default(),
+            write_log: StripedWriteLog::default(),
+            tracker: Mutex::new(config.scheduler.tracker.build()),
+            metrics: Mutex::new(RunMetrics::default()),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            cursor: Mutex::new(DetCursor { next: 0, live: BTreeSet::new() }),
+            det_incoming: Mutex::new(Vec::new()),
+            pending: Mutex::new(BTreeMap::new()),
+            unanswered: AtomicUsize::new(0),
+            next_token: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            error: Mutex::new(None),
+            signal: Signal::new(),
+            config,
+        });
+        let threads = if inline {
+            Vec::new()
+        } else {
+            (0..workers)
+                .map(|me| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("youtopia-engine-{me}"))
+                        .spawn(move || {
+                            if shared.deterministic {
+                                shared.det_worker()
+                            } else {
+                                shared.free_worker(me)
+                            }
+                        })
+                        .expect("spawn engine worker")
+                })
+                .collect()
+        };
+        ExchangeEngine { shared, threads }
+    }
+
+    /// Submits one update. See [`submit_batch`](Self::submit_batch).
+    pub fn submit(&self, op: InitialOp) -> Result<UpdateHandle, SubmitError> {
+        self.submit_batch(vec![op]).map(|mut handles| handles.pop().expect("one handle"))
+    }
+
+    /// Submits a batch of updates atomically: all of them receive consecutive
+    /// priority numbers and become visible to the scheduler together, so a
+    /// batch submitted to an idle deterministic engine chases exactly like the
+    /// same batch under [`ConcurrentRun`](crate::ConcurrentRun). Fails with
+    /// [`SubmitError::Saturated`] when the admission cap would be exceeded
+    /// (nothing is admitted) and [`SubmitError::ShutDown`] after shutdown or a
+    /// fatal error.
+    pub fn submit_batch(&self, ops: Vec<InitialOp>) -> Result<Vec<UpdateHandle>, SubmitError> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let shared = &self.shared;
+        if shared.stop.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShutDown);
+        }
+        let mut slots = shared.slots.write().unwrap_or_else(|e| e.into_inner());
+        let active = shared.active.load(Ordering::SeqCst);
+        if active.saturating_add(ops.len()) > shared.config.admission_cap {
+            return Err(SubmitError::Saturated { active, cap: shared.config.admission_cap });
+        }
+        let base = slots.len();
+        let count = ops.len();
+        let mut handles = Vec::with_capacity(count);
+        {
+            let mut all_ids = lock(&shared.all_ids);
+            for (i, op) in ops.into_iter().enumerate() {
+                let id = UpdateId(shared.config.first_update_number + (base + i) as u64);
+                let cell = Arc::new(SlotCell {
+                    slot: Mutex::new(Slot {
+                        exec: UpdateExecution::with_mode(
+                            id,
+                            op,
+                            shared.config.scheduler.chase_mode,
+                        ),
+                        frontier_wait: 0,
+                        parked: false,
+                        published: None,
+                        failed: None,
+                    }),
+                    abort_requested: AtomicBool::new(false),
+                });
+                slots.push(Arc::clone(&cell));
+                all_ids.push(id);
+                handles.push(UpdateHandle { id, cell, shared: Arc::downgrade(shared) });
+            }
+        }
+        shared.active.fetch_add(count, Ordering::SeqCst);
+        lock(&shared.metrics).workload_size += count;
+        if shared.deterministic {
+            lock(&shared.det_incoming).extend(base..base + count);
+        } else {
+            for idx in base..base + count {
+                let shard = {
+                    let slot = lock(&slots[idx].slot);
+                    shared.shard_of(&slot.exec)
+                };
+                lock(&shared.queues[shard % shared.queues.len()]).push_back(idx);
+            }
+        }
+        drop(slots);
+        shared.signal.bump();
+        Ok(handles)
+    }
+
+    /// The outstanding frontier requests, in publish order. Each entry can be
+    /// resumed with [`answer`](Self::answer); entries disappear when answered
+    /// or when the owning update aborts (the restart publishes a new token).
+    pub fn pending_frontiers(&self) -> Vec<PendingFrontier> {
+        lock(&self.shared.pending)
+            .iter()
+            .map(|(token, entry)| PendingFrontier {
+                token: FrontierToken(*token),
+                update: entry.update,
+                request: entry.request.clone(),
+            })
+            .collect()
+    }
+
+    /// Answers one outstanding frontier request, resuming the owning update.
+    /// A token that no longer names a live request yields
+    /// [`AnswerOutcome::Stale`] (harmless); an invalid decision is an error
+    /// and the request stays pending under the same token for a retry.
+    pub fn answer(
+        &self,
+        token: FrontierToken,
+        decision: FrontierDecision,
+    ) -> Result<AnswerOutcome, ChaseError> {
+        let entry = lock(&self.shared.pending).remove(&token.0);
+        let Some(entry) = entry else { return Ok(AnswerOutcome::Stale) };
+        self.shared.apply_answer(token, entry, decision)
+    }
+
+    /// Runs a closure over the last-committed database state (a read-lock
+    /// snapshot session). Do not hold long-running work inside the closure —
+    /// writers (chase steps) queue behind it.
+    pub fn read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.shared.db.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The mapping set the engine chases against (fixed at construction).
+    pub fn mappings(&self) -> &MappingSet {
+        &self.shared.mappings
+    }
+
+    /// The metrics accumulated since the engine started (never reset;
+    /// `wall_time` is not tracked by the engine — it belongs to whoever owns
+    /// the session).
+    pub fn metrics(&self) -> RunMetrics {
+        lock(&self.shared.metrics).clone()
+    }
+
+    /// Per-update execution statistics, in submission order.
+    pub fn update_stats(&self) -> Vec<(UpdateId, UpdateStats)> {
+        let slots = self.shared.slots.read().unwrap_or_else(|e| e.into_inner());
+        slots
+            .iter()
+            .map(|cell| {
+                let slot = lock(&cell.slot);
+                (slot.exec.id(), slot.exec.stats())
+            })
+            .collect()
+    }
+
+    /// The execution statistics of one update (index lookup — prefer this
+    /// over scanning [`Self::update_stats`] on a long-lived engine).
+    pub fn update_stats_of(&self, update: UpdateId) -> Option<UpdateStats> {
+        let idx = self.shared.index_of(update)?;
+        let cell = self.shared.slot_cell(idx);
+        let slot = lock(&cell.slot);
+        Some(slot.exec.stats())
+    }
+
+    /// The priority number the next submission will receive.
+    pub fn next_update_id(&self) -> UpdateId {
+        let slots = self.shared.slots.read().unwrap_or_else(|e| e.into_inner());
+        UpdateId(self.shared.config.first_update_number + slots.len() as u64)
+    }
+
+    /// Number of in-flight (non-terminated, non-failed) updates.
+    pub fn active_updates(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Whether nothing is running, queued or awaiting an answer. Quiescence
+    /// is stable: with no in-flight work and no pending frontiers, only a new
+    /// submission can create activity.
+    pub fn is_quiescent(&self) -> bool {
+        self.shared.active.load(Ordering::SeqCst) == 0
+            && self.shared.in_flight.load(Ordering::SeqCst) == 0
+            && lock(&self.shared.pending).is_empty()
+    }
+
+    /// The fatal error that stopped the engine, if any (the global
+    /// [`SchedulerConfig::max_total_steps`] valve, or a poisoned decision).
+    pub fn error(&self) -> Option<ChaseError> {
+        lock(&self.shared.error).clone()
+    }
+
+    /// Blocks until the engine is quiescent, returning the fatal error if it
+    /// failed instead. The caller is responsible for answering frontiers
+    /// while waiting (or doing so from another thread / a [`ResolverPump`]) —
+    /// an unanswered frontier never becomes quiescent, and on an inline
+    /// engine (which has no threads to wait on) it is reported as an error
+    /// rather than a hang.
+    pub fn wait_quiescent(&self) -> Result<(), ChaseError> {
+        loop {
+            if let Some(e) = self.error() {
+                return Err(e);
+            }
+            let gen = self.shared.signal.current();
+            if self.is_quiescent() {
+                return Ok(());
+            }
+            if self.shared.inline {
+                self.shared.drive_inline()?;
+                if self.is_quiescent() {
+                    return Ok(());
+                }
+                if !lock(&self.shared.pending).is_empty() {
+                    return Err(ChaseError::InvalidDecision(
+                        "inline engine blocked on an unanswered frontier; \
+                         answer it via pending_frontiers()/answer() or a ResolverPump"
+                            .into(),
+                    ));
+                }
+                continue;
+            }
+            self.shared.signal.wait_past(gen);
+        }
+    }
+
+    /// Stops the workers and joins them (idempotent).
+    fn halt(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.signal.bump();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Shuts the engine down and returns the database, mappings and
+    /// accumulated metrics. In-flight updates are left wherever their last
+    /// committed step put them (partial chases are *not* rolled back — check
+    /// [`is_quiescent`](Self::is_quiescent) first if that matters).
+    pub fn shutdown(mut self) -> (Database, MappingSet, RunMetrics) {
+        self.halt();
+        let mut shared = Arc::clone(&self.shared);
+        drop(self);
+        // Workers are joined, but a cloned `UpdateHandle` may be mid-`wait()`
+        // on another thread, holding a transient upgrade of its weak
+        // reference. The stop flag (set by `halt`) makes every such call
+        // return on its next check; keep nudging the signal until the last
+        // transient strong reference drops.
+        let shared = loop {
+            match Arc::try_unwrap(shared) {
+                Ok(inner) => break inner,
+                Err(still_shared) => {
+                    still_shared.signal.bump();
+                    std::thread::yield_now();
+                    shared = still_shared;
+                }
+            }
+        };
+        let db = shared.db.into_inner().unwrap_or_else(|e| e.into_inner());
+        let metrics = shared.metrics.into_inner().unwrap_or_else(|e| e.into_inner());
+        (db, shared.mappings, metrics)
+    }
+
+    pub(crate) fn db_read(&self) -> std::sync::RwLockReadGuard<'_, Database> {
+        self.shared.db.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn db_write(&self) -> std::sync::RwLockWriteGuard<'_, Database> {
+        self.shared.db.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Drop for ExchangeEngine {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+impl std::fmt::Debug for ExchangeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExchangeEngine")
+            .field("active", &self.active_updates())
+            .field("pending_frontiers", &lock(&self.shared.pending).len())
+            .field("deterministic", &self.shared.deterministic)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A ticket for one submitted update. Clonable; outlives the engine safely
+/// (methods needing the engine report shutdown instead of blocking forever).
+#[derive(Clone)]
+pub struct UpdateHandle {
+    id: UpdateId,
+    cell: Arc<SlotCell>,
+    shared: Weak<EngineShared>,
+}
+
+impl UpdateHandle {
+    /// The update's priority number.
+    pub fn id(&self) -> UpdateId {
+        self.id
+    }
+
+    /// Where the update currently stands. In free-running mode a
+    /// `Terminated` status is definitive only once the engine is quiescent:
+    /// a still-running lower-priority update can conflict with and revive it.
+    pub fn status(&self) -> UpdateStatus {
+        let slot = lock(&self.cell.slot);
+        if slot.failed.is_some() {
+            return UpdateStatus::Failed;
+        }
+        match slot.exec.state() {
+            UpdateState::Ready => UpdateStatus::Running,
+            UpdateState::AwaitingFrontier => UpdateStatus::AwaitingFrontier,
+            UpdateState::Terminated => UpdateStatus::Terminated,
+        }
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> UpdateStats {
+        lock(&self.cell.slot).exec.stats()
+    }
+
+    /// The completion report, once the update has terminated — assembled
+    /// through the same [`UpdateReport::for_execution`] path every runner
+    /// uses.
+    pub fn report(&self) -> Option<UpdateReport> {
+        let slot = lock(&self.cell.slot);
+        slot.exec.is_terminated().then(|| UpdateReport::for_execution(&slot.exec))
+    }
+
+    /// The update's terminal failure, if it exceeded its step budget.
+    pub fn error(&self) -> Option<ChaseError> {
+        lock(&self.cell.slot).failed.clone()
+    }
+
+    /// Blocks until the update terminates (returning its report) or fails
+    /// (returning the error — the update's own budget error, or the engine's
+    /// fatal error). Someone must be answering frontiers meanwhile; on an
+    /// inline engine (which has no one else), a frontier reached while
+    /// waiting is reported as an error rather than a hang.
+    pub fn wait(&self) -> Result<UpdateReport, ChaseError> {
+        loop {
+            {
+                let slot = lock(&self.cell.slot);
+                if let Some(e) = &slot.failed {
+                    return Err(e.clone());
+                }
+                if slot.exec.is_terminated() {
+                    return Ok(UpdateReport::for_execution(&slot.exec));
+                }
+            }
+            let Some(shared) = self.shared.upgrade() else {
+                return Err(ChaseError::InvalidDecision(format!(
+                    "engine shut down while update {} was in flight",
+                    self.id
+                )));
+            };
+            if let Some(e) = lock(&shared.error).clone() {
+                return Err(e);
+            }
+            if shared.stop.load(Ordering::SeqCst) {
+                return Err(ChaseError::InvalidDecision(format!(
+                    "engine shut down while update {} was in flight",
+                    self.id
+                )));
+            }
+            if shared.inline {
+                shared.drive_inline()?;
+                let blocked = {
+                    let slot = lock(&self.cell.slot);
+                    slot.failed.is_none() && !slot.exec.is_terminated()
+                };
+                if blocked && !lock(&shared.pending).is_empty() {
+                    return Err(ChaseError::InvalidDecision(format!(
+                        "update {} is blocked on a frontier on an inline engine; \
+                         answer it via pending_frontiers()/answer() or a ResolverPump",
+                        self.id
+                    )));
+                }
+                continue;
+            }
+            let gen = shared.signal.current();
+            {
+                let slot = lock(&self.cell.slot);
+                if slot.failed.is_some() || slot.exec.is_terminated() {
+                    continue;
+                }
+            }
+            shared.signal.wait_past(gen);
+        }
+    }
+}
+
+impl std::fmt::Debug for UpdateHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdateHandle")
+            .field("id", &self.id)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+/// Compatibility adapter between the pull-based engine and the callback world:
+/// drains [`ExchangeEngine::pending_frontiers`] through any existing
+/// [`FrontierResolver`], consulting it with the blocked update's snapshot
+/// exactly like the batch schedulers did.
+pub struct ResolverPump<'e, 'r> {
+    engine: &'e ExchangeEngine,
+    resolver: &'r mut dyn FrontierResolver,
+}
+
+impl<'e, 'r> ResolverPump<'e, 'r> {
+    /// Creates a pump over `engine` feeding decisions from `resolver`.
+    pub fn new(engine: &'e ExchangeEngine, resolver: &'r mut dyn FrontierResolver) -> Self {
+        ResolverPump { engine, resolver }
+    }
+
+    /// Answers every currently outstanding frontier request (in publish
+    /// order), returning how many were applied. Stale tokens are skipped; an
+    /// invalid decision from the resolver is an error.
+    pub fn drain(&mut self) -> Result<usize, ChaseError> {
+        let engine = self.engine;
+        let mut answered = 0usize;
+        loop {
+            let pending = engine.pending_frontiers();
+            if pending.is_empty() {
+                return Ok(answered);
+            }
+            for pf in pending {
+                let resolver = &mut *self.resolver;
+                let decision =
+                    engine.read(|db| resolver.resolve(&db.snapshot(pf.update), &pf.request));
+                match engine.answer(pf.token, decision)? {
+                    AnswerOutcome::Applied => answered += 1,
+                    AnswerOutcome::Stale => {}
+                }
+            }
+        }
+    }
+
+    /// Pumps until the engine is quiescent (every submitted update terminated
+    /// or failed, no outstanding frontiers), propagating the engine's fatal
+    /// error if it stops instead.
+    pub fn run_until_quiescent(&mut self) -> Result<(), ChaseError> {
+        loop {
+            if self.engine.shared.inline {
+                // Caller-driven engine: chase until idle or blocked, then
+                // answer. Every loop iteration either makes chase progress,
+                // answers a frontier, or observes quiescence — no waiting.
+                self.engine.shared.drive_inline()?;
+            }
+            self.drain()?;
+            if let Some(e) = self.engine.error() {
+                return Err(e);
+            }
+            let gen = self.engine.shared.signal.current();
+            if self.engine.is_quiescent() {
+                return Ok(());
+            }
+            if self.engine.shared.inline {
+                continue;
+            }
+            // A frontier published between drain() returning empty and the
+            // generation capture has already bumped the generation we are
+            // about to sleep on — with every worker parked behind it, nobody
+            // would ever bump again. Re-checking the queue *after* the
+            // capture closes the lost-wakeup window: either we see the entry
+            // here and drain it, or its publish bumps past `gen` and the
+            // wait returns immediately.
+            if !lock(&self.engine.shared.pending).is_empty() {
+                continue;
+            }
+            self.engine.shared.signal.wait_past(gen);
+        }
+    }
+}
+
+impl std::fmt::Debug for ResolverPump<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResolverPump").field("engine", &self.engine).finish_non_exhaustive()
+    }
+}

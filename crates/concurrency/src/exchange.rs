@@ -1,37 +1,37 @@
-//! A single-threaded update-exchange facade.
+//! The single-update exchange facade, now a client of the engine.
 //!
-//! [`UpdateExchange`] owns a database and a mapping set and runs one update at
-//! a time to completion, consulting a [`FrontierResolver`] whenever a chase
-//! blocks. This is the API the examples use, the workload generator uses to
-//! build the initial database of Section 6, and the simplest way to try the
-//! system (see `examples/quickstart.rs`).
+//! [`UpdateExchange`] owns a long-lived [`ExchangeEngine`] (one worker,
+//! deterministic) and runs one update at a time to completion, consulting a
+//! [`FrontierResolver`] whenever a chase blocks. This is the API the examples
+//! use, the workload generator uses to build the initial database of
+//! Section 6, and the simplest way to try the system (see
+//! `examples/quickstart.rs`).
+//!
+//! Historically this facade lived in `youtopia-core` with its own chase loop
+//! and its own report assembly. It now delegates to the engine:
+//! [`UpdateExchange::run_update`] is submit → pump → [`UpdateHandle::report`],
+//! so the [`UpdateReport`] comes through the exact same
+//! [`UpdateReport::for_execution`] path batch runs use — one report type, no
+//! duplicated metrics assembly.
 
+use std::ops::{Deref, DerefMut};
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+use youtopia_core::{
+    ChaseError, ChaseMode, FrontierResolver, InitialOp, UpdateReport, UpdateStats,
+};
 use youtopia_mappings::{satisfies_all, MappingSet};
 use youtopia_storage::{Database, NullId, RelationId, TupleId, UpdateId, Value};
 
-use crate::error::ChaseError;
-use crate::resolver::FrontierResolver;
-use crate::update::{ChaseMode, InitialOp, UpdateExecution, UpdateState, UpdateStats};
+use crate::engine::{EngineConfig, ExchangeEngine, ResolverPump, UpdateHandle, UpdateStatus};
+use crate::scheduler::SchedulerConfig;
 
-/// Summary of one completed update.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct UpdateReport {
-    /// The update's priority number.
-    pub update: UpdateId,
-    /// Execution counters.
-    pub stats: UpdateStats,
-    /// Whether the update terminated (it always does unless the step limit
-    /// was hit).
-    pub terminated: bool,
-}
-
-/// Configuration of the single-threaded exchange.
+/// Configuration of the single-update exchange.
 #[derive(Clone, Copy, Debug)]
 pub struct ExchangeConfig {
     /// Safety valve: the maximum number of chase steps a single update may
     /// take. Chases driven by resolvers that never unify (e.g.
-    /// [`crate::resolver::ExpandResolver`] under cyclic mappings) would
-    /// otherwise run forever.
+    /// `ExpandResolver` under cyclic mappings) would otherwise run forever.
     pub max_steps_per_update: usize,
     /// How executions maintain their violation queues (delta-driven by
     /// default; [`ChaseMode::FullRecheck`] is the differential-testing /
@@ -45,19 +45,48 @@ impl Default for ExchangeConfig {
     }
 }
 
-/// Owns a database plus mappings and runs updates one at a time.
+/// Read access to the exchange's database: a snapshot-session guard that
+/// dereferences to [`Database`]. Chase workers (if any were mid-step) queue
+/// behind it; drop it before submitting the next update.
 #[derive(Debug)]
+pub struct DbRef<'a>(RwLockReadGuard<'a, Database>);
+
+impl Deref for DbRef<'_> {
+    type Target = Database;
+    fn deref(&self) -> &Database {
+        &self.0
+    }
+}
+
+/// Mutable access to the exchange's database (e.g. to register relations or
+/// seed tuples outside of update exchange). Holds the engine's write lock —
+/// drop it before running updates.
+#[derive(Debug)]
+pub struct DbRefMut<'a>(RwLockWriteGuard<'a, Database>);
+
+impl Deref for DbRefMut<'_> {
+    type Target = Database;
+    fn deref(&self) -> &Database {
+        &self.0
+    }
+}
+
+impl DerefMut for DbRefMut<'_> {
+    fn deref_mut(&mut self) -> &mut Database {
+        &mut self.0
+    }
+}
+
+/// Owns a database plus mappings (inside a one-worker engine) and runs
+/// updates one at a time.
 pub struct UpdateExchange {
-    db: Database,
-    mappings: MappingSet,
-    config: ExchangeConfig,
-    next_update: u64,
+    engine: ExchangeEngine,
 }
 
 impl UpdateExchange {
     /// Creates an exchange over an existing database and mapping set.
     pub fn new(db: Database, mappings: MappingSet) -> UpdateExchange {
-        UpdateExchange { db, mappings, config: ExchangeConfig::default(), next_update: 1 }
+        UpdateExchange::with_config(db, mappings, ExchangeConfig::default())
     }
 
     /// Creates an exchange with a custom configuration.
@@ -66,44 +95,59 @@ impl UpdateExchange {
         mappings: MappingSet,
         config: ExchangeConfig,
     ) -> UpdateExchange {
-        UpdateExchange { db, mappings, config, next_update: 1 }
+        let scheduler = SchedulerConfig::default()
+            .with_workers(1)
+            .with_frontier_delay_rounds(0)
+            .with_chase_mode(config.chase_mode)
+            // The exchange's step valve is per-update, not global: a runaway
+            // chase fails its own update and leaves the exchange usable.
+            .with_max_total_steps(usize::MAX);
+        // Inline mode: one update at a time needs no worker threads, and a
+        // threadless engine keeps micro-chases at single-threaded cost (no
+        // cross-thread handoff per step or frontier answer).
+        let engine_config = EngineConfig::default()
+            .with_scheduler(scheduler)
+            .with_max_steps_per_update(config.max_steps_per_update)
+            .run_inline();
+        UpdateExchange { engine: ExchangeEngine::new(db, mappings, engine_config) }
     }
 
-    /// The database.
-    pub fn db(&self) -> &Database {
-        &self.db
+    /// The underlying engine — for callers that want to graduate from
+    /// one-at-a-time runs to submitting concurrent updates directly.
+    pub fn engine(&self) -> &ExchangeEngine {
+        &self.engine
+    }
+
+    /// The database (a read-guard that dereferences to [`Database`]).
+    pub fn db(&self) -> DbRef<'_> {
+        DbRef(self.engine.db_read())
     }
 
     /// Mutable access to the database (e.g. to register relations or seed
     /// tuples outside of update exchange).
-    pub fn db_mut(&mut self) -> &mut Database {
-        &mut self.db
+    pub fn db_mut(&mut self) -> DbRefMut<'_> {
+        DbRefMut(self.engine.db_write())
     }
 
-    /// The mapping set.
+    /// The mapping set (fixed at construction, like every engine's).
     pub fn mappings(&self) -> &MappingSet {
-        &self.mappings
-    }
-
-    /// Mutable access to the mappings (users add mappings as the repository
-    /// grows).
-    pub fn mappings_mut(&mut self) -> &mut MappingSet {
-        &mut self.mappings
+        self.engine.mappings()
     }
 
     /// Consumes the exchange, returning its parts.
     pub fn into_parts(self) -> (Database, MappingSet) {
-        (self.db, self.mappings)
+        let (db, mappings, _) = self.engine.shutdown();
+        (db, mappings)
     }
 
     /// The priority number the next update will receive.
     pub fn next_update_id(&self) -> UpdateId {
-        UpdateId(self.next_update)
+        self.engine.next_update_id()
     }
 
     /// Whether the database currently satisfies every mapping.
     pub fn is_consistent(&self) -> bool {
-        satisfies_all(&self.db.snapshot(UpdateId::OMNISCIENT), &self.mappings)
+        self.engine.read(|db| satisfies_all(&db.snapshot(UpdateId::OMNISCIENT), self.mappings()))
     }
 
     /// Runs a complete update — the initial operation plus the entire chase —
@@ -113,33 +157,23 @@ impl UpdateExchange {
         op: InitialOp,
         resolver: &mut dyn FrontierResolver,
     ) -> Result<UpdateReport, ChaseError> {
-        let id = UpdateId(self.next_update);
-        self.next_update += 1;
-        let mut exec = UpdateExecution::with_mode(id, op, self.config.chase_mode);
-        loop {
-            if exec.stats().steps >= self.config.max_steps_per_update {
-                return Err(ChaseError::StepLimitExceeded {
-                    update: id,
-                    limit: self.config.max_steps_per_update,
-                });
+        let handle =
+            self.engine.submit(op).map_err(|e| ChaseError::InvalidDecision(e.to_string()))?;
+        ResolverPump::new(&self.engine, resolver).run_until_quiescent()?;
+        self.finish(&handle)
+    }
+
+    fn finish(&self, handle: &UpdateHandle) -> Result<UpdateReport, ChaseError> {
+        match handle.status() {
+            UpdateStatus::Terminated => {
+                Ok(handle.report().expect("terminated updates have a report"))
             }
-            match exec.state() {
-                UpdateState::Terminated => break,
-                UpdateState::Ready => {
-                    exec.step(&mut self.db, &self.mappings)?;
-                }
-                UpdateState::AwaitingFrontier => {
-                    let request =
-                        exec.pending_frontier().expect("state is AwaitingFrontier").clone();
-                    let decision = {
-                        let snap = self.db.snapshot(id);
-                        resolver.resolve(&snap, &request)
-                    };
-                    exec.resolve_frontier(&self.mappings, decision)?;
-                }
-            }
+            UpdateStatus::Failed => Err(handle.error().expect("failed updates have an error")),
+            status => Err(ChaseError::InvalidDecision(format!(
+                "update {} left {status:?} by a quiescent engine",
+                handle.id()
+            ))),
         }
-        Ok(UpdateReport { update: id, stats: exec.stats(), terminated: true })
     }
 
     /// Convenience: run an insertion given a relation name and values.
@@ -185,17 +219,29 @@ impl UpdateExchange {
         self.run_update(InitialOp::NullReplace { null, replacement }, resolver)
     }
 
+    /// Aggregate statistics of the most recent update (diagnostics).
+    pub fn last_update_stats(&self) -> Option<(UpdateId, UpdateStats)> {
+        let last = UpdateId(self.engine.next_update_id().0.checked_sub(1)?);
+        Some((last, self.engine.update_stats_of(last)?))
+    }
+
     fn relation(&self, name: &str) -> Result<RelationId, ChaseError> {
-        self.db
+        self.db()
             .relation_id(name)
             .ok_or_else(|| ChaseError::InvalidDecision(format!("unknown relation `{name}`")))
+    }
+}
+
+impl std::fmt::Debug for UpdateExchange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdateExchange").field("engine", &self.engine).finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::resolver::{ExpandResolver, RandomResolver, UnifyResolver};
+    use youtopia_core::{ExpandResolver, RandomResolver, UnifyResolver};
     use youtopia_mappings::find_violations;
 
     fn travel_exchange() -> UpdateExchange {
@@ -264,7 +310,9 @@ mod tests {
     fn expand_resolver_hits_the_step_limit_on_cyclic_mappings() {
         // Always expanding reproduces the classical chase's divergence on the
         // C ↔ S cycle; the exchange's step limit turns that into an error
-        // instead of a hang.
+        // instead of a hang — and, since the redesign, the failure is scoped
+        // to the update: its writes are rolled back and the exchange stays
+        // usable.
         let mut db = Database::new();
         db.add_relation("C", ["city"]).unwrap();
         db.add_relation("S", ["code", "location", "city_served"]).unwrap();
@@ -286,6 +334,10 @@ mod tests {
         let mut expand = ExpandResolver;
         let err = ex.insert_constants("C", &["Ithaca"], &mut expand);
         assert!(matches!(err, Err(ChaseError::StepLimitExceeded { .. })));
+        // The failed update was rolled back; a cooperative user still works.
+        let mut resolver = RandomResolver::seeded(5);
+        ex.insert_constants("C", &["Dryden"], &mut resolver).unwrap();
+        assert!(ex.is_consistent());
     }
 
     #[test]
@@ -334,5 +386,17 @@ mod tests {
         let (db, mappings) = ex.into_parts();
         assert_eq!(db.catalog().len(), 5);
         assert_eq!(mappings.len(), 3);
+    }
+
+    #[test]
+    fn reports_come_through_the_engine_path() {
+        let mut ex = travel_exchange();
+        let mut resolver = RandomResolver::seeded(2);
+        let report = ex.insert_constants("C", &["Ithaca"], &mut resolver).unwrap();
+        assert_eq!(report.update, UpdateId(1));
+        assert!(report.terminated);
+        assert!(report.stats.steps > 0);
+        // The engine's handle-side view agrees with the returned report.
+        assert_eq!(ex.last_update_stats(), Some((report.update, report.stats)));
     }
 }

@@ -11,6 +11,12 @@
 //! lets new updates proceed while older ones wait for (simulated) frontier
 //! operations, and aborts-and-restarts updates whose reads were premature.
 //!
+//! The service form of the same machinery is the long-lived
+//! [`ExchangeEngine`]: [`ExchangeEngine::submit`] accepts updates at any time,
+//! blocked chases surface as [`ExchangeEngine::pending_frontiers`] and resume
+//! via [`ExchangeEngine::answer`], and [`ParallelRun`] / [`UpdateExchange`]
+//! are thin batch/single-update façades over it.
+//!
 //! ```
 //! use youtopia_concurrency::{ConcurrentRun, SchedulerConfig, TrackerKind};
 //! use youtopia_core::{InitialOp, RandomResolver};
@@ -41,6 +47,8 @@
 
 pub mod conflict;
 pub mod deps;
+pub mod engine;
+pub mod exchange;
 pub mod log;
 pub mod metrics;
 pub mod parallel;
@@ -54,6 +62,11 @@ pub use conflict::{
 pub use deps::{
     CoarseTracker, DependencyTracker, HybridTracker, NaiveTracker, PreciseTracker, TrackerKind,
 };
+pub use engine::{
+    AnswerOutcome, EngineConfig, ExchangeEngine, ResolverPump, SubmitError, UpdateHandle,
+    UpdateStatus,
+};
+pub use exchange::{DbRef, DbRefMut, ExchangeConfig, UpdateExchange};
 pub use log::{ChangeSource, ReadLog, WriteLog};
 pub use metrics::{AveragedMetrics, RunMetrics};
 pub use parallel::ParallelRun;

@@ -1,152 +1,62 @@
-//! The multi-threaded chase scheduler: [`ParallelRun`].
+//! The batch façade of the multi-threaded chase scheduler: [`ParallelRun`].
 //!
-//! Where [`ConcurrentRun`](crate::ConcurrentRun) *simulates* concurrency by
-//! interleaving chase steps in one thread, `ParallelRun` executes them on N
-//! OS worker threads:
+//! Since the [`ExchangeEngine`] redesign, `ParallelRun`
+//! is a thin adapter: it takes a batch of updates up front — the shape the
+//! Section 6 experiments and the differential suites want — and internally
+//! boots an engine, submits the whole batch atomically, drains the engine's
+//! pull-based frontier queue through the caller's [`FrontierResolver`] via a
+//! [`ResolverPump`], and tears the engine down when the
+//! batch is done. All scheduling semantics (sharded run queues, two-phase
+//! steps, striped logs, owner-performed aborts, deterministic sequencer vs
+//! free running) live in the engine; see its module docs.
 //!
-//! * **Sharded run queues** — ready updates wait in per-worker queues sharded
-//!   by the relations their next step can touch
-//!   ([`UpdateExecution::next_touched_relations`], the delta-driven queue's
-//!   relation index), so updates contending on the same relations tend to
-//!   serialise on the same worker while disjoint ones run elsewhere. Idle
-//!   workers steal from other shards.
-//! * **Two-phase steps over one shared database** — the database sits behind
-//!   an `RwLock`. A step's write half ([`UpdateExecution::begin_step`]) runs
-//!   under the write lock; its read half ([`UpdateExecution::finish_step`]
-//!   — violation detection, queue maintenance, repair planning) runs under a
-//!   read lock, so the analysis of many updates overlaps. The step's reads
-//!   are recorded in the read log *before* the read lock is released, which
-//!   makes the Algorithm 4 guarantee carry over: any write committed after a
-//!   read's snapshot must observe that read in the log when it validates.
-//! * **Lock-striped logs** — conflict validation walks the per-relation
-//!   stripes of [`StripedReadLog`] / [`StripedWriteLog`], so workers whose
-//!   steps touch disjoint relations never contend on a log lock.
-//! * **Owner-performed aborts** — every update is owned by at most one worker
-//!   at a time. A validator that must abort a running update flags it; the
-//!   owner executes the rollback at its next commit point. Because a
-//!   free-running abort can execute long after it was decided, the rollback
-//!   itself is validated like a write: updates whose recorded reads it
-//!   retroactively invalidates are aborted too (the single-threaded
-//!   scheduler aborts synchronously, so its abort sets are already closed).
+//! Two properties worth naming:
 //!
-//! Two modes, selected by [`SchedulerConfig::deterministic`]:
-//!
-//! * **Deterministic** (default): a sequencer hands workers chase steps in
-//!   the exact round-robin serialisation order of
-//!   [`ConcurrentRun`](crate::ConcurrentRun), so the final database, metrics
-//!   and abort sets are byte-identical to the single-threaded reference at
-//!   any worker count — the mode the experiment sweep and the figure
-//!   binaries use. The determinism tax is that steps cannot overlap.
-//! * **Free-running**: workers pull from the sharded queues with no global
-//!   order; read halves genuinely overlap. Results are schedule-dependent
-//!   (abort counts vary run to run) but always consistent: the paper's
-//!   priority argument — conflicts only ever abort the *higher*-numbered
-//!   update — guarantees global progress, and every final state satisfies
-//!   all mappings.
-//!
-//! Lock order (outermost first): slot → resolver → database → tracker →
-//! metrics → log stripes. A worker never blocks on a second slot lock while
-//! holding one (victim slots are `try_lock`ed; on failure the victim is
-//! flagged and its owner acts).
+//! * **Deterministic mode is still byte-identical to
+//!   [`ConcurrentRun`](crate::ConcurrentRun)** at any worker count: a batch
+//!   submitted to an idle deterministic engine chases in the reference
+//!   round-robin order, and the pump answers each published frontier at
+//!   exactly the point in the round where the reference consulted its
+//!   resolver (`tests/scheduler_equivalence.rs`, `tests/determinism.rs`).
+//! * **Repeated [`run`](ParallelRun::run) calls are safe.** The resolver used
+//!   to be re-passed per call while frontier state lived inside the run; the
+//!   engine (and its frontier queue) now lives and dies *within* one `run`
+//!   call, so a second call can never observe a stale frontier queue — it
+//!   just reports the finished batch's metrics again.
 
-use std::collections::{BTreeSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, RwLock};
 use std::time::Instant;
 
-use youtopia_core::{
-    ChaseError, FrontierResolver, InitialOp, ReadQuery, StepOutcome, UpdateExecution, UpdateState,
-};
+use youtopia_core::{ChaseError, FrontierResolver, InitialOp, UpdateStats};
 use youtopia_mappings::MappingSet;
-use youtopia_storage::{Database, TupleChange, UpdateId};
+use youtopia_storage::{Database, UpdateId};
 
-use crate::deps::DependencyTracker;
+use crate::engine::{EngineConfig, ExchangeEngine, ResolverPump};
 use crate::metrics::RunMetrics;
-use crate::scheduler::{SchedulerConfig, SchedulingPolicy};
-use crate::striped::{StripedReadLog, StripedWriteLog};
-
-struct Slot {
-    exec: UpdateExecution,
-    /// Rounds remaining before a pending frontier request is answered
-    /// (deterministic mode only; free-running answers immediately — it has no
-    /// notion of rounds).
-    frontier_wait: usize,
-}
-
-struct SlotCell {
-    slot: Mutex<Slot>,
-    /// Set by a validator that could not lock this slot (its owner holds it);
-    /// the owner executes the abort at its next commit point. Cleared only by
-    /// whoever performs the abort, under the slot lock.
-    abort_requested: AtomicBool,
-}
-
-/// The sequencer of deterministic mode: the position of the round-robin
-/// cursor, plus the progress/termination bookkeeping of the reference loop.
-struct DetCursor {
-    idx: usize,
-    progressed: bool,
-    finished: bool,
-}
+use crate::scheduler::SchedulerConfig;
 
 /// A worker-pool execution of a batch of updates over one shared database.
 ///
-/// Mirrors the [`ConcurrentRun`](crate::ConcurrentRun) API; see the module
-/// docs for the execution model and
-/// [`SchedulerConfig::workers`] / [`SchedulerConfig::deterministic`] for the
-/// knobs.
+/// Mirrors the [`ConcurrentRun`](crate::ConcurrentRun) API; the execution
+/// model is the [`ExchangeEngine`]'s, configured by
+/// [`SchedulerConfig::workers`] / [`SchedulerConfig::deterministic`].
 pub struct ParallelRun {
-    db: RwLock<Database>,
-    mappings: MappingSet,
-    slots: Vec<SlotCell>,
-    all_ids: Vec<UpdateId>,
+    db: Option<Database>,
+    mappings: Option<MappingSet>,
+    ops: Vec<InitialOp>,
     first_number: u64,
-    read_log: StripedReadLog,
-    write_log: StripedWriteLog,
-    tracker: Mutex<Box<dyn DependencyTracker>>,
-    metrics: Mutex<RunMetrics>,
     config: SchedulerConfig,
-    workers: usize,
-    /// Sharded run queues of slot indices (free-running mode).
-    queues: Vec<Mutex<VecDeque<usize>>>,
-    /// Number of slots not currently terminated.
-    active: AtomicUsize,
-    /// Number of workers currently processing a slot.
-    in_flight: AtomicUsize,
-    stop: AtomicBool,
-    error: Mutex<Option<ChaseError>>,
-}
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-/// The change a rollback performs when it undoes `change`: rolling back an
-/// insert deletes the tuple, rolling back a delete revives it, rolling back a
-/// modification swaps the images.
-fn invert_change(change: &TupleChange) -> TupleChange {
-    match change {
-        TupleChange::Inserted { relation, tuple, values } => {
-            TupleChange::Deleted { relation: *relation, tuple: *tuple, old: values.clone() }
-        }
-        TupleChange::Deleted { relation, tuple, old } => {
-            TupleChange::Inserted { relation: *relation, tuple: *tuple, values: old.clone() }
-        }
-        TupleChange::Modified { relation, tuple, old, new } => TupleChange::Modified {
-            relation: *relation,
-            tuple: *tuple,
-            old: new.clone(),
-            new: old.clone(),
-        },
-    }
+    metrics: RunMetrics,
+    stats: Vec<(UpdateId, UpdateStats)>,
+    ran: bool,
+    /// Terminal error of a failed run; replayed by later `run()` calls so a
+    /// retry can never turn a failed batch into an `Ok` with partial metrics.
+    failed: Option<ChaseError>,
 }
 
 impl ParallelRun {
     /// Creates a run over `db` for the given initial operations, with update
     /// numbers assigned in submission order from `first_update_number` — the
     /// same contract as [`ConcurrentRun::new`](crate::ConcurrentRun::new).
-    /// Worker count and mode come from [`SchedulerConfig::workers`] (0 = one
-    /// per available core) and [`SchedulerConfig::deterministic`].
     pub fn new(
         db: Database,
         mappings: MappingSet,
@@ -154,670 +64,90 @@ impl ParallelRun {
         first_update_number: u64,
         config: SchedulerConfig,
     ) -> ParallelRun {
-        let slots: Vec<SlotCell> = ops
-            .into_iter()
+        let stats = ops
+            .iter()
             .enumerate()
-            .map(|(i, op)| SlotCell {
-                slot: Mutex::new(Slot {
-                    exec: UpdateExecution::with_mode(
-                        UpdateId(first_update_number + i as u64),
-                        op,
-                        config.chase_mode,
-                    ),
-                    frontier_wait: 0,
-                }),
-                abort_requested: AtomicBool::new(false),
-            })
+            .map(|(i, _)| (UpdateId(first_update_number + i as u64), UpdateStats::default()))
             .collect();
-        let all_ids: Vec<UpdateId> = slots.iter().map(|c| lock(&c.slot).exec.id()).collect();
-        let workers = if config.workers > 0 {
-            config.workers
-        } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        };
-        let metrics = RunMetrics { workload_size: slots.len(), ..RunMetrics::default() };
-        let queue_count = workers.max(1);
+        let metrics = RunMetrics { workload_size: ops.len(), ..RunMetrics::default() };
         ParallelRun {
-            db: RwLock::new(db),
-            mappings,
-            active: AtomicUsize::new(slots.len()),
-            slots,
-            all_ids,
+            db: Some(db),
+            mappings: Some(mappings),
+            ops,
             first_number: first_update_number,
-            read_log: StripedReadLog::default(),
-            write_log: StripedWriteLog::default(),
-            tracker: Mutex::new(config.tracker.build()),
-            metrics: Mutex::new(metrics),
             config,
-            workers,
-            queues: (0..queue_count).map(|_| Mutex::new(VecDeque::new())).collect(),
-            in_flight: AtomicUsize::new(0),
-            stop: AtomicBool::new(false),
-            error: Mutex::new(None),
+            metrics,
+            stats,
+            ran: false,
+            failed: None,
         }
     }
 
-    /// The metrics collected so far.
+    /// The metrics collected so far (final metrics once [`Self::run`] has
+    /// returned).
     pub fn metrics(&self) -> RunMetrics {
-        lock(&self.metrics).clone()
+        self.metrics.clone()
     }
 
-    /// Runs a closure over the shared database (e.g. to inspect the final
-    /// state after [`Self::run`]).
+    /// Runs a closure over the database (e.g. to inspect the final state
+    /// after [`Self::run`]).
     pub fn with_database<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
-        f(&self.db.read().unwrap_or_else(|e| e.into_inner()))
+        f(self.db.as_ref().expect("database is owned between runs"))
     }
 
     /// Consumes the run, returning the database, mappings and metrics.
     pub fn into_parts(self) -> (Database, MappingSet, RunMetrics) {
-        let db = self.db.into_inner().unwrap_or_else(|e| e.into_inner());
-        let metrics = self.metrics.into_inner().unwrap_or_else(|e| e.into_inner());
-        (db, self.mappings, metrics)
+        (
+            self.db.expect("database is owned between runs"),
+            self.mappings.expect("mappings are owned between runs"),
+            self.metrics,
+        )
     }
 
-    /// Per-update execution statistics (after or during a run).
-    pub fn update_stats(&self) -> Vec<(UpdateId, youtopia_core::UpdateStats)> {
-        self.slots
-            .iter()
-            .map(|c| {
-                let slot = lock(&c.slot);
-                (slot.exec.id(), slot.exec.stats())
-            })
-            .collect()
+    /// Per-update execution statistics (zeroed before the run, final after).
+    pub fn update_stats(&self) -> Vec<(UpdateId, UpdateStats)> {
+        self.stats.clone()
     }
 
-    /// Runs every update to termination on the worker pool, consulting
-    /// `resolver` for frontier operations, and returns the collected metrics.
-    pub fn run(
-        &mut self,
-        resolver: &mut (dyn FrontierResolver + Send),
-    ) -> Result<RunMetrics, ChaseError> {
+    /// Runs the batch to termination on an engine worker pool, consulting
+    /// `resolver` for frontier operations (on the calling thread — the
+    /// resolver no longer needs to be `Send`), and returns the collected
+    /// metrics. A second call is a no-op that reports the same metrics: the
+    /// engine and its frontier queue live only inside one `run` call, so no
+    /// stale frontier state can carry over.
+    pub fn run(&mut self, resolver: &mut dyn FrontierResolver) -> Result<RunMetrics, ChaseError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if self.ran {
+            return Ok(self.metrics.clone());
+        }
         let start = Instant::now();
-        let resolver = Mutex::new(resolver);
-        if self.config.deterministic {
-            self.run_deterministic(&resolver)?;
-        } else {
-            self.run_free(&resolver)?;
-        }
-        let mut metrics = lock(&self.metrics);
+        let engine = ExchangeEngine::new(
+            self.db.take().expect("database is owned between runs"),
+            self.mappings.take().expect("mappings are owned between runs"),
+            EngineConfig::default()
+                .with_scheduler(self.config)
+                .with_first_update_number(self.first_number),
+        );
+        let ops = std::mem::take(&mut self.ops);
+        let result = match engine.submit_batch(ops) {
+            // Admission is uncapped here, so submission only fails after a
+            // fatal engine error — surfaced below like any other.
+            Err(e) => Err(ChaseError::InvalidDecision(e.to_string())),
+            Ok(_handles) => ResolverPump::new(&engine, resolver).run_until_quiescent(),
+        };
+        self.stats = engine.update_stats();
+        let (db, mappings, mut metrics) = engine.shutdown();
+        self.db = Some(db);
+        self.mappings = Some(mappings);
         metrics.wall_time = start.elapsed();
-        Ok(metrics.clone())
-    }
-
-    fn fail(&self, e: ChaseError) {
-        let mut slot = lock(&self.error);
-        if slot.is_none() {
-            *slot = Some(e);
+        self.metrics = metrics;
+        self.ran = true;
+        if let Err(e) = &result {
+            self.failed = Some(e.clone());
         }
-        self.stop.store(true, Ordering::SeqCst);
-    }
-
-    fn take_error(&self) -> Result<(), ChaseError> {
-        match lock(&self.error).take() {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
-    }
-
-    fn index_of(&self, update: UpdateId) -> Option<usize> {
-        let idx = update.0.checked_sub(self.first_number)? as usize;
-        (idx < self.slots.len()).then_some(idx)
-    }
-
-    // ------------------------------------------------------------------
-    // Shared step machinery (both modes)
-    // ------------------------------------------------------------------
-
-    /// Records the read queries a step (or frontier resolution) performed,
-    /// exactly like the single-threaded scheduler: dependencies first, then
-    /// the retained read log. The caller holds the database read lock —
-    /// recording before that lock is released is what guarantees any
-    /// later-committing write sees these reads when it validates.
-    fn record_reads_locked(&self, db: &Database, reader: UpdateId, reads: Vec<ReadQuery>) {
-        if reads.is_empty() {
-            return;
-        }
-        {
-            let snap = db.snapshot(reader);
-            lock(&self.tracker).record_reads(
-                reader,
-                &reads,
-                &self.write_log,
-                &snap,
-                &self.mappings,
-            );
-        }
-        self.read_log.record(reader, reads, &self.mappings);
-    }
-
-    /// Executes one chase step for the locked slot: write half under the
-    /// database write lock, read half (analysis, logging, read recording and
-    /// conflict collection) under a read lock. Returns the step outcome and
-    /// the consolidated abort set — the caller decides how to execute the
-    /// aborts (synchronously in deterministic mode, via flags when
-    /// free-running).
-    fn step_and_validate(
-        &self,
-        slot: &mut Slot,
-    ) -> Result<(StepOutcome, BTreeSet<UpdateId>), ChaseError> {
-        // Safety valve, checked per step so the error names the update that
-        // was actually stepping when the limit tripped.
-        if lock(&self.metrics).steps >= self.config.max_total_steps {
-            return Err(ChaseError::StepLimitExceeded {
-                update: slot.exec.id(),
-                limit: self.config.max_total_steps,
-            });
-        }
-        let applied = {
-            let mut db = self.db.write().unwrap_or_else(|e| e.into_inner());
-            slot.exec.begin_step(&mut db)?
-        };
-        let db = self.db.read().unwrap_or_else(|e| e.into_inner());
-        let outcome = slot.exec.finish_step(&db, &self.mappings, applied)?;
-        {
-            let mut metrics = lock(&self.metrics);
-            metrics.steps += 1;
-            metrics.changes += outcome.writes.iter().map(|w| w.changes.len()).sum::<usize>();
-        }
-        let id = outcome.update;
-
-        // Log writes (for dependency tracking) and reads (for conflicts).
-        self.write_log.push_all(&outcome.writes);
-        lock(&self.tracker).record_writes(id, &outcome.writes);
-        self.record_reads_locked(&db, id, outcome.reads.clone());
-
-        // Algorithm 4: check every change against the stored reads of
-        // higher-numbered updates; cascade through the tracker.
-        let changes: Vec<TupleChange> =
-            outcome.writes.iter().flat_map(|w| w.changes.iter().cloned()).collect();
-        let to_abort = self.collect_aborts_locked(&db, id, &changes);
-        Ok((outcome, to_abort))
-    }
-
-    /// Computes the consolidated abort set caused by a step's changes —
-    /// direct conflicts plus the transitive read-dependents of each directly
-    /// conflicting update — with the same candidate walk and request
-    /// accounting as the single-threaded scheduler, over the striped logs.
-    /// The caller holds the database read lock.
-    fn collect_aborts_locked(
-        &self,
-        db: &Database,
-        writer: UpdateId,
-        changes: &[TupleChange],
-    ) -> BTreeSet<UpdateId> {
-        let mut pending: BTreeSet<UpdateId> = BTreeSet::new();
-        if changes.is_empty() {
-            return pending;
-        }
-        let tracker = lock(&self.tracker);
-        // Request counters accumulate locally so the global metrics mutex is
-        // taken once, at the end — other workers' per-step counter bumps must
-        // not queue behind this walk's query re-evaluation.
-        let mut direct_requests = 0usize;
-        let mut cascading_requests = 0usize;
-        for change in changes {
-            let relation = change.relation();
-            for reader in self.read_log.readers_above_touching(writer, relation) {
-                let conflicts = {
-                    let snapshot = db.snapshot(reader);
-                    self.read_log
-                        .queries_touching(reader, relation)
-                        .iter()
-                        .any(|q| q.affected_by(&snapshot, &self.mappings, change))
-                };
-                if !conflicts {
-                    continue;
-                }
-                direct_requests += 1;
-                pending.insert(reader);
-                // Cascade: everyone who (transitively) read from the aborted
-                // reader must abort too; every request is counted, even when
-                // the target is already marked (see ConcurrentRun).
-                let mut stack = vec![reader];
-                let mut visited: BTreeSet<UpdateId> = BTreeSet::new();
-                visited.insert(reader);
-                while let Some(a) = stack.pop() {
-                    for dependent in tracker.dependents_of(a, &self.all_ids) {
-                        if dependent <= writer {
-                            continue;
-                        }
-                        cascading_requests += 1;
-                        pending.insert(dependent);
-                        if visited.insert(dependent) {
-                            stack.push(dependent);
-                        }
-                    }
-                }
-            }
-        }
-        if direct_requests > 0 || cascading_requests > 0 {
-            let mut metrics = lock(&self.metrics);
-            metrics.direct_conflict_requests += direct_requests;
-            metrics.cascading_abort_requests += cascading_requests;
-        }
-        pending
-    }
-
-    /// Performs the consolidated abort of a slot whose lock the caller holds:
-    /// roll back its writes, clear its logs and dependency bookkeeping, reset
-    /// it to redo its initial operation. `revive` is true when the slot had
-    /// already terminated — the abort brings it back into the active count
-    /// and the caller must re-enqueue it.
-    ///
-    /// Free-running mode additionally *validates the rollback itself*: the
-    /// single-threaded scheduler aborts synchronously inside the validation
-    /// that decided them, so no reader can slip in between, but a
-    /// free-running abort can execute long after it was decided — an update
-    /// that read the victim's data in the gap read data that is now being
-    /// undone. Returns the updates whose recorded reads the rollback
-    /// retroactively invalidated (checked exactly, per read query — never via
-    /// the tracker, whose conservative answers would make abort waves feed on
-    /// themselves under `NAIVE`); the caller feeds them back into the abort
-    /// machinery.
-    fn execute_abort(&self, cell: &SlotCell, slot: &mut Slot, revive: bool) -> Vec<UpdateId> {
-        let victim = slot.exec.id();
-        // Free-running only: capture the victim's logged changes before they
-        // go away. Their inverses are what the rollback is about to do to the
-        // database, and a rollback is a write like any other — updates whose
-        // recorded reads it retroactively invalidates read data that never
-        // happened, and must abort. (The deterministic mode aborts
-        // synchronously inside the validation that decided them, exactly like
-        // the single-threaded reference, so no reader can slip in between and
-        // this validation would only skew the reference metrics.)
-        let rolled_back: Vec<TupleChange> = if self.config.deterministic {
-            Vec::new()
-        } else {
-            self.write_log.changes_of(victim).iter().map(invert_change).collect()
-        };
-        {
-            let mut db = self.db.write().unwrap_or_else(|e| e.into_inner());
-            db.rollback_update(victim);
-        }
-        slot.exec.reset_for_restart();
-        slot.frontier_wait = 0;
-        self.read_log.clear(victim);
-        self.write_log.remove_update(victim);
-        {
-            let mut tracker = lock(&self.tracker);
-            tracker.note_abort(victim);
-            tracker.clear_update(victim);
-        }
-        lock(&self.metrics).aborts += 1;
-        let mut undone_readers: Vec<UpdateId> = Vec::new();
-        if !rolled_back.is_empty() {
-            let db = self.db.read().unwrap_or_else(|e| e.into_inner());
-            for change in &rolled_back {
-                let relation = change.relation();
-                for reader in self.read_log.readers_above_touching(victim, relation) {
-                    if undone_readers.contains(&reader) {
-                        continue;
-                    }
-                    let snapshot = db.snapshot(reader);
-                    if self
-                        .read_log
-                        .queries_touching(reader, relation)
-                        .iter()
-                        .any(|q| q.affected_by(&snapshot, &self.mappings, change))
-                    {
-                        undone_readers.push(reader);
-                    }
-                }
-            }
-            if !undone_readers.is_empty() {
-                // One metrics acquisition after the walk — query re-evaluation
-                // must not hold the global counter mutex (see
-                // collect_aborts_locked).
-                lock(&self.metrics).direct_conflict_requests += undone_readers.len();
-            }
-        }
-        cell.abort_requested.store(false, Ordering::SeqCst);
-        if revive {
-            self.active.fetch_add(1, Ordering::SeqCst);
-        }
-        undone_readers
-    }
-
-    /// Answers the locked slot's pending frontier request.
-    fn answer_frontier_locked(
-        &self,
-        slot: &mut Slot,
-        resolver: &Mutex<&mut (dyn FrontierResolver + Send)>,
-    ) -> Result<(), ChaseError> {
-        let id = slot.exec.id();
-        let request = slot.exec.pending_frontier().expect("state is AwaitingFrontier").clone();
-        // One read-lock session covers the resolver's snapshot, the frontier
-        // resolution and the recording of its correction queries: a write
-        // committing after the resolver looked at the database then needs the
-        // write lock, i.e. happens after this session ends — by which time
-        // the reads it must be validated against are in the log. (Splitting
-        // the session would let such a write validate in the gap and miss
-        // them.) The resolver is acquired before the database per the module
-        // lock order, and released as soon as the decision is made.
-        let mut resolver = lock(resolver);
-        let db = self.db.read().unwrap_or_else(|e| e.into_inner());
-        let decision = resolver.resolve(&db.snapshot(id), &request);
-        drop(resolver);
-        let reads = slot.exec.resolve_frontier(&self.mappings, decision)?;
-        lock(&self.metrics).frontier_ops += 1;
-        self.record_reads_locked(&db, id, reads);
-        Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // Deterministic mode: the reference serialisation order on N threads
-    // ------------------------------------------------------------------
-
-    /// Deterministic driver: workers compete for the sequencer and execute
-    /// slot actions in the exact loop order of the single-threaded scheduler
-    /// — round-robin over slots, frontier waits decremented per round, aborts
-    /// performed synchronously. One worker acts at a time; which OS thread
-    /// performs an action is the only thing the thread count changes.
-    fn run_deterministic(
-        &self,
-        resolver: &Mutex<&mut (dyn FrontierResolver + Send)>,
-    ) -> Result<(), ChaseError> {
-        let cursor = Mutex::new(DetCursor { idx: 0, progressed: false, finished: false });
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers {
-                scope.spawn(|| loop {
-                    let mut cur = lock(&cursor);
-                    if cur.finished || self.stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    if let Err(e) = self.det_action(&mut cur, resolver) {
-                        cur.finished = true;
-                        drop(cur);
-                        self.fail(e);
-                        break;
-                    }
-                });
-            }
-        });
-        self.take_error()
-    }
-
-    /// One sequencer action: the body of the reference loop for the slot at
-    /// the cursor, plus the round bookkeeping (all-terminated check at round
-    /// start, stall check at round end).
-    fn det_action(
-        &self,
-        cur: &mut DetCursor,
-        resolver: &Mutex<&mut (dyn FrontierResolver + Send)>,
-    ) -> Result<(), ChaseError> {
-        if cur.idx == 0 && self.slots.iter().all(|c| lock(&c.slot).exec.is_terminated()) {
-            cur.finished = true;
-            return Ok(());
-        }
-        let idx = cur.idx;
-        let state = lock(&self.slots[idx].slot).exec.state();
-        match state {
-            UpdateState::Terminated => {}
-            UpdateState::AwaitingFrontier => {
-                let mut slot = lock(&self.slots[idx].slot);
-                if slot.frontier_wait > 0 {
-                    slot.frontier_wait -= 1;
-                } else {
-                    self.answer_frontier_locked(&mut slot, resolver)?;
-                }
-                cur.progressed = true;
-            }
-            UpdateState::Ready => {
-                self.det_run_ready_slot(idx, resolver)?;
-                cur.progressed = true;
-            }
-        }
-        cur.idx += 1;
-        if cur.idx == self.slots.len() {
-            cur.idx = 0;
-            if !cur.progressed {
-                // Every non-terminated update is blocked with no way to make
-                // progress; this cannot happen with a responsive resolver.
-                return Err(ChaseError::InvalidDecision(
-                    "scheduler stalled: no update can make progress".into(),
-                ));
-            }
-            cur.progressed = false;
-        }
-        Ok(())
-    }
-
-    /// The reference `run_ready_slot`: step, validate, abort synchronously,
-    /// honour the scheduling policy. The whole routine runs under the
-    /// sequencer, so victim slot locks are uncontended.
-    fn det_run_ready_slot(
-        &self,
-        idx: usize,
-        _resolver: &Mutex<&mut (dyn FrontierResolver + Send)>,
-    ) -> Result<(), ChaseError> {
-        loop {
-            let mut slot = lock(&self.slots[idx].slot);
-            let (outcome, to_abort) = self.step_and_validate(&mut slot)?;
-            drop(slot);
-            for &victim in &to_abort {
-                let Some(vidx) = self.index_of(victim) else { continue };
-                let cell = &self.slots[vidx];
-                let mut vslot = lock(&cell.slot);
-                self.execute_abort(cell, &mut vslot, false);
-            }
-            let mut slot = lock(&self.slots[idx].slot);
-            if outcome.frontier_request.is_some() {
-                slot.frontier_wait = self.config.frontier_delay_rounds;
-            }
-            // Step-level round robin hands control back after one step; the
-            // stratum policy keeps going while the update remains ready.
-            if self.config.policy == SchedulingPolicy::StepRoundRobin
-                || slot.exec.state() != UpdateState::Ready
-            {
-                break;
-            }
-        }
-        Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // Free-running mode: sharded queues, overlapping read halves
-    // ------------------------------------------------------------------
-
-    /// Free-running driver: seed the sharded queues and let the workers pull.
-    fn run_free(
-        &self,
-        resolver: &Mutex<&mut (dyn FrontierResolver + Send)>,
-    ) -> Result<(), ChaseError> {
-        for idx in 0..self.slots.len() {
-            let shard = {
-                let slot = lock(&self.slots[idx].slot);
-                self.shard_of(&slot.exec)
-            };
-            self.enqueue(shard, idx);
-        }
-        std::thread::scope(|scope| {
-            for me in 0..self.workers {
-                scope.spawn(move || self.free_worker(me, resolver));
-            }
-        });
-        self.take_error()
-    }
-
-    /// Shard key of an update: the smallest relation its next step can touch
-    /// (pending write targets plus the violation queue's relation index), so
-    /// updates about to work on the same relations land in the same queue.
-    fn shard_of(&self, exec: &UpdateExecution) -> usize {
-        match exec.next_touched_relations().first() {
-            Some(relation) => relation.0 as usize % self.queues.len(),
-            // Unknown footprint (e.g. a pending null-replacement): spread by
-            // update number.
-            None => exec.id().0 as usize % self.queues.len(),
-        }
-    }
-
-    fn enqueue(&self, shard: usize, idx: usize) {
-        lock(&self.queues[shard % self.queues.len()]).push_back(idx);
-    }
-
-    /// Pops a ready slot, preferring the worker's own shard and stealing from
-    /// the others in ring order.
-    fn pop_slot(&self, me: usize) -> Option<usize> {
-        let n = self.queues.len();
-        for k in 0..n {
-            if let Some(idx) = lock(&self.queues[(me + k) % n]).pop_front() {
-                return Some(idx);
-            }
-        }
-        None
-    }
-
-    fn free_worker(&self, me: usize, resolver: &Mutex<&mut (dyn FrontierResolver + Send)>) {
-        loop {
-            if self.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let Some(idx) = self.pop_slot(me) else {
-                // Exit only when nothing is active anywhere: a popped-but-
-                // unfinished slot keeps `active` positive, and only in-flight
-                // workers can revive terminated slots or set abort flags.
-                if self.active.load(Ordering::SeqCst) == 0
-                    && self.in_flight.load(Ordering::SeqCst) == 0
-                {
-                    break;
-                }
-                std::thread::yield_now();
-                continue;
-            };
-            self.in_flight.fetch_add(1, Ordering::SeqCst);
-            let result = self.process_slot_free(idx, resolver);
-            self.in_flight.fetch_sub(1, Ordering::SeqCst);
-            if let Err(e) = result {
-                self.fail(e);
-                break;
-            }
-        }
-    }
-
-    /// Runs the popped slot until it terminates, blocks the worker on nothing,
-    /// or (under step-level round robin) hands the update back to the queues
-    /// after one step.
-    fn process_slot_free(
-        &self,
-        idx: usize,
-        resolver: &Mutex<&mut (dyn FrontierResolver + Send)>,
-    ) -> Result<(), ChaseError> {
-        let cell = &self.slots[idx];
-        let mut slot = lock(&cell.slot);
-        loop {
-            if self.stop.load(Ordering::SeqCst) {
-                return Ok(());
-            }
-            // A validator flagged us while we were stepping (or while the
-            // update sat in the queue): execute the abort, then continue from
-            // the fresh restart.
-            if cell.abort_requested.load(Ordering::SeqCst) {
-                let dependents = self.execute_abort(cell, &mut slot, false);
-                drop(slot);
-                self.abort_all(dependents);
-                slot = lock(&cell.slot);
-                continue;
-            }
-            match slot.exec.state() {
-                UpdateState::Terminated => {
-                    self.active.fetch_sub(1, Ordering::SeqCst);
-                    drop(slot);
-                    self.settle_flag(idx);
-                    return Ok(());
-                }
-                UpdateState::AwaitingFrontier => {
-                    // No scheduler rounds exist here, so frontier_delay_rounds
-                    // does not apply: the (simulated) user answers as soon as
-                    // a worker is free to ask.
-                    self.answer_frontier_locked(&mut slot, resolver)?;
-                }
-                UpdateState::Ready => {
-                    let (_outcome, to_abort) = self.step_and_validate(&mut slot)?;
-                    if !to_abort.is_empty() {
-                        // Abort execution takes victim locks; ours stays held
-                        // (victims are always other, higher-numbered updates).
-                        self.abort_all(to_abort.iter().copied().collect());
-                    }
-                    if slot.exec.state() == UpdateState::Ready
-                        && self.config.policy == SchedulingPolicy::StepRoundRobin
-                    {
-                        if cell.abort_requested.load(Ordering::SeqCst) {
-                            continue; // execute our own abort before requeueing
-                        }
-                        let shard = self.shard_of(&slot.exec);
-                        drop(slot);
-                        self.enqueue(shard, idx);
-                        self.settle_flag(idx);
-                        return Ok(());
-                    }
-                }
-            }
-        }
-    }
-
-    /// Executes (or requests) the abort of every update in the worklist,
-    /// feeding each executed abort's at-abort-time dependents back in.
-    /// Victims we cannot lock are flagged for their owner; `settle_flag`
-    /// closes the race with an owner that released without seeing the flag.
-    fn abort_all(&self, victims: Vec<UpdateId>) {
-        let mut work: VecDeque<UpdateId> = victims.into();
-        while let Some(victim) = work.pop_front() {
-            let Some(vidx) = self.index_of(victim) else { continue };
-            let cell = &self.slots[vidx];
-            match cell.slot.try_lock() {
-                Ok(mut vslot) => {
-                    let was_terminated = vslot.exec.is_terminated();
-                    let dependents = self.execute_abort(cell, &mut vslot, was_terminated);
-                    if was_terminated {
-                        // Nobody owns a terminated slot and it sits in no
-                        // queue: the abort revives it, so hand it back.
-                        let shard = self.shard_of(&vslot.exec);
-                        drop(vslot);
-                        self.enqueue(shard, vidx);
-                    }
-                    work.extend(dependents);
-                }
-                Err(_) => {
-                    cell.abort_requested.store(true, Ordering::SeqCst);
-                    // If the owner released between our failed try_lock and
-                    // the store, nobody may ever look at the flag again;
-                    // settling re-checks. If the lock is held *now*, the
-                    // holder's post-release settle happens after our store
-                    // and is guaranteed to see it.
-                    self.settle_flag(vidx);
-                }
-            }
-        }
-    }
-
-    /// Ensures a requested abort on an unowned slot is not lost: called after
-    /// every slot-lock release and after flagging a busy victim. Terminated
-    /// victims are executed here (and revived); queued victims are left for
-    /// the next worker that pops them.
-    fn settle_flag(&self, idx: usize) {
-        let cell = &self.slots[idx];
-        loop {
-            if !cell.abort_requested.load(Ordering::SeqCst) {
-                return;
-            }
-            let Ok(mut slot) = cell.slot.try_lock() else {
-                // Someone owns the slot right now; their post-release settle
-                // will see the flag.
-                return;
-            };
-            if !cell.abort_requested.load(Ordering::SeqCst) {
-                return;
-            }
-            if !slot.exec.is_terminated() {
-                // The slot is in a run queue; its next owner executes the
-                // abort before stepping.
-                return;
-            }
-            let dependents = self.execute_abort(cell, &mut slot, true);
-            let shard = self.shard_of(&slot.exec);
-            drop(slot);
-            self.enqueue(shard, idx);
-            self.abort_all(dependents);
-        }
+        result.map(|()| self.metrics.clone())
     }
 }
 
@@ -825,11 +155,10 @@ impl ParallelRun {
 mod tests {
     use super::*;
     use crate::deps::TrackerKind;
-    use crate::scheduler::ConcurrentRun;
-    use youtopia_core::RandomResolver;
+    use crate::scheduler::{ConcurrentRun, SchedulingPolicy};
+    use youtopia_core::{InitialOp, RandomResolver};
     use youtopia_mappings::satisfies_all;
     use youtopia_storage::Value;
-
     fn example_db() -> (Database, MappingSet) {
         let mut db = Database::new();
         db.add_relation("A", ["location", "name"]).unwrap();

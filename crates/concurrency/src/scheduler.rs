@@ -79,6 +79,55 @@ impl SchedulerConfig {
     pub fn with_tracker(tracker: TrackerKind) -> SchedulerConfig {
         SchedulerConfig { tracker, ..SchedulerConfig::default() }
     }
+
+    // Builder-style setters. Prefer these over field-struct-update
+    // construction (`SchedulerConfig { workers: 4, ..Default::default() }`) in
+    // new code: they read as a sentence and keep call sites compiling when
+    // the struct grows a knob.
+
+    /// Replaces the tracker.
+    pub fn tracked_by(mut self, tracker: TrackerKind) -> SchedulerConfig {
+        self.tracker = tracker;
+        self
+    }
+
+    /// Replaces the worker-thread count used by [`crate::ParallelRun`] and
+    /// the [`crate::ExchangeEngine`] (0 = one per available core).
+    pub fn with_workers(mut self, workers: usize) -> SchedulerConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Replaces the interleaving policy.
+    pub fn with_policy(mut self, policy: SchedulingPolicy) -> SchedulerConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Switches [`crate::ParallelRun`] / [`crate::ExchangeEngine`] workers to
+    /// free-running mode (no sequencer; schedule-dependent but consistent).
+    pub fn free_running(mut self) -> SchedulerConfig {
+        self.deterministic = false;
+        self
+    }
+
+    /// Replaces the violation-queue maintenance mode.
+    pub fn with_chase_mode(mut self, chase_mode: ChaseMode) -> SchedulerConfig {
+        self.chase_mode = chase_mode;
+        self
+    }
+
+    /// Replaces the simulated-user frontier delay (in scheduler rounds).
+    pub fn with_frontier_delay_rounds(mut self, rounds: usize) -> SchedulerConfig {
+        self.frontier_delay_rounds = rounds;
+        self
+    }
+
+    /// Replaces the global step valve.
+    pub fn with_max_total_steps(mut self, max_total_steps: usize) -> SchedulerConfig {
+        self.max_total_steps = max_total_steps;
+        self
+    }
 }
 
 struct Slot {

@@ -170,6 +170,18 @@ impl StripedReadLog {
         self.seen.lock().unwrap_or_else(|e| e.into_inner()).remove(&update);
     }
 
+    /// Drops every stored read of every update. A long-lived engine calls
+    /// this at quiescence: with no update in flight, no stored read can ever
+    /// participate in a conflict check again, and retaining them would tax
+    /// every future candidate walk with the whole past.
+    pub fn clear_all(&self) {
+        for stripe in &self.stripes {
+            stripe.lock().unwrap_or_else(|e| e.into_inner()).queries.clear();
+        }
+        self.wildcard.lock().unwrap_or_else(|e| e.into_inner()).queries.clear();
+        self.seen.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
     /// Total number of distinct stored read queries across all updates.
     pub fn len(&self) -> usize {
         self.seen.lock().unwrap_or_else(|e| e.into_inner()).values().map(HashSet::len).sum()
@@ -256,6 +268,14 @@ impl StripedWriteLog {
         }
         hits.sort_unstable_by_key(|(seq, change, _)| (*seq, *change));
         hits.into_iter().map(|(_, _, change)| change).collect()
+    }
+
+    /// Drops every logged change of every update (quiescence GC — see
+    /// [`StripedReadLog::clear_all`]).
+    pub fn clear_all(&self) {
+        for stripe in &self.stripes {
+            stripe.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
     }
 
     /// Drops every change logged for `update` (called when the update aborts).

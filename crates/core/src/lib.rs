@@ -18,13 +18,15 @@
 //!   the optimistic concurrency control of `youtopia-concurrency` builds on.
 //! * [`resolver`] supplies the human decisions; [`RandomResolver`] is the
 //!   simulated user of the Section 6 experiments.
-//! * [`UpdateExchange`] is a single-threaded facade used by the examples and
-//!   the workload generator.
+//! * [`FrontierToken`] / [`PendingFrontier`] are the currency of the pull-based
+//!   service API: a long-lived engine (in `youtopia-concurrency`) surfaces
+//!   blocked chases as pending frontiers and resumes them when a token is
+//!   answered. The single-update facade `UpdateExchange` lives there too.
 //!
 //! ```
-//! use youtopia_core::{RandomResolver, UpdateExchange};
+//! use youtopia_core::{InitialOp, UpdateExecution, UpdateState};
 //! use youtopia_mappings::MappingSet;
-//! use youtopia_storage::Database;
+//! use youtopia_storage::{Database, UpdateId, Value};
 //!
 //! let mut db = Database::new();
 //! db.add_relation("A", ["location", "name"]).unwrap();
@@ -34,20 +36,28 @@
 //! mappings
 //!     .add_parsed(db.catalog(), "sigma3: A(l, n) & T(n, c, cs) -> exists r. R(c, n, r)")
 //!     .unwrap();
+//! db.insert_by_name("A", &["Niagara Falls", "Niagara Falls"], UpdateId(0));
 //!
-//! let mut exchange = UpdateExchange::new(db, mappings);
-//! let mut user = RandomResolver::seeded(0);
-//! exchange.insert_constants("A", &["Niagara Falls", "Niagara Falls"], &mut user).unwrap();
-//! exchange.insert_constants("T", &["Niagara Falls", "ABC Tours", "Toronto"], &mut user).unwrap();
+//! // One update: insert a tour, then chase until σ3's repair is done.
+//! let t = db.relation_id("T").unwrap();
+//! let values = vec![
+//!     Value::constant("Niagara Falls"),
+//!     Value::constant("ABC Tours"),
+//!     Value::constant("Toronto"),
+//! ];
+//! let mut exec = UpdateExecution::new(UpdateId(1), InitialOp::Insert { relation: t, values });
+//! while exec.state() == UpdateState::Ready {
+//!     exec.step(&mut db, &mappings).unwrap();
+//! }
 //! // σ3 fired: the review table now holds a placeholder with a labeled null.
-//! assert!(exchange.is_consistent());
+//! let r = db.relation_id("R").unwrap();
+//! assert_eq!(db.visible_count(r, UpdateId::OMNISCIENT), 1);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;
-pub mod exchange;
 pub mod frontier;
 pub mod querying;
 pub mod read_query;
@@ -55,10 +65,9 @@ pub mod resolver;
 pub mod update;
 
 pub use error::ChaseError;
-pub use exchange::{ExchangeConfig, UpdateExchange, UpdateReport};
 pub use frontier::{
-    FrontierDecision, FrontierRequest, FrontierTuple, NegativeFrontier, PositiveAction,
-    PositiveFrontier,
+    FrontierDecision, FrontierRequest, FrontierToken, FrontierTuple, NegativeFrontier,
+    PendingFrontier, PositiveAction, PositiveFrontier,
 };
 pub use querying::{
     answer, keyword_search, AnswerRow, KeywordHit, QuerySemantics, RepositoryQuery,
@@ -67,4 +76,6 @@ pub use read_query::{more_specific_tuples, ReadQuery};
 pub use resolver::{
     ExpandResolver, FrontierResolver, RandomResolver, ScriptedResolver, UnifyResolver,
 };
-pub use update::{ChaseMode, InitialOp, StepOutcome, UpdateExecution, UpdateState, UpdateStats};
+pub use update::{
+    ChaseMode, InitialOp, StepOutcome, UpdateExecution, UpdateReport, UpdateState, UpdateStats,
+};

@@ -3,10 +3,10 @@
 //!
 //! An [`UpdateExecution`] is the state machine of one update: the initial user
 //! operation plus every database modification the chase performs on its
-//! behalf, including the frontier operations supplied by users. The scheduler
-//! (in `youtopia-concurrency`) drives many executions concurrently at
-//! chase-step granularity; the single-threaded
-//! [`UpdateExchange`](crate::exchange::UpdateExchange) drives one at a time.
+//! behalf, including the frontier operations supplied by users. The schedulers
+//! and the long-lived `ExchangeEngine` (in `youtopia-concurrency`) drive many
+//! executions concurrently at chase-step granularity; the single-update
+//! facade `UpdateExchange` there drives one at a time.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
@@ -98,6 +98,30 @@ pub struct UpdateStats {
     pub violations_seen: usize,
     /// Times this execution was reset for a restart after an abort.
     pub restarts: usize,
+}
+
+/// Summary of one completed update.
+///
+/// There is exactly one way a report comes into existence —
+/// [`UpdateReport::for_execution`] over the update's [`UpdateExecution`] — so
+/// the single-update facade, the batch schedulers and the long-lived engine
+/// all assemble their per-update metrics through the same path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// The update's priority number.
+    pub update: UpdateId,
+    /// Execution counters.
+    pub stats: UpdateStats,
+    /// Whether the update terminated (it always does unless a step limit
+    /// was hit).
+    pub terminated: bool,
+}
+
+impl UpdateReport {
+    /// The report describing `exec` as it currently stands.
+    pub fn for_execution(exec: &UpdateExecution) -> UpdateReport {
+        UpdateReport { update: exec.id(), stats: exec.stats(), terminated: exec.is_terminated() }
+    }
 }
 
 /// The outcome of one chase step (Algorithm 2), as observed by the scheduler.

@@ -11,8 +11,9 @@
 //! under its relation, so a change dispatches straight to the plans that can
 //! possibly fire with two hash lookups.
 //!
-//! The cache is owned by [`MappingSet`] and kept in sync by
-//! [`MappingSet::add`]; `violation_queries_for_change` is the consumer.
+//! The cache is owned by [`MappingSet`](crate::MappingSet) and kept in sync
+//! by [`MappingSet::add`](crate::MappingSet::add);
+//! `violation_queries_for_change` is the consumer.
 
 use std::collections::HashMap;
 

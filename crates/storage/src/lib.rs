@@ -7,7 +7,7 @@
 //!
 //! * [`Value`]s that are either interned constants or **labeled nulls**
 //!   ([`NullId`]) — the incomplete-information values central to the paper;
-//! * the **specificity relation** on tuples (Definition 2.4), in [`tuple`];
+//! * the **specificity relation** on tuples (Definition 2.4), in [`mod@tuple`];
 //! * a multiversion, in-memory [`Database`] whose tuple versions are stamped
 //!   with update priority numbers and read through visibility-filtered
 //!   [`Snapshot`]s (Section 4.1);

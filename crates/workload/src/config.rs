@@ -87,6 +87,28 @@ impl std::fmt::Display for WorkloadKind {
     }
 }
 
+/// How a run's workload updates arrive at the scheduler.
+///
+/// The paper's experiments hand the scheduler the whole workload up front
+/// ([`ArrivalProcess::Batch`]); a live deployment receives updates over time.
+/// [`ArrivalProcess::Staggered`] models that with deterministic closed-loop
+/// waves: the next wave is admitted once the previous one has fully
+/// terminated, so results stay byte-identical at any chase-worker count
+/// (pinned by `tests/engine_equivalence.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// All updates are submitted before the first chase step (the paper's
+    /// setting, and the default).
+    #[default]
+    Batch,
+    /// Updates arrive in waves of `wave` through the live engine; each wave
+    /// is chased to quiescence before the next is admitted.
+    Staggered {
+        /// Updates per wave (at least 1).
+        wave: usize,
+    },
+}
+
 /// All parameters of a Section 6 experiment.
 ///
 /// [`ExperimentConfig::paper`] reproduces the paper's settings exactly;
@@ -140,6 +162,11 @@ pub struct ExperimentConfig {
     /// the reference serialisation order — results are byte-identical either
     /// way (pinned by `tests/determinism.rs`).
     pub chase_workers: usize,
+    /// How workload updates arrive at the scheduler: the paper's up-front
+    /// batch, or staggered waves through the live `ExchangeEngine` (staggered
+    /// runs always go through the engine, with `chase_workers.max(1)`
+    /// workers).
+    pub arrival: ArrivalProcess,
 }
 
 impl ExperimentConfig {
@@ -163,6 +190,7 @@ impl ExperimentConfig {
             frontier_delay_rounds: 2,
             worker_threads: 0,
             chase_workers: 0,
+            arrival: ArrivalProcess::Batch,
         }
     }
 
@@ -186,6 +214,7 @@ impl ExperimentConfig {
             frontier_delay_rounds: 2,
             worker_threads: 0,
             chase_workers: 0,
+            arrival: ArrivalProcess::Batch,
         }
     }
 
@@ -207,6 +236,7 @@ impl ExperimentConfig {
             frontier_delay_rounds: 1,
             worker_threads: 0,
             chase_workers: 0,
+            arrival: ArrivalProcess::Batch,
         }
     }
 
@@ -237,6 +267,11 @@ impl ExperimentConfig {
         }
         if self.runs == 0 {
             return Err("at least one run per data point is required".into());
+        }
+        if let ArrivalProcess::Staggered { wave } = self.arrival {
+            if wave == 0 {
+                return Err("staggered arrival waves must admit at least one update".into());
+            }
         }
         Ok(())
     }

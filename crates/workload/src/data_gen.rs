@@ -10,7 +10,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use youtopia_core::{ChaseError, InitialOp, RandomResolver, UpdateExchange};
+use youtopia_concurrency::UpdateExchange;
+use youtopia_core::{ChaseError, InitialOp, RandomResolver};
 use youtopia_mappings::MappingSet;
 use youtopia_storage::{Database, UpdateId};
 

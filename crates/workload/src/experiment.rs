@@ -13,13 +13,14 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use youtopia_concurrency::{
-    AveragedMetrics, ConcurrentRun, ParallelRun, RunMetrics, SchedulerConfig, TrackerKind,
+    AveragedMetrics, ConcurrentRun, EngineConfig, ExchangeEngine, ResolverPump, RunMetrics,
+    SchedulerConfig, TrackerKind,
 };
-use youtopia_core::{ChaseError, RandomResolver};
+use youtopia_core::{ChaseError, InitialOp, RandomResolver};
 use youtopia_mappings::{satisfies_all, MappingSet};
 use youtopia_storage::{Database, UpdateId};
 
-use crate::config::{ExperimentConfig, WorkloadKind};
+use crate::config::{ArrivalProcess, ExperimentConfig, WorkloadKind};
 use crate::data_gen::{generate_initial_database, InitialDataStats};
 use crate::mapping_gen::generate_mappings;
 use crate::schema_gen::{generate_schema, GeneratedSchema};
@@ -137,22 +138,21 @@ pub fn run_single(
     let mappings = fixture.mappings.prefix(mapping_count);
     let ops =
         generate_workload(config, &fixture.schema, &fixture.initial_db, &mappings, kind, variant);
-    let scheduler = SchedulerConfig {
-        tracker,
-        frontier_delay_rounds: config.frontier_delay_rounds,
-        workers: config.chase_workers.max(1),
-        deterministic: true,
-        ..SchedulerConfig::default()
-    };
+    let scheduler = SchedulerConfig::with_tracker(tracker)
+        .with_frontier_delay_rounds(config.frontier_delay_rounds)
+        .with_workers(config.chase_workers.max(1));
     // Workload updates get priority numbers above every update that built the
     // initial database.
     let first_number = config.initial_tuples as u64 + 1_000;
     let mut resolver = RandomResolver::seeded(config.seed ^ (variant.wrapping_mul(0x9E37_79B9)));
-    // `chase_workers == 0` runs the single-threaded reference scheduler;
-    // otherwise the deterministic ParallelRun commits steps in the reference
-    // serialisation order, so the two paths are byte-identical (pinned by
-    // `tests/determinism.rs`).
-    let metrics = if config.chase_workers == 0 {
+    // `chase_workers == 0` with batch arrival runs the single-threaded
+    // reference scheduler; everything else submits through the long-lived
+    // `ExchangeEngine`, whose deterministic sequencer commits steps in the
+    // reference serialisation order — the two paths are byte-identical
+    // (pinned by `tests/determinism.rs` and `tests/engine_equivalence.rs`).
+    // Staggered arrivals always go through the engine (with at least one
+    // worker): waves must share one read log / tracker lifetime.
+    let metrics = if config.chase_workers == 0 && config.arrival == ArrivalProcess::Batch {
         let mut run =
             ConcurrentRun::new(fixture.initial_db.clone(), mappings, ops, first_number, scheduler);
         let metrics = run.run(&mut resolver)?;
@@ -162,15 +162,59 @@ pub fn run_single(
         });
         metrics
     } else {
-        let mut run =
-            ParallelRun::new(fixture.initial_db.clone(), mappings, ops, first_number, scheduler);
-        let metrics = run.run(&mut resolver)?;
-        debug_assert!({
-            let (db, mappings, _) = run.into_parts();
-            satisfies_all(&db.snapshot(UpdateId::OMNISCIENT), &mappings)
-        });
-        metrics
+        run_single_through_engine(
+            fixture.initial_db.clone(),
+            mappings,
+            config,
+            scheduler,
+            first_number,
+            ops,
+            &mut resolver,
+        )?
     };
+    Ok(metrics)
+}
+
+/// The engine-backed run: submit the workload according to the configured
+/// [`ArrivalProcess`], pump frontier answers through the resolver, and
+/// collect the engine's metrics once quiescent.
+#[allow(clippy::too_many_arguments)]
+fn run_single_through_engine(
+    db: Database,
+    mappings: MappingSet,
+    config: &ExperimentConfig,
+    scheduler: SchedulerConfig,
+    first_number: u64,
+    ops: Vec<InitialOp>,
+    resolver: &mut RandomResolver,
+) -> Result<RunMetrics, ChaseError> {
+    let start = Instant::now();
+    let engine = ExchangeEngine::new(
+        db,
+        mappings,
+        EngineConfig::default().with_scheduler(scheduler).with_first_update_number(first_number),
+    );
+    let submit = |batch: Vec<InitialOp>| {
+        engine.submit_batch(batch).map_err(|e| ChaseError::InvalidDecision(e.to_string()))
+    };
+    match config.arrival {
+        ArrivalProcess::Batch => {
+            submit(ops)?;
+            ResolverPump::new(&engine, resolver).run_until_quiescent()?;
+        }
+        ArrivalProcess::Staggered { wave } => {
+            for chunk in ops.chunks(wave.max(1)) {
+                submit(chunk.to_vec())?;
+                ResolverPump::new(&engine, resolver).run_until_quiescent()?;
+            }
+        }
+    }
+    debug_assert!(
+        engine.read(|db| satisfies_all(&db.snapshot(UpdateId::OMNISCIENT), engine.mappings())),
+        "engine run must leave a consistent database"
+    );
+    let (_db, _mappings, mut metrics) = engine.shutdown();
+    metrics.wall_time = start.elapsed();
     Ok(metrics)
 }
 

@@ -39,7 +39,7 @@ pub mod report;
 pub mod schema_gen;
 pub mod update_gen;
 
-pub use config::{ExperimentConfig, WorkloadKind};
+pub use config::{ArrivalProcess, ExperimentConfig, WorkloadKind};
 pub use data_gen::{generate_initial_database, InitialDataStats};
 pub use experiment::{
     build_fixture, run_experiment, run_single, ExperimentFixture, ExperimentPoint,

@@ -80,8 +80,7 @@ fn run_with(tracker: TrackerKind) {
     // The "slow human" of Example 3.1: the negative frontier operation arrives
     // only after u2 has already inserted its excursion suggestion
     // (frontier_delay_rounds), and it chooses to delete the *tour*.
-    let config =
-        SchedulerConfig { tracker, frontier_delay_rounds: 3, ..SchedulerConfig::default() };
+    let config = SchedulerConfig::with_tracker(tracker).with_frontier_delay_rounds(3);
     let mut run = ConcurrentRun::new(db, mappings, ops, 1, config);
     let mut user = ScriptedResolver::new([FrontierDecision::Negative(vec![tour])]);
     let metrics = run.run(&mut user).expect("the run terminates");

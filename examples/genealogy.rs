@@ -16,8 +16,9 @@
 //!
 //! Run with `cargo run --example genealogy`.
 
-use youtopia::chase::{ExchangeConfig, FrontierDecision, FrontierRequest, PositiveAction};
+use youtopia::chase::{FrontierDecision, FrontierRequest, PositiveAction};
 use youtopia::mappings::is_weakly_acyclic;
+use youtopia::ExchangeConfig;
 use youtopia::{
     ChaseError, DataView, Database, ExpandResolver, FrontierResolver, MappingGraph, MappingSet,
     UnifyResolver, UpdateExchange, UpdateId,
@@ -93,7 +94,7 @@ fn main() {
     let mut exchange = UpdateExchange::new(db.clone(), mappings.clone());
     let mut archivist = Archivist { generations: 3 };
     exchange.insert_constants("Person", &["John"], &mut archivist).unwrap();
-    print_tree(exchange.db());
+    print_tree(&exchange.db());
     assert!(exchange.is_consistent());
     println!();
 
@@ -101,7 +102,7 @@ fn main() {
     let mut exchange = UpdateExchange::new(db.clone(), mappings.clone());
     let mut skeptic = UnifyResolver;
     exchange.insert_constants("Person", &["John"], &mut skeptic).unwrap();
-    print_tree(exchange.db());
+    print_tree(&exchange.db());
     assert!(exchange.is_consistent());
     println!();
 

@@ -91,7 +91,7 @@ fn main() {
     println!("== Example 1.1: ABC Tours starts running tours to Niagara Falls ==");
     exchange.insert_constants("T", &["Niagara Falls", "ABC Tours", "Toronto"], &mut user).unwrap();
     println!("σ3 fired; the review table now contains a placeholder:");
-    print_relation(exchange.db(), "R");
+    print_relation(&exchange.db(), "R");
     assert!(exchange.is_consistent());
     println!();
 
@@ -111,7 +111,7 @@ fn main() {
             &mut user,
         )
         .unwrap();
-    print_relation(exchange.db(), "R");
+    print_relation(&exchange.db(), "R");
     assert!(exchange.is_consistent());
     println!();
 
@@ -141,8 +141,8 @@ fn main() {
         report.stats.steps, report.stats.frontier_ops
     );
     println!("The tour was removed, the attraction kept:");
-    print_relation(exchange.db(), "T");
-    print_relation(exchange.db(), "A");
+    print_relation(&exchange.db(), "T");
+    print_relation(&exchange.db(), "A");
     assert!(exchange.is_consistent());
     println!();
 

@@ -15,6 +15,8 @@ stage_lint() {
     cargo fmt --all --check
     echo "==> [lint] cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
+    echo "==> [lint] engine smoke (examples/live_session.rs)"
+    cargo run --example live_session
 }
 
 stage_test() {
@@ -26,6 +28,7 @@ stage_test() {
     cargo run --release --example quickstart
     cargo run --release --example genealogy
     cargo run --release --example concurrent_updates
+    cargo run --release --example live_session
     cargo run --release --example experiment
 }
 
@@ -34,6 +37,8 @@ stage_stress() {
     cargo test -q --release --test parallel_stress -- --ignored
     echo "==> [stress] scheduler equivalence"
     cargo test -q --release --test scheduler_equivalence
+    echo "==> [stress] engine equivalence (batch engine = ConcurrentRun; live session)"
+    cargo test -q --release --test engine_equivalence
     echo "==> [stress] determinism across worker counts"
     cargo test -q --release --test determinism
     echo "==> [stress] fig3 smoke at chase-thread counts 1 2 4"
@@ -49,6 +54,7 @@ stage_bench() {
     cargo bench -p youtopia-bench --bench storage_ops
     cargo bench -p youtopia-bench --bench violation_queries
     cargo bench -p youtopia-bench --bench chase
+    cargo bench -p youtopia-bench --bench engine
     echo "==> [bench] two-tier regression gate"
     bash scripts/check_bench_regression.sh 25 100
     echo "==> [bench] fig3 smoke (quick profile)"

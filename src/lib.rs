@@ -9,14 +9,20 @@
 //! | [`storage`] | `youtopia-storage` | labeled nulls, multiversion tuples, conjunctive queries |
 //! | [`mappings`] | `youtopia-mappings` | tgds, parser, violations, violation queries, mapping graph |
 //! | [`chase`] | `youtopia-core` | the cooperative forward/backward chase, frontier operations, resolvers |
-//! | [`concurrency`] | `youtopia-concurrency` | optimistic scheduler, conflict detection, NAIVE/COARSE/PRECISE |
+//! | [`concurrency`] | `youtopia-concurrency` | the long-lived `ExchangeEngine`, optimistic schedulers, conflict detection, NAIVE/COARSE/PRECISE |
 //! | [`workload`] | `youtopia-workload` | Section 6 generators, experiment runner, figure reports |
 //!
-//! The most common entry points are also re-exported at the top level, so a
-//! downstream user can simply:
+//! The most common entry points are also re-exported at the top level. The
+//! primary one is the long-lived [`ExchangeEngine`]: submit updates at any
+//! time, surface blocked chases with
+//! [`pending_frontiers`](ExchangeEngine::pending_frontiers), resume them with
+//! [`answer`](ExchangeEngine::answer):
 //!
 //! ```
-//! use youtopia::{Database, MappingSet, RandomResolver, UpdateExchange};
+//! use youtopia::{
+//!     satisfies_all, Database, EngineConfig, ExchangeEngine, InitialOp, MappingSet, UpdateId,
+//!     Value,
+//! };
 //!
 //! let mut db = Database::new();
 //! db.add_relation("C", ["city"]).unwrap();
@@ -24,11 +30,25 @@
 //! let mut mappings = MappingSet::new();
 //! mappings.add_parsed(db.catalog(), "sigma1: C(c) -> exists a, l. S(a, l, c)").unwrap();
 //!
-//! let mut repo = UpdateExchange::new(db, mappings);
-//! let mut user = RandomResolver::seeded(42);
-//! repo.insert_constants("C", &["Ithaca"], &mut user).unwrap();
-//! assert!(repo.is_consistent());
+//! // A long-lived service: its worker pool outlives any one update.
+//! let c = db.relation_id("C").unwrap();
+//! let engine = ExchangeEngine::new(db, mappings, EngineConfig::default());
+//! let handle = engine
+//!     .submit(InitialOp::Insert { relation: c, values: vec![Value::constant("Ithaca")] })
+//!     .unwrap();
+//! // σ1's repair is deterministic here (S is empty), so no frontier question
+//! // arises; a blocked chase would appear in `engine.pending_frontiers()`
+//! // until `engine.answer(token, decision)` resumed it.
+//! let report = handle.wait().unwrap();
+//! assert!(report.terminated);
+//! let (db, mappings, metrics) = engine.shutdown();
+//! assert_eq!(metrics.workload_size, 1);
+//! assert!(satisfies_all(&db.snapshot(UpdateId::OMNISCIENT), &mappings));
 //! ```
+//!
+//! The one-update-at-a-time [`UpdateExchange`] facade survives as a thin
+//! engine client (see `examples/quickstart.rs`), and `examples/live_session.rs`
+//! walks the full submit → pending → answer lifecycle.
 //!
 //! See `examples/` for runnable walk-throughs of the paper's scenarios and
 //! `crates/bench` for the Figure 3 / Figure 4 harnesses.
@@ -53,12 +73,14 @@ pub use youtopia_concurrency as concurrency;
 pub use youtopia_workload as workload;
 
 pub use youtopia_concurrency::{
-    ConcurrentRun, ParallelRun, RunMetrics, SchedulerConfig, TrackerKind,
+    AnswerOutcome, ConcurrentRun, EngineConfig, ExchangeConfig, ExchangeEngine, ParallelRun,
+    ResolverPump, RunMetrics, SchedulerConfig, SubmitError, TrackerKind, UpdateExchange,
+    UpdateHandle, UpdateStatus,
 };
 pub use youtopia_core::{
-    ChaseError, ExpandResolver, FrontierDecision, FrontierRequest, FrontierResolver, InitialOp,
-    PositiveAction, RandomResolver, ScriptedResolver, UnifyResolver, UpdateExchange,
-    UpdateExecution, UpdateState,
+    ChaseError, ExpandResolver, FrontierDecision, FrontierRequest, FrontierResolver, FrontierToken,
+    InitialOp, PendingFrontier, PositiveAction, RandomResolver, ScriptedResolver, UnifyResolver,
+    UpdateExecution, UpdateReport, UpdateState,
 };
 pub use youtopia_mappings::{
     find_violations, satisfies_all, MappingGraph, MappingSet, Tgd, Violation, ViolationKind,
@@ -67,4 +89,4 @@ pub use youtopia_storage::{
     DataView, Database, NullId, RelationId, Snapshot, Symbol, Tuple, TupleId, UpdateId, Value,
     Write,
 };
-pub use youtopia_workload::{run_experiment, ExperimentConfig, WorkloadKind};
+pub use youtopia_workload::{run_experiment, ArrivalProcess, ExperimentConfig, WorkloadKind};

@@ -2,7 +2,8 @@
 //! through the public facade API (Figure 2, Examples 1.1, 2.3 and 3.1, and the
 //! genealogical mapping of Section 2.2).
 
-use youtopia::chase::{ExchangeConfig, FrontierDecision, FrontierRequest, PositiveAction};
+use youtopia::chase::{FrontierDecision, FrontierRequest, PositiveAction};
+use youtopia::ExchangeConfig;
 use youtopia::{
     find_violations, satisfies_all, ChaseError, ConcurrentRun, Database, ExpandResolver, InitialOp,
     MappingSet, RandomResolver, SchedulerConfig, ScriptedResolver, TrackerKind, UpdateExchange,
@@ -155,8 +156,7 @@ fn example_3_1_concurrent_schedule_is_corrected_for_every_tracker() {
                 values: vec![Value::constant("Syracuse"), Value::constant("Math Conf")],
             },
         ];
-        let config =
-            SchedulerConfig { tracker, frontier_delay_rounds: 3, ..SchedulerConfig::default() };
+        let config = SchedulerConfig::with_tracker(tracker).with_frontier_delay_rounds(3);
         let mut run = ConcurrentRun::new(db, mappings, ops, 100, config);
         let mut user = ScriptedResolver::new([FrontierDecision::Negative(vec![tour])]);
         let metrics = run.run(&mut user).unwrap();

@@ -60,13 +60,10 @@ fn stress_once(
             seed,
         );
         assert_eq!(ops.len(), updates);
-        let scheduler = SchedulerConfig {
-            tracker,
-            policy,
-            workers: 4,
-            deterministic: false,
-            ..SchedulerConfig::default()
-        };
+        let scheduler = SchedulerConfig::with_tracker(tracker)
+            .with_policy(policy)
+            .with_workers(4)
+            .free_running();
         let first_number = config.initial_tuples as u64 + 1_000;
         let mut run = ParallelRun::new(
             fixture.initial_db.clone(),

@@ -93,12 +93,9 @@ fn concurrent_modes_agree(seed: u64, tracker: TrackerKind, kind: WorkloadKind) {
     let first_number = config.initial_tuples as u64 + 1_000;
 
     let run_with = |chase_mode: ChaseMode| {
-        let scheduler = SchedulerConfig {
-            tracker,
-            frontier_delay_rounds: 3,
-            chase_mode,
-            ..SchedulerConfig::default()
-        };
+        let scheduler = SchedulerConfig::with_tracker(tracker)
+            .with_frontier_delay_rounds(3)
+            .with_chase_mode(chase_mode);
         let mut run = ConcurrentRun::new(
             fixture.initial_db.clone(),
             fixture.mappings.clone(),

@@ -56,13 +56,10 @@ fn schedulers_agree(
     .take(16)
     .collect();
     let first_number = config.initial_tuples as u64 + 1_000;
-    let scheduler = SchedulerConfig {
-        tracker,
-        policy,
-        chase_mode,
-        frontier_delay_rounds: 3,
-        ..SchedulerConfig::default()
-    };
+    let scheduler = SchedulerConfig::with_tracker(tracker)
+        .with_policy(policy)
+        .with_chase_mode(chase_mode)
+        .with_frontier_delay_rounds(3);
 
     let mut reference = ConcurrentRun::new(
         fixture.initial_db.clone(),
@@ -79,7 +76,7 @@ fn schedulers_agree(
         ref_stats.iter().filter(|(_, s)| s.restarts > 0).map(|(id, _)| *id).collect();
 
     for workers in [2usize, 4] {
-        let par_config = SchedulerConfig { workers, deterministic: true, ..scheduler };
+        let par_config = scheduler.with_workers(workers);
         let mut run = ParallelRun::new(
             fixture.initial_db.clone(),
             fixture.mappings.clone(),

@@ -126,7 +126,7 @@ proptest! {
         }
 
         for tracker in [TrackerKind::Naive, TrackerKind::Coarse, TrackerKind::Precise] {
-            let config = SchedulerConfig { tracker, frontier_delay_rounds: seed as usize % 3, ..SchedulerConfig::default() };
+            let config = SchedulerConfig::with_tracker(tracker).with_frontier_delay_rounds(seed as usize % 3);
             let mut run = ConcurrentRun::new(db.clone(), mappings.clone(), ops.clone(), 10, config);
             let mut user = RandomResolver::seeded(seed);
             let metrics = run.run(&mut user).unwrap();
@@ -160,7 +160,7 @@ proptest! {
         ];
 
         let run_with = |tracker| {
-            let config = SchedulerConfig { tracker, frontier_delay_rounds: 2, ..SchedulerConfig::default() };
+            let config = SchedulerConfig::with_tracker(tracker).with_frontier_delay_rounds(2);
             let mut run = ConcurrentRun::new(db.clone(), mappings.clone(), ops.clone(), 10, config);
             let mut user = RandomResolver::seeded(seed);
             run.run(&mut user).unwrap()
