@@ -1,0 +1,89 @@
+//! Micro-benchmarks for the durability layer: WAL append (including the
+//! per-record fsync the engine pays on every submit/answer), log parsing on
+//! the recovery path, and database snapshot serialization.
+
+use std::path::PathBuf;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use youtopia_storage::wal::{deserialize_database, read_wal, serialize_database, WalWriter};
+use youtopia_storage::{Database, NullId, UpdateId, Value, Write};
+
+/// A scratch path under the system temp dir, unique per call.
+fn scratch(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("youtopia-bench-wal-{}-{tag}-{n}.log", std::process::id()))
+}
+
+fn populated(rows: usize) -> Database {
+    let mut db = Database::new();
+    db.add_relation("R", ["a", "b", "c"]).unwrap();
+    let rel = db.relation_id("R").unwrap();
+    for i in 0..rows {
+        db.apply(
+            &Write::Insert {
+                relation: rel,
+                values: vec![
+                    Value::constant(&format!("k{}", i % 50)),
+                    Value::constant(&format!("v{i}")),
+                    Value::Null(NullId(i as u64)),
+                ],
+            },
+            UpdateId(1 + (i % 7) as u64),
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// The cost of one durable acknowledgement: a checksummed, length-prefixed,
+/// fsynced append — what every `submit`/`answer` pays before returning.
+fn bench_append(c: &mut Criterion) {
+    let payload = vec![0xA5u8; 64];
+    let path = scratch("append");
+    let mut writer = WalWriter::create(&path).unwrap();
+    c.bench_function("wal/append_fsync_64b", |b| {
+        b.iter(|| {
+            writer.append(black_box(&payload)).unwrap();
+            black_box(writer.position())
+        })
+    });
+    drop(writer);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The recovery-path read: parse and checksum-verify a whole log.
+fn bench_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal/read");
+    for records in [100usize, 1_000] {
+        let path = scratch("read");
+        let mut writer = WalWriter::create(&path).unwrap();
+        let payload = vec![0x5Au8; 64];
+        for _ in 0..records {
+            writer.append(&payload).unwrap();
+        }
+        drop(writer);
+        group.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, _| {
+            b.iter(|| black_box(read_wal(&path).unwrap().records.len()))
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+    group.finish();
+}
+
+/// Snapshot cost, both directions: what a quiescence point pays to fold the
+/// log away, and what recovery pays to load it back.
+fn bench_snapshot(c: &mut Criterion) {
+    let db = populated(2_000);
+    let bytes = serialize_database(&db);
+    let mut group = c.benchmark_group("wal/snapshot_2k_tuples");
+    group.bench_function("serialize", |b| b.iter(|| black_box(serialize_database(&db).len())));
+    group.bench_function("deserialize", |b| {
+        b.iter(|| black_box(deserialize_database(&bytes).unwrap().null_counter()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_read, bench_snapshot);
+criterion_main!(benches);

@@ -1,0 +1,543 @@
+//! Durability for the [`ExchangeEngine`](crate::ExchangeEngine): write-ahead
+//! log records, engine snapshots and the recovery decoder.
+//!
+//! The engine's only sources of externally-visible nondeterminism are the
+//! operations users submit (with the `UpdateId`s assigned at admission) and
+//! the frontier answers they give. Everything else — chase order, conflict
+//! aborts, token assignment, metrics — is a deterministic function of those
+//! two streams under the deterministic sequencer. The WAL therefore logs
+//! exactly submissions and answers, each stamped with the sequencer's *action
+//! counter* at the moment the event was admitted, so recovery can interleave
+//! replayed events with re-executed chase work at exactly the original
+//! points. A header record carries a fingerprint of the engine configuration
+//! and mapping set (replaying against a different configuration would silently
+//! diverge) plus the number of records already folded into the newest
+//! snapshot.
+//!
+//! Snapshots are taken at quiescence only, which is what keeps them small and
+//! simple: every retained slot is terminal (terminated or failed), so a slot
+//! serializes as its id, initial operation, counters and terminal state — no
+//! mid-chase violation queues, no pending writes. The database itself uses
+//! [`youtopia_storage::wal::serialize_database`].
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::Mutex;
+
+use youtopia_core::{
+    decode_chase_error, decode_decision, decode_initial_op, encode_chase_error, encode_decision,
+    encode_initial_op, ChaseError, FrontierDecision, InitialOp, UpdateStats,
+};
+use youtopia_mappings::MappingSet;
+use youtopia_storage::wal::{ByteReader, ByteWriter, Fnv64, WalError, WalWriter};
+use youtopia_storage::{deserialize_database, serialize_database, Database};
+
+use crate::engine::EngineConfig;
+use crate::metrics::RunMetrics;
+
+const WAL_MAGIC: u32 = 0x4C41_5759; // "YWAL" little-endian
+const SNAPSHOT_MAGIC: u32 = 0x504E_5359; // "YSNP" little-endian
+const FORMAT_VERSION: u32 = 1;
+
+/// Where and how often a durable engine persists its state.
+///
+/// Passed to [`ExchangeEngine::new_durable`](crate::ExchangeEngine::new_durable)
+/// and [`ExchangeEngine::recover`](crate::ExchangeEngine::recover). The
+/// directory holds two files: `wal.log` (the record log) and `snapshot.bin`
+/// (the newest quiescence snapshot).
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding the log and snapshot files (created if missing).
+    pub dir: PathBuf,
+    /// Snapshot cadence: once at least this many WAL records have accumulated
+    /// past the newest snapshot, the next quiescence point writes a new
+    /// snapshot and truncates the log. Lower values bound recovery time;
+    /// higher values bound snapshot I/O.
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with the default snapshot cadence (256 records).
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig { dir: dir.into(), snapshot_every: 256 }
+    }
+
+    /// Replaces the snapshot cadence.
+    pub fn with_snapshot_every(mut self, records: u64) -> DurabilityConfig {
+        self.snapshot_every = records.max(1);
+        self
+    }
+
+    /// Path of the record log.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join("wal.log")
+    }
+
+    /// Path of the newest snapshot.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("snapshot.bin")
+    }
+}
+
+/// Why recovery (or durable construction) failed.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// A log or snapshot file could not be read, written or decoded.
+    Wal(WalError),
+    /// The snapshot or log was written by an engine with a different
+    /// configuration or mapping set; replaying would silently diverge.
+    ConfigMismatch {
+        /// Fingerprint of the recovering engine's configuration.
+        expected: u64,
+        /// Fingerprint found in the durable state.
+        found: u64,
+    },
+    /// The durable state is internally inconsistent (missing header, records
+    /// out of order, snapshot behind the log's base).
+    Corrupt(String),
+    /// Deterministic replay could not reproduce the logged run (the strongest
+    /// sign the files belong to a different history).
+    Replay(String),
+    /// Durability requires the deterministic sequencer: a free-running
+    /// engine's interleaving is not a function of the logged events, so its
+    /// log could not be replayed. Configure deterministic or inline mode.
+    FreeRunningUnsupported,
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Wal(e) => write!(f, "durable state unreadable: {e}"),
+            RecoveryError::ConfigMismatch { expected, found } => write!(
+                f,
+                "config fingerprint mismatch: engine {expected:#018x}, durable state {found:#018x}"
+            ),
+            RecoveryError::Corrupt(msg) => write!(f, "durable state inconsistent: {msg}"),
+            RecoveryError::Replay(msg) => write!(f, "deterministic replay diverged: {msg}"),
+            RecoveryError::FreeRunningUnsupported => {
+                write!(f, "durability requires the deterministic sequencer (or inline mode)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<WalError> for RecoveryError {
+    fn from(e: WalError) -> RecoveryError {
+        RecoveryError::Wal(e)
+    }
+}
+
+impl From<std::io::Error> for RecoveryError {
+    fn from(e: std::io::Error) -> RecoveryError {
+        RecoveryError::Wal(WalError::Io(e))
+    }
+}
+
+/// Fingerprint of everything replay determinism depends on: the scheduler
+/// knobs that steer the sequencer, the id assignment base, the per-update
+/// budget and the mapping set. Deliberately excludes the worker count (the
+/// determinism suite pins worker-count independence), the admission cap
+/// (rejected submissions never reach the log) and the retention horizon
+/// (eviction changes lookups, never chase behaviour).
+pub(crate) fn config_fingerprint(config: &EngineConfig, mappings: &MappingSet) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("youtopia-engine-wal-v1");
+    h.write_str(&format!("{:?}", config.scheduler.tracker));
+    h.write_str(&format!("{:?}", config.scheduler.policy));
+    h.write_str(&format!("{:?}", config.scheduler.chase_mode));
+    h.write_u64(config.scheduler.frontier_delay_rounds as u64);
+    h.write_u64(config.scheduler.max_total_steps as u64);
+    h.write_u64(config.first_update_number);
+    h.write_u64(config.max_steps_per_update as u64);
+    h.write_str(&format!("{mappings:?}"));
+    h.finish()
+}
+
+/// The engine-side durable state hanging off `EngineShared`.
+pub(crate) struct DurableEngineState {
+    pub(crate) config: DurabilityConfig,
+    pub(crate) fingerprint: u64,
+    pub(crate) wal: Mutex<WalWriter>,
+    /// Records ever logged (including those folded into snapshots).
+    pub(crate) records: AtomicU64,
+    /// Records covered by the newest snapshot.
+    pub(crate) last_snapshot: AtomicU64,
+    /// The sequencer's action counter: bumped on every acting sequencer step
+    /// and on every frontier publish. Submissions and answers are stamped
+    /// with it so replay reproduces the original interleaving of logged
+    /// events and re-executed chase work.
+    pub(crate) actions: AtomicU64,
+    /// Set during recovery replay: suppresses snapshot writing (the log is
+    /// being read) — replayed events are injected directly and never
+    /// re-appended.
+    pub(crate) replaying: AtomicBool,
+}
+
+// ---------------------------------------------------------------------------
+// WAL records
+// ---------------------------------------------------------------------------
+
+/// One decoded WAL record. Exposed (with [`decode_record`]) so external
+/// tooling and tests can inspect or re-feed a log's contents; the engine's
+/// recovery path consumes the same representation.
+#[derive(Debug, Clone)]
+pub enum WalRecord {
+    /// First record of every log file.
+    Header {
+        /// The writing engine's configuration fingerprint.
+        fingerprint: u64,
+        /// Records folded into the snapshot that was newest when this log was
+        /// (re)started; the following record is number `base_records`.
+        base_records: u64,
+    },
+    /// A submitted batch: consecutive ids starting at `first`.
+    Submit {
+        /// Priority number assigned to the first update of the batch.
+        first: u64,
+        /// Sequencer action counter at admission.
+        stamp: u64,
+        /// The batch's initial operations, in submission order.
+        ops: Vec<InitialOp>,
+    },
+    /// A frontier answer.
+    Answer {
+        /// The raw frontier token the answer resolved.
+        token: u64,
+        /// Sequencer action counter at application.
+        stamp: u64,
+        /// The human (or resolver) decision that was applied.
+        decision: FrontierDecision,
+    },
+}
+
+const REC_HEADER: u8 = 0;
+const REC_SUBMIT: u8 = 1;
+const REC_ANSWER: u8 = 2;
+
+pub(crate) fn encode_header(fingerprint: u64, base_records: u64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(REC_HEADER);
+    w.put_u32(WAL_MAGIC);
+    w.put_u32(FORMAT_VERSION);
+    w.put_u64(fingerprint);
+    w.put_u64(base_records);
+    w.into_bytes()
+}
+
+pub(crate) fn encode_submit(first: u64, stamp: u64, ops: &[InitialOp]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(REC_SUBMIT);
+    w.put_u64(first);
+    w.put_u64(stamp);
+    w.put_u32(ops.len() as u32);
+    for op in ops {
+        encode_initial_op(op, &mut w);
+    }
+    w.into_bytes()
+}
+
+pub(crate) fn encode_answer(token: u64, stamp: u64, decision: &FrontierDecision) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(REC_ANSWER);
+    w.put_u64(token);
+    w.put_u64(stamp);
+    encode_decision(decision, &mut w);
+    w.into_bytes()
+}
+
+/// Decodes one WAL record payload (as returned by
+/// `youtopia_storage::wal::read_wal`) into its [`WalRecord`] form.
+pub fn decode_record(payload: &[u8]) -> Result<WalRecord, RecoveryError> {
+    let mut r = ByteReader::new(payload);
+    let record = match r.take_u8()? {
+        REC_HEADER => {
+            if r.take_u32()? != WAL_MAGIC {
+                return Err(RecoveryError::Corrupt("bad wal magic".into()));
+            }
+            let version = r.take_u32()?;
+            if version != FORMAT_VERSION {
+                return Err(RecoveryError::Corrupt(format!("unsupported wal version {version}")));
+            }
+            WalRecord::Header { fingerprint: r.take_u64()?, base_records: r.take_u64()? }
+        }
+        REC_SUBMIT => {
+            let first = r.take_u64()?;
+            let stamp = r.take_u64()?;
+            let count = r.take_u32()?;
+            let mut ops = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                ops.push(decode_initial_op(&mut r)?);
+            }
+            WalRecord::Submit { first, stamp, ops }
+        }
+        REC_ANSWER => {
+            let token = r.take_u64()?;
+            let stamp = r.take_u64()?;
+            WalRecord::Answer { token, stamp, decision: decode_decision(&mut r)? }
+        }
+        tag => return Err(RecoveryError::Corrupt(format!("unknown wal record tag {tag}"))),
+    };
+    r.expect_done()?;
+    Ok(record)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// What a snapshot retains about one slot. Snapshots happen at quiescence, so
+/// every summarised slot is terminal; `failed` is `None` for terminated slots
+/// and holds the budget error otherwise.
+pub(crate) struct SlotSummary {
+    pub(crate) id: u64,
+    pub(crate) initial: InitialOp,
+    pub(crate) stats: UpdateStats,
+    pub(crate) terminated: bool,
+    pub(crate) failed: Option<ChaseError>,
+}
+
+/// Engine state alongside the database in a snapshot.
+pub(crate) struct SnapshotMeta {
+    pub(crate) fingerprint: u64,
+    /// WAL records folded into this snapshot.
+    pub(crate) records: u64,
+    /// The sequencer action counter at snapshot time.
+    pub(crate) actions: u64,
+    pub(crate) next_token: u64,
+    /// Slots evicted by compaction before the snapshot (restored lookups
+    /// below this index report `SlotEvicted`).
+    pub(crate) slot_base: u64,
+    pub(crate) slots: Vec<SlotSummary>,
+    pub(crate) metrics: RunMetrics,
+}
+
+fn encode_stats(stats: &UpdateStats, w: &mut ByteWriter) {
+    w.put_u64(stats.steps as u64);
+    w.put_u64(stats.frontier_ops as u64);
+    w.put_u64(stats.changes as u64);
+    w.put_u64(stats.violations_seen as u64);
+    w.put_u64(stats.restarts as u64);
+}
+
+fn decode_stats(r: &mut ByteReader<'_>) -> Result<UpdateStats, WalError> {
+    Ok(UpdateStats {
+        steps: r.take_u64()? as usize,
+        frontier_ops: r.take_u64()? as usize,
+        changes: r.take_u64()? as usize,
+        violations_seen: r.take_u64()? as usize,
+        restarts: r.take_u64()? as usize,
+    })
+}
+
+pub(crate) fn encode_snapshot(meta: &SnapshotMeta, db: &Database) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(SNAPSHOT_MAGIC);
+    w.put_u32(FORMAT_VERSION);
+    w.put_u64(meta.fingerprint);
+    w.put_u64(meta.records);
+    w.put_u64(meta.actions);
+    w.put_u64(meta.next_token);
+    w.put_u64(meta.slot_base);
+    let m = &meta.metrics;
+    for counter in [
+        m.workload_size,
+        m.aborts,
+        m.direct_conflict_requests,
+        m.cascading_abort_requests,
+        m.steps,
+        m.frontier_ops,
+        m.changes,
+    ] {
+        w.put_u64(counter as u64);
+    }
+    w.put_u32(meta.slots.len() as u32);
+    for slot in &meta.slots {
+        w.put_u64(slot.id);
+        encode_initial_op(&slot.initial, &mut w);
+        encode_stats(&slot.stats, &mut w);
+        w.put_u8(slot.terminated as u8);
+        match &slot.failed {
+            None => w.put_u8(0),
+            Some(error) => {
+                w.put_u8(1);
+                encode_chase_error(error, &mut w);
+            }
+        }
+    }
+    let db_bytes = serialize_database(db);
+    w.put_u64(db_bytes.len() as u64);
+    w.put_raw(&db_bytes);
+    w.into_bytes()
+}
+
+pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<(SnapshotMeta, Database), RecoveryError> {
+    let mut r = ByteReader::new(bytes);
+    if r.take_u32()? != SNAPSHOT_MAGIC {
+        return Err(RecoveryError::Corrupt("bad snapshot magic".into()));
+    }
+    let version = r.take_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(RecoveryError::Corrupt(format!("unsupported snapshot version {version}")));
+    }
+    let fingerprint = r.take_u64()?;
+    let records = r.take_u64()?;
+    let actions = r.take_u64()?;
+    let next_token = r.take_u64()?;
+    let slot_base = r.take_u64()?;
+    let mut counters = [0usize; 7];
+    for c in counters.iter_mut() {
+        *c = r.take_u64()? as usize;
+    }
+    let metrics = RunMetrics {
+        workload_size: counters[0],
+        aborts: counters[1],
+        direct_conflict_requests: counters[2],
+        cascading_abort_requests: counters[3],
+        steps: counters[4],
+        frontier_ops: counters[5],
+        changes: counters[6],
+        wall_time: std::time::Duration::ZERO,
+    };
+    let slot_count = r.take_u32()?;
+    let mut slots = Vec::with_capacity(slot_count as usize);
+    for _ in 0..slot_count {
+        let id = r.take_u64()?;
+        let initial = decode_initial_op(&mut r)?;
+        let stats = decode_stats(&mut r)?;
+        let terminated = r.take_u8()? != 0;
+        let failed = match r.take_u8()? {
+            0 => None,
+            1 => Some(decode_chase_error(&mut r)?),
+            tag => return Err(RecoveryError::Corrupt(format!("unknown failure tag {tag}"))),
+        };
+        slots.push(SlotSummary { id, initial, stats, terminated, failed });
+    }
+    let db_len = r.take_u64()? as usize;
+    if r.remaining() != db_len {
+        return Err(RecoveryError::Corrupt(format!(
+            "database section is {} bytes, header says {db_len}",
+            r.remaining()
+        )));
+    }
+    let db = deserialize_database(&bytes[bytes.len() - db_len..])?;
+    let meta =
+        SnapshotMeta { fingerprint, records, actions, next_token, slot_base, slots, metrics };
+    Ok((meta, db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_storage::{RelationId, UpdateId, Value};
+
+    #[test]
+    fn wal_records_roundtrip() {
+        let ops = vec![
+            InitialOp::Insert { relation: RelationId(1), values: vec![Value::constant("a")] },
+            InitialOp::Delete { relation: RelationId(0), tuple: youtopia_storage::TupleId(4) },
+        ];
+        let bytes = encode_submit(100, 42, &ops);
+        match decode_record(&bytes).unwrap() {
+            WalRecord::Submit { first, stamp, ops: decoded } => {
+                assert_eq!(first, 100);
+                assert_eq!(stamp, 42);
+                assert_eq!(decoded, ops);
+            }
+            _ => panic!("wrong record kind"),
+        }
+
+        let decision = FrontierDecision::Negative(vec![youtopia_storage::TupleId(9)]);
+        let bytes = encode_answer(7, 13, &decision);
+        match decode_record(&bytes).unwrap() {
+            WalRecord::Answer { token, stamp, decision: decoded } => {
+                assert_eq!(token, 7);
+                assert_eq!(stamp, 13);
+                assert_eq!(decoded, decision);
+            }
+            _ => panic!("wrong record kind"),
+        }
+
+        let bytes = encode_header(0xFEED, 31);
+        match decode_record(&bytes).unwrap() {
+            WalRecord::Header { fingerprint, base_records } => {
+                assert_eq!(fingerprint, 0xFEED);
+                assert_eq!(base_records, 31);
+            }
+            _ => panic!("wrong record kind"),
+        }
+        assert!(decode_record(&[99]).is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut db = Database::new();
+        db.add_relation("R", ["a"]).unwrap();
+        db.insert_by_name("R", &["v"], UpdateId(5));
+        let meta = SnapshotMeta {
+            fingerprint: 0xABCD,
+            records: 17,
+            actions: 99,
+            next_token: 3,
+            slot_base: 2,
+            slots: vec![
+                SlotSummary {
+                    id: 7,
+                    initial: InitialOp::Insert {
+                        relation: RelationId(0),
+                        values: vec![Value::constant("x")],
+                    },
+                    stats: UpdateStats { steps: 4, restarts: 1, ..UpdateStats::default() },
+                    terminated: true,
+                    failed: None,
+                },
+                SlotSummary {
+                    id: 8,
+                    initial: InitialOp::Delete {
+                        relation: RelationId(0),
+                        tuple: youtopia_storage::TupleId(0),
+                    },
+                    stats: UpdateStats::default(),
+                    terminated: false,
+                    failed: Some(ChaseError::StepLimitExceeded { update: UpdateId(8), limit: 5 }),
+                },
+            ],
+            metrics: RunMetrics { steps: 11, aborts: 2, ..RunMetrics::default() },
+        };
+        let bytes = encode_snapshot(&meta, &db);
+        let (decoded, db2) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(decoded.fingerprint, 0xABCD);
+        assert_eq!(decoded.records, 17);
+        assert_eq!(decoded.actions, 99);
+        assert_eq!(decoded.next_token, 3);
+        assert_eq!(decoded.slot_base, 2);
+        assert_eq!(decoded.metrics.steps, 11);
+        assert_eq!(decoded.metrics.aborts, 2);
+        assert_eq!(decoded.slots.len(), 2);
+        assert_eq!(decoded.slots[0].id, 7);
+        assert!(decoded.slots[0].terminated);
+        assert_eq!(decoded.slots[0].stats.steps, 4);
+        assert!(matches!(
+            decoded.slots[1].failed,
+            Some(ChaseError::StepLimitExceeded { limit: 5, .. })
+        ));
+        assert_eq!(
+            serialize_database(&db2),
+            serialize_database(&db),
+            "database survives the snapshot byte-identically"
+        );
+        assert!(decode_snapshot(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let mappings = MappingSet::default();
+        let a = config_fingerprint(&EngineConfig::default(), &mappings);
+        let b =
+            config_fingerprint(&EngineConfig::default().with_first_update_number(50), &mappings);
+        assert_ne!(a, b);
+        let c = config_fingerprint(&EngineConfig::default(), &mappings);
+        assert_eq!(a, c, "fingerprint is stable");
+    }
+}

@@ -42,11 +42,13 @@
 //! decision's correction queries are recorded in the same read-lock session
 //! that applies them, and any conflicting later write aborts the update.
 //!
-//! Lock order (outermost first): cursor → slots vector → slot → pending →
+//! Lock order (outermost first): cursor → slots table → slot → pending →
 //! resolver (in [`ResolverPump`]) → database → tracker → metrics → all-ids →
 //! log stripes. A worker never blocks on a second slot lock while holding one
 //! (victim slots are `try_lock`ed; on failure the victim is flagged and its
-//! owner acts).
+//! owner acts). Durable engines additionally hold a WAL writer mutex, nested
+//! innermost; every append happens while the cursor is held (durability
+//! implies the deterministic sequencer), so it is uncontended in practice.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -54,13 +56,20 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, Weak};
 use std::thread::JoinHandle;
 
 use youtopia_core::{
-    ChaseError, FrontierDecision, FrontierResolver, FrontierToken, InitialOp, PendingFrontier,
-    ReadQuery, StepOutcome, UpdateExecution, UpdateReport, UpdateState, UpdateStats,
+    ChaseError, FrontierDecision, FrontierResolver, FrontierToken, InitialOp, LookupError,
+    PendingFrontier, ReadQuery, StepOutcome, UpdateExecution, UpdateReport, UpdateState,
+    UpdateStats,
 };
 use youtopia_mappings::MappingSet;
+use youtopia_storage::wal::{read_wal, write_file_atomic, WalWriter};
 use youtopia_storage::{Database, TupleChange, UpdateId};
 
 use crate::deps::DependencyTracker;
+use crate::durable::{
+    config_fingerprint, decode_record, decode_snapshot, encode_answer, encode_header,
+    encode_snapshot, encode_submit, DurabilityConfig, DurableEngineState, RecoveryError,
+    SlotSummary, SnapshotMeta, WalRecord,
+};
 use crate::metrics::RunMetrics;
 use crate::scheduler::{SchedulerConfig, SchedulingPolicy};
 use crate::striped::{StripedReadLog, StripedWriteLog};
@@ -108,6 +117,12 @@ pub struct EngineConfig {
     /// updates. Submissions beyond it fail with [`SubmitError::Saturated`] —
     /// backpressure, not queueing.
     pub admission_cap: usize,
+    /// Retention horizon for finished update records: once more than this
+    /// many slots are retained, permanently-terminal slots are evicted from
+    /// the front of the table (oldest first) and keyed lookups for them
+    /// report [`LookupError::SlotEvicted`]. `usize::MAX` (the default)
+    /// disables compaction and reproduces the historical grow-forever table.
+    pub retention_horizon: usize,
     /// Inline mode: spawn **no** worker threads and drive the deterministic
     /// sequencer on whichever thread pumps the engine ([`ResolverPump`],
     /// [`UpdateHandle::wait`], [`ExchangeEngine::wait_quiescent`]). The
@@ -133,6 +148,7 @@ impl Default for EngineConfig {
             first_update_number: 1,
             max_steps_per_update: usize::MAX,
             admission_cap: usize::MAX,
+            retention_horizon: usize::MAX,
             inline: false,
         }
     }
@@ -163,6 +179,13 @@ impl EngineConfig {
         self
     }
 
+    /// Replaces the retention horizon (see
+    /// [`EngineConfig::retention_horizon`]).
+    pub fn with_retention_horizon(mut self, horizon: usize) -> EngineConfig {
+        self.retention_horizon = horizon;
+        self
+    }
+
     /// Switches to inline (threadless, caller-driven) mode — see
     /// [`EngineConfig::inline`].
     pub fn run_inline(mut self) -> EngineConfig {
@@ -184,6 +207,9 @@ pub enum SubmitError {
     /// The engine has been shut down or has failed fatally (see
     /// [`ExchangeEngine::error`]).
     ShutDown,
+    /// The engine is durable and appending the submission record to the
+    /// write-ahead log failed; nothing was admitted.
+    Durability(String),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -193,6 +219,7 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "engine saturated: {active} in-flight updates at cap {cap}")
             }
             SubmitError::ShutDown => write!(f, "engine is shut down"),
+            SubmitError::Durability(msg) => write!(f, "write-ahead log append failed: {msg}"),
         }
     }
 }
@@ -280,6 +307,27 @@ struct SlotCell {
     abort_requested: AtomicBool,
 }
 
+/// The slot table: a sliding window of update records. `base` counts slots
+/// evicted by compaction; slot index `i` (= update number −
+/// [`EngineConfig::first_update_number`]) lives at `cells[i − base]`.
+/// Eviction is front-only and restricted to terminal slots, so every index
+/// below `base` names an update that is terminal forever.
+struct SlotTable {
+    base: usize,
+    cells: VecDeque<Arc<SlotCell>>,
+}
+
+impl SlotTable {
+    /// Number of slots ever admitted (retained + evicted).
+    fn total(&self) -> usize {
+        self.base + self.cells.len()
+    }
+
+    fn get(&self, idx: usize) -> Option<&Arc<SlotCell>> {
+        idx.checked_sub(self.base).and_then(|i| self.cells.get(i))
+    }
+}
+
 /// The sequencer of deterministic mode: the next index of the round-robin
 /// cursor plus the set of live (non-terminated, non-failed) slot indices, so a
 /// long-lived engine does not re-scan thousands of terminated slots per round.
@@ -333,8 +381,9 @@ struct EngineShared {
     /// Threadless mode: the deterministic sequencer runs on whichever thread
     /// pumps or waits (see [`EngineConfig::inline`]).
     inline: bool,
-    /// Growable slot table; index = update number − `first_update_number`.
-    slots: RwLock<Vec<Arc<SlotCell>>>,
+    /// Growable (and front-compacted) slot table; index = update number −
+    /// `first_update_number`.
+    slots: RwLock<SlotTable>,
     all_ids: Mutex<Vec<UpdateId>>,
     read_log: StripedReadLog,
     write_log: StripedWriteLog,
@@ -364,16 +413,164 @@ struct EngineShared {
     stop: AtomicBool,
     error: Mutex<Option<ChaseError>>,
     signal: Signal,
+    /// Durable state (WAL writer, counters); `None` on a plain engine.
+    durable: Option<DurableEngineState>,
 }
 
 impl EngineShared {
-    fn slot_cell(&self, idx: usize) -> Arc<SlotCell> {
-        self.slots.read().unwrap_or_else(|e| e.into_inner())[idx].clone()
+    /// The cell at `idx`, or `None` when compaction evicted it. Callers on
+    /// abort paths treat `None` as "terminal, nothing to do" — eviction is
+    /// restricted to updates that can never be revived.
+    fn slot_cell(&self, idx: usize) -> Option<Arc<SlotCell>> {
+        self.slots.read().unwrap_or_else(|e| e.into_inner()).get(idx).cloned()
     }
 
-    fn index_of(&self, update: UpdateId) -> Option<usize> {
+    /// Single-acquisition keyed lookup: the index *and* the cell under one
+    /// read lock, so a concurrent compaction cannot evict the slot between
+    /// the bounds check and the fetch. `None` when the update was never
+    /// admitted or its record was evicted.
+    fn lookup_cell(&self, update: UpdateId) -> Option<(usize, Arc<SlotCell>)> {
         let idx = update.0.checked_sub(self.config.first_update_number)? as usize;
-        (idx < self.slots.read().unwrap_or_else(|e| e.into_inner()).len()).then_some(idx)
+        let slots = self.slots.read().unwrap_or_else(|e| e.into_inner());
+        Some((idx, slots.get(idx)?.clone()))
+    }
+
+    /// Keyed lookup distinguishing "evicted" from "never admitted".
+    fn lookup(&self, update: UpdateId) -> Result<Arc<SlotCell>, LookupError> {
+        let Some(idx) = update.0.checked_sub(self.config.first_update_number).map(|i| i as usize)
+        else {
+            return Err(LookupError::UnknownUpdate(update));
+        };
+        let slots = self.slots.read().unwrap_or_else(|e| e.into_inner());
+        if idx >= slots.total() {
+            return Err(LookupError::UnknownUpdate(update));
+        }
+        match slots.get(idx) {
+            Some(cell) => Ok(cell.clone()),
+            None => Err(LookupError::SlotEvicted(update)),
+        }
+    }
+
+    /// Admits `ops` into the locked slot table with consecutive priority
+    /// numbers, returning the new cells. Shared by the public submit path and
+    /// recovery replay (which is why it does not build handles or touch the
+    /// WAL).
+    fn admit_locked(
+        &self,
+        slots: &mut SlotTable,
+        ops: Vec<InitialOp>,
+    ) -> Vec<(UpdateId, Arc<SlotCell>)> {
+        let base = slots.total();
+        let mut out = Vec::with_capacity(ops.len());
+        {
+            let mut all_ids = lock(&self.all_ids);
+            for (i, op) in ops.into_iter().enumerate() {
+                let id = UpdateId(self.config.first_update_number + (base + i) as u64);
+                let cell = Arc::new(SlotCell {
+                    slot: Mutex::new(Slot {
+                        exec: UpdateExecution::with_mode(id, op, self.config.scheduler.chase_mode),
+                        frontier_wait: 0,
+                        parked: false,
+                        published: None,
+                        failed: None,
+                    }),
+                    abort_requested: AtomicBool::new(false),
+                });
+                slots.cells.push_back(Arc::clone(&cell));
+                all_ids.push(id);
+                out.push((id, cell));
+            }
+        }
+        self.active.fetch_add(out.len(), Ordering::SeqCst);
+        lock(&self.metrics).workload_size += out.len();
+        out
+    }
+
+    /// Replays a WAL tail after a crash: each record is driven to its action
+    /// stamp (re-executing the intervening chase work through the
+    /// deterministic sequencer) and then injected exactly where the original
+    /// call landed — directly, bypassing the public API, so nothing is
+    /// re-appended to the log.
+    fn replay(&self, tail: impl Iterator<Item = WalRecord>) -> Result<(), RecoveryError> {
+        let mut cur = lock(&self.cursor);
+        for record in tail {
+            match record {
+                WalRecord::Header { .. } => {
+                    return Err(RecoveryError::Corrupt("header record mid-log".into()));
+                }
+                WalRecord::Submit { first, stamp, ops } => {
+                    self.drive_to_stamp(&mut cur, stamp)?;
+                    let mut slots = self.slots.write().unwrap_or_else(|e| e.into_inner());
+                    let expected = self.config.first_update_number + slots.total() as u64;
+                    if first != expected {
+                        return Err(RecoveryError::Replay(format!(
+                            "submission logged as u{first} would be admitted as u{expected}"
+                        )));
+                    }
+                    let base = slots.total();
+                    let count = self.admit_locked(&mut slots, ops).len();
+                    cur.live.extend(base..base + count);
+                }
+                WalRecord::Answer { token, stamp, decision } => {
+                    self.drive_to_stamp(&mut cur, stamp)?;
+                    let entry = lock(&self.pending).remove(&token);
+                    let Some(entry) = entry else {
+                        return Err(RecoveryError::Replay(format!(
+                            "answer for token {token} found nothing pending"
+                        )));
+                    };
+                    // A decision the original run rejected as invalid is
+                    // rejected here too (deterministically), restoring the
+                    // pending entry — its retry records follow in the log.
+                    let _ = self.apply_answer(FrontierToken(token), entry, decision);
+                }
+            }
+            if let Some(e) = lock(&self.error).clone() {
+                return Err(RecoveryError::Replay(format!("engine failed during replay: {e}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the sequencer until the durable action counter reaches `stamp`.
+    /// Falling idle, blocking on a frontier without progress, or moving past
+    /// the stamp all mean the log does not describe this engine's history.
+    fn drive_to_stamp(&self, cur: &mut DetCursor, stamp: u64) -> Result<(), RecoveryError> {
+        let d = self.durable.as_ref().expect("replay requires a durable engine");
+        loop {
+            let now = d.actions.load(Ordering::SeqCst);
+            if now == stamp {
+                return Ok(());
+            }
+            if now > stamp {
+                return Err(RecoveryError::Replay(format!(
+                    "overshot action stamp {stamp} (counter is at {now})"
+                )));
+            }
+            match self.det_action(cur) {
+                Ok(DetProgress::Acted) => {}
+                Ok(DetProgress::AwaitingAnswer) => {
+                    // A frontier publish counts as an action (it bumped the
+                    // counter on the way to AwaitingAnswer); blocking without
+                    // the bump means the stamp is unreachable.
+                    if d.actions.load(Ordering::SeqCst) == now {
+                        return Err(RecoveryError::Replay(format!(
+                            "blocked on an unanswered frontier {} action(s) before stamp {stamp}",
+                            stamp - now
+                        )));
+                    }
+                }
+                Ok(DetProgress::Idle) => {
+                    return Err(RecoveryError::Replay(format!(
+                        "sequencer idle {} action(s) before stamp {stamp}",
+                        stamp - now
+                    )));
+                }
+                Err(e) => {
+                    return Err(RecoveryError::Replay(format!("chase error during replay: {e}")));
+                }
+            }
+        }
     }
 
     fn fail(&self, e: ChaseError) {
@@ -674,7 +871,7 @@ impl EngineShared {
         if self.active.load(Ordering::SeqCst) != 0 || self.in_flight.load(Ordering::SeqCst) != 0 {
             return;
         }
-        let _slots = self.slots.write().unwrap_or_else(|e| e.into_inner());
+        let mut slots = self.slots.write().unwrap_or_else(|e| e.into_inner());
         if self.active.load(Ordering::SeqCst) != 0
             || self.in_flight.load(Ordering::SeqCst) != 0
             || self.unanswered.load(Ordering::SeqCst) != 0
@@ -684,6 +881,135 @@ impl EngineShared {
         self.read_log.clear_all();
         self.write_log.clear_all();
         *lock(&self.tracker) = self.config.scheduler.tracker.build();
+        self.compact_locked(&mut slots);
+        self.maybe_snapshot_locked(&slots);
+    }
+
+    /// Evicts terminal slots past the retention horizon from the front of the
+    /// locked table, together with their per-update log and tracker state.
+    /// Front-only eviction is what keeps it sound: abort victims are always
+    /// numbered strictly above the conflicting writer, so once every slot
+    /// below an update is evicted (hence terminal, by induction from slot 0,
+    /// which has no lower neighbours at all), no writer that could revive it
+    /// or consult its reads can ever run again.
+    fn compact_locked(&self, slots: &mut SlotTable) {
+        let horizon = self.config.retention_horizon;
+        while slots.cells.len() > horizon {
+            let Some(front) = slots.cells.front() else { break };
+            // A requested abort on the front slot cannot be legitimate (its
+            // would-be writer is lower-numbered and terminal), but never
+            // evict one mid-request — the flag's owner still expects the cell.
+            if front.abort_requested.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(slot) = front.slot.try_lock() else { break };
+            let terminal = slot.failed.is_some() || slot.exec.is_terminated();
+            if !terminal || slot.published.is_some() {
+                break;
+            }
+            let id = slot.exec.id();
+            drop(slot);
+            slots.cells.pop_front();
+            slots.base += 1;
+            self.read_log.clear(id);
+            self.write_log.remove_update(id);
+            lock(&self.tracker).clear_update(id);
+            let mut all_ids = lock(&self.all_ids);
+            if let Ok(pos) = all_ids.binary_search(&id) {
+                all_ids.remove(pos);
+            }
+        }
+    }
+
+    /// Opportunistic compaction: a cheap read-locked length check, then the
+    /// write-locked eviction walk only when the horizon is actually exceeded.
+    fn maybe_compact(&self) {
+        if self.config.retention_horizon == usize::MAX {
+            return;
+        }
+        {
+            let slots = self.slots.read().unwrap_or_else(|e| e.into_inner());
+            if slots.cells.len() <= self.config.retention_horizon {
+                return;
+            }
+        }
+        let mut slots = self.slots.write().unwrap_or_else(|e| e.into_inner());
+        self.compact_locked(&mut slots);
+    }
+
+    /// Writes a snapshot (and restarts the log) if the engine is durable, not
+    /// replaying, and enough records accumulated since the last one. The
+    /// caller holds the slots write lock at quiescence — every retained slot
+    /// is terminal and the database is stable.
+    fn maybe_snapshot_locked(&self, slots: &SlotTable) {
+        let Some(d) = &self.durable else { return };
+        if d.replaying.load(Ordering::SeqCst) {
+            return;
+        }
+        let records = d.records.load(Ordering::SeqCst);
+        if records - d.last_snapshot.load(Ordering::SeqCst) < d.config.snapshot_every {
+            return;
+        }
+        if let Err(e) = self.write_snapshot_locked(slots, records) {
+            self.fail(ChaseError::InvalidDecision(format!("snapshot write failed: {e}")));
+        }
+    }
+
+    fn write_snapshot_locked(
+        &self,
+        slots: &SlotTable,
+        records: u64,
+    ) -> Result<(), youtopia_storage::WalError> {
+        let d = self.durable.as_ref().expect("snapshot on a durable engine");
+        let mut summaries = Vec::with_capacity(slots.cells.len());
+        for cell in &slots.cells {
+            let slot = lock(&cell.slot);
+            summaries.push(SlotSummary {
+                id: slot.exec.id().0,
+                initial: slot.exec.initial().clone(),
+                stats: slot.exec.stats(),
+                terminated: slot.exec.is_terminated(),
+                failed: slot.failed.clone(),
+            });
+        }
+        let meta = SnapshotMeta {
+            fingerprint: d.fingerprint,
+            records,
+            actions: d.actions.load(Ordering::SeqCst),
+            next_token: self.next_token.load(Ordering::SeqCst),
+            slot_base: slots.base as u64,
+            slots: summaries,
+            metrics: lock(&self.metrics).clone(),
+        };
+        let bytes = {
+            let db = self.db.read().unwrap_or_else(|e| e.into_inner());
+            encode_snapshot(&meta, &db)
+        };
+        write_file_atomic(&d.config.snapshot_path(), &bytes)?;
+        // Restart the log under a fresh header whose base records how much
+        // the snapshot now covers. Written to a sibling and renamed, so a
+        // crash leaves either the old full log (its surplus head is skipped
+        // at recovery) or the new empty one — never a torn file.
+        let wal_path = d.config.wal_path();
+        let tmp = wal_path.with_extension("log.tmp");
+        let mut fresh = WalWriter::create(&tmp)?;
+        fresh.append(&encode_header(d.fingerprint, records))?;
+        let len = fresh.position();
+        drop(fresh);
+        std::fs::rename(&tmp, &wal_path)?;
+        *lock(&d.wal) = WalWriter::open_append(&wal_path, len)?;
+        d.last_snapshot.store(records, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Bumps the durable action counter (no-op on a plain engine): every
+    /// acting sequencer step and every frontier publish counts. WAL records
+    /// carry the counter's value as their stamp, which is how replay knows
+    /// exactly how much chase work to re-execute before injecting each one.
+    fn bump_action(&self) {
+        if let Some(d) = &self.durable {
+            d.actions.fetch_add(1, Ordering::SeqCst);
+        }
     }
 
     /// Publishes the locked slot's pending frontier request under a fresh
@@ -692,6 +1018,11 @@ impl EngineShared {
         if slot.published.is_some() {
             return;
         }
+        // The publish itself counts as an action: a submission arriving while
+        // this request is published-but-unanswered must be stamp-
+        // distinguishable from one arriving just before the publish, or
+        // replay could interleave them the wrong way round.
+        self.bump_action();
         let token = FrontierToken(self.next_token.fetch_add(1, Ordering::SeqCst));
         let request = slot.exec.pending_frontier().expect("state is AwaitingFrontier").clone();
         slot.published = Some(token);
@@ -711,7 +1042,7 @@ impl EngineShared {
         entry: PendingEntry,
         decision: FrontierDecision,
     ) -> Result<AnswerOutcome, ChaseError> {
-        let cell = self.slot_cell(entry.slot);
+        let Some(cell) = self.slot_cell(entry.slot) else { return Ok(AnswerOutcome::Stale) };
         let mut slot = lock(&cell.slot);
         if slot.published != Some(token) || slot.exec.state() != UpdateState::AwaitingFrontier {
             return Ok(AnswerOutcome::Stale);
@@ -834,20 +1165,30 @@ impl EngineShared {
             None => {
                 // Round boundary.
                 cur.next = 0;
+                self.bump_action();
                 return Ok(DetProgress::Acted);
             }
         };
         cur.next = idx + 1;
-        let cell = self.slot_cell(idx);
+        let Some(cell) = self.slot_cell(idx) else {
+            // Compaction (which runs under this same cursor) evicted a slot a
+            // stale live entry still names; evicted slots are terminal, so
+            // this is the Terminated branch in disguise.
+            cur.live.remove(&idx);
+            self.bump_action();
+            return Ok(DetProgress::Acted);
+        };
         let state = lock(&cell.slot).exec.state();
         match state {
             UpdateState::Terminated => {
                 cur.live.remove(&idx);
+                self.bump_action();
             }
             UpdateState::AwaitingFrontier => {
                 let mut slot = lock(&cell.slot);
                 if slot.frontier_wait > 0 {
                     slot.frontier_wait -= 1;
+                    self.bump_action();
                 } else {
                     self.publish_frontier(&mut slot, idx);
                     return Ok(DetProgress::AwaitingAnswer);
@@ -855,9 +1196,15 @@ impl EngineShared {
             }
             UpdateState::Ready => {
                 self.det_run_ready_slot(cur, idx, &cell)?;
+                // The action is complete — and counted — *before* quiescence
+                // bookkeeping: a snapshot taken inside `maybe_gc` must record
+                // the post-action counter, or replaying its WAL tail would
+                // start one action short.
+                self.bump_action();
                 // The slot (or a failed one) may have been the last active
                 // update; all slot locks are released again at this point.
                 self.maybe_gc();
+                self.maybe_compact();
             }
         }
         Ok(DetProgress::Acted)
@@ -888,8 +1235,7 @@ impl EngineShared {
             let (outcome, to_abort) = self.step_and_validate(&mut slot)?;
             drop(slot);
             for &victim in &to_abort {
-                let Some(vidx) = self.index_of(victim) else { continue };
-                let vcell = self.slot_cell(vidx);
+                let Some((vidx, vcell)) = self.lookup_cell(victim) else { continue };
                 let mut vslot = lock(&vcell.slot);
                 if vslot.failed.is_some() {
                     continue;
@@ -930,8 +1276,7 @@ impl EngineShared {
     fn det_abort_worklist(&self, cur: &mut DetCursor, victims: Vec<UpdateId>) {
         let mut work: VecDeque<UpdateId> = victims.into();
         while let Some(victim) = work.pop_front() {
-            let Some(vidx) = self.index_of(victim) else { continue };
-            let cell = self.slot_cell(vidx);
+            let Some((vidx, cell)) = self.lookup_cell(victim) else { continue };
             let mut slot = lock(&cell.slot);
             if slot.failed.is_some() {
                 continue;
@@ -995,6 +1340,7 @@ impl EngineShared {
             let result = self.process_slot_free(idx);
             self.in_flight.fetch_sub(1, Ordering::SeqCst);
             self.maybe_gc();
+            self.maybe_compact();
             self.signal.bump();
             if let Err(e) = result {
                 self.fail(e);
@@ -1007,7 +1353,7 @@ impl EngineShared {
     /// (under step-level round robin) hands the update back to the queues
     /// after one step.
     fn process_slot_free(&self, idx: usize) -> Result<(), ChaseError> {
-        let cell = self.slot_cell(idx);
+        let Some(cell) = self.slot_cell(idx) else { return Ok(()) };
         let mut slot = lock(&cell.slot);
         loop {
             if self.stop.load(Ordering::SeqCst) {
@@ -1090,8 +1436,7 @@ impl EngineShared {
     fn abort_all(&self, victims: Vec<UpdateId>) {
         let mut work: VecDeque<UpdateId> = victims.into();
         while let Some(victim) = work.pop_front() {
-            let Some(vidx) = self.index_of(victim) else { continue };
-            let cell = self.slot_cell(vidx);
+            let Some((vidx, cell)) = self.lookup_cell(victim) else { continue };
             let attempt = cell.slot.try_lock();
             match attempt {
                 Ok(mut vslot) => {
@@ -1132,7 +1477,7 @@ impl EngineShared {
     /// back to the queues; queued victims are left for the next worker that
     /// pops them.
     fn settle_flag(&self, idx: usize) {
-        let cell = self.slot_cell(idx);
+        let Some(cell) = self.slot_cell(idx) else { return };
         loop {
             if !cell.abort_requested.load(Ordering::SeqCst) {
                 return;
@@ -1181,6 +1526,216 @@ impl ExchangeEngine {
     /// and stays alive — parked when idle — until [`shutdown`](Self::shutdown)
     /// or drop.
     pub fn new(db: Database, mappings: MappingSet, config: EngineConfig) -> ExchangeEngine {
+        let shared = Self::make_shared(
+            db,
+            mappings,
+            config,
+            None,
+            SlotTable { base: 0, cells: VecDeque::new() },
+            Vec::new(),
+            0,
+            RunMetrics::default(),
+        );
+        let threads = Self::spawn_workers(&shared);
+        ExchangeEngine { shared, threads }
+    }
+
+    /// Starts a **durable** engine under `durability.dir`: every submission
+    /// and answer is appended (checksummed and fsynced) to a write-ahead log
+    /// *before* its effects become visible, and quiescence points
+    /// periodically fold the log into a snapshot. A crashed durable engine is
+    /// brought back byte-identically with [`recover`](Self::recover).
+    ///
+    /// Durability requires the deterministic sequencer (or inline mode):
+    /// recovery re-executes the unlogged chase work between logged events,
+    /// which only reproduces the original run when the scheduling is a
+    /// function of the event log. A free-running config is rejected with
+    /// [`RecoveryError::FreeRunningUnsupported`].
+    pub fn new_durable(
+        db: Database,
+        mappings: MappingSet,
+        config: EngineConfig,
+        durability: DurabilityConfig,
+    ) -> Result<ExchangeEngine, RecoveryError> {
+        if !(config.scheduler.deterministic || config.inline) {
+            return Err(RecoveryError::FreeRunningUnsupported);
+        }
+        std::fs::create_dir_all(&durability.dir)?;
+        let fingerprint = config_fingerprint(&config, &mappings);
+        // Snapshot 0 goes down before the engine exists: recovery never needs
+        // the pre-engine database, only "newest snapshot + log tail".
+        let meta = SnapshotMeta {
+            fingerprint,
+            records: 0,
+            actions: 0,
+            next_token: 0,
+            slot_base: 0,
+            slots: Vec::new(),
+            metrics: RunMetrics::default(),
+        };
+        write_file_atomic(&durability.snapshot_path(), &encode_snapshot(&meta, &db))?;
+        let mut wal = WalWriter::create(&durability.wal_path())?;
+        wal.append(&encode_header(fingerprint, 0))?;
+        let durable = DurableEngineState {
+            config: durability,
+            fingerprint,
+            wal: Mutex::new(wal),
+            records: AtomicU64::new(0),
+            last_snapshot: AtomicU64::new(0),
+            actions: AtomicU64::new(0),
+            replaying: AtomicBool::new(false),
+        };
+        let shared = Self::make_shared(
+            db,
+            mappings,
+            config,
+            Some(durable),
+            SlotTable { base: 0, cells: VecDeque::new() },
+            Vec::new(),
+            0,
+            RunMetrics::default(),
+        );
+        let threads = Self::spawn_workers(&shared);
+        Ok(ExchangeEngine { shared, threads })
+    }
+
+    /// Recovers a durable engine from `durability.dir`: loads the newest
+    /// snapshot, then deterministically replays the write-ahead log tail —
+    /// re-admitting logged submissions under their original ids and
+    /// re-applying logged answers at their original interleaving points. The
+    /// recovered engine's database, metrics and per-update statistics are
+    /// byte-identical to the crashed engine's at its last acknowledged
+    /// record; work that was mid-chase at the crash resumes where replay
+    /// leaves it. `config` and `mappings` must match the original engine's
+    /// (checked via fingerprint).
+    pub fn recover(
+        mappings: MappingSet,
+        config: EngineConfig,
+        durability: DurabilityConfig,
+    ) -> Result<ExchangeEngine, RecoveryError> {
+        if !(config.scheduler.deterministic || config.inline) {
+            return Err(RecoveryError::FreeRunningUnsupported);
+        }
+        let fingerprint = config_fingerprint(&config, &mappings);
+        let bytes = std::fs::read(durability.snapshot_path())?;
+        let (meta, db) = decode_snapshot(&bytes)?;
+        if meta.fingerprint != fingerprint {
+            return Err(RecoveryError::ConfigMismatch {
+                expected: fingerprint,
+                found: meta.fingerprint,
+            });
+        }
+        let wal = read_wal(&durability.wal_path())?;
+        let mut records = wal.records.iter();
+        let Some(first) = records.next() else {
+            return Err(RecoveryError::Corrupt("log has no header record".into()));
+        };
+        let base_records = match decode_record(first)? {
+            WalRecord::Header { fingerprint: found, base_records } => {
+                if found != fingerprint {
+                    return Err(RecoveryError::ConfigMismatch { expected: fingerprint, found });
+                }
+                base_records
+            }
+            _ => return Err(RecoveryError::Corrupt("log does not start with a header".into())),
+        };
+        if base_records > meta.records {
+            return Err(RecoveryError::Corrupt(format!(
+                "snapshot covers {} records but the log starts at {base_records}",
+                meta.records
+            )));
+        }
+        let tail: Vec<WalRecord> =
+            records.map(|r| decode_record(r)).collect::<Result<Vec<_>, _>>()?;
+        // A crash between snapshot rename and log restart leaves records the
+        // snapshot already covers at the head of the log; skip them.
+        let skip = (meta.records - base_records) as usize;
+        if skip > tail.len() {
+            return Err(RecoveryError::Corrupt(format!(
+                "snapshot claims {skip} log record(s) past the header but only {} exist",
+                tail.len()
+            )));
+        }
+        let total_records = base_records + tail.len() as u64;
+
+        // Rebuild the slot table. Snapshots are taken at quiescence, so every
+        // summarised slot is terminal — parked, inactive, nothing to requeue.
+        let mut cells = VecDeque::with_capacity(meta.slots.len());
+        let mut all_ids = Vec::with_capacity(meta.slots.len());
+        for summary in &meta.slots {
+            if !summary.terminated && summary.failed.is_none() {
+                return Err(RecoveryError::Corrupt(format!(
+                    "snapshot slot u{} is not terminal",
+                    summary.id
+                )));
+            }
+            let id = UpdateId(summary.id);
+            let exec = UpdateExecution::restored(
+                id,
+                summary.initial.clone(),
+                config.scheduler.chase_mode,
+                summary.stats,
+                summary.terminated,
+            );
+            cells.push_back(Arc::new(SlotCell {
+                slot: Mutex::new(Slot {
+                    exec,
+                    frontier_wait: 0,
+                    parked: true,
+                    published: None,
+                    failed: summary.failed.clone(),
+                }),
+                abort_requested: AtomicBool::new(false),
+            }));
+            all_ids.push(id);
+        }
+        let slots = SlotTable { base: meta.slot_base as usize, cells };
+        // Reopen the log for appends at its validated length (discarding any
+        // torn tail record) *before* replay: replay injects records directly
+        // and never re-appends, so the write position is already final.
+        let writer = WalWriter::open_append(&durability.wal_path(), wal.valid_len)?;
+        let durable = DurableEngineState {
+            config: durability,
+            fingerprint,
+            wal: Mutex::new(writer),
+            records: AtomicU64::new(total_records),
+            last_snapshot: AtomicU64::new(meta.records),
+            actions: AtomicU64::new(meta.actions),
+            replaying: AtomicBool::new(true),
+        };
+        let shared = Self::make_shared(
+            db,
+            mappings,
+            config,
+            Some(durable),
+            slots,
+            all_ids,
+            meta.next_token,
+            meta.metrics.clone(),
+        );
+        let replayed = shared.replay(tail.into_iter().skip(skip));
+        shared
+            .durable
+            .as_ref()
+            .expect("recovered engine is durable")
+            .replaying
+            .store(false, Ordering::SeqCst);
+        replayed?;
+        let threads = Self::spawn_workers(&shared);
+        Ok(ExchangeEngine { shared, threads })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn make_shared(
+        db: Database,
+        mappings: MappingSet,
+        config: EngineConfig,
+        durable: Option<DurableEngineState>,
+        slots: SlotTable,
+        all_ids: Vec<UpdateId>,
+        next_token: u64,
+        metrics: RunMetrics,
+    ) -> Arc<EngineShared> {
         let workers = if config.scheduler.workers > 0 {
             config.scheduler.workers
         } else {
@@ -1190,50 +1745,52 @@ impl ExchangeEngine {
         // the deterministic scheduler regardless of what the config says.
         let inline = config.inline;
         let deterministic = config.scheduler.deterministic || inline;
-        let shared = Arc::new(EngineShared {
+        Arc::new(EngineShared {
             mappings,
             db: RwLock::new(db),
             deterministic,
             inline,
-            slots: RwLock::new(Vec::new()),
-            all_ids: Mutex::new(Vec::new()),
+            slots: RwLock::new(slots),
+            all_ids: Mutex::new(all_ids),
             read_log: StripedReadLog::default(),
             write_log: StripedWriteLog::default(),
             tracker: Mutex::new(config.scheduler.tracker.build()),
-            metrics: Mutex::new(RunMetrics::default()),
+            metrics: Mutex::new(metrics),
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             cursor: Mutex::new(DetCursor { next: 0, live: BTreeSet::new() }),
             det_incoming: Mutex::new(Vec::new()),
             pending: Mutex::new(BTreeMap::new()),
             unanswered: AtomicUsize::new(0),
-            next_token: AtomicU64::new(0),
+            next_token: AtomicU64::new(next_token),
             active: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             error: Mutex::new(None),
             signal: Signal::new(),
+            durable,
             config,
-        });
-        let threads = if inline {
-            Vec::new()
-        } else {
-            (0..workers)
-                .map(|me| {
-                    let shared = Arc::clone(&shared);
-                    std::thread::Builder::new()
-                        .name(format!("youtopia-engine-{me}"))
-                        .spawn(move || {
-                            if shared.deterministic {
-                                shared.det_worker()
-                            } else {
-                                shared.free_worker(me)
-                            }
-                        })
-                        .expect("spawn engine worker")
-                })
-                .collect()
-        };
-        ExchangeEngine { shared, threads }
+        })
+    }
+
+    fn spawn_workers(shared: &Arc<EngineShared>) -> Vec<JoinHandle<()>> {
+        if shared.inline {
+            return Vec::new();
+        }
+        (0..shared.queues.len())
+            .map(|me| {
+                let shared = Arc::clone(shared);
+                std::thread::Builder::new()
+                    .name(format!("youtopia-engine-{me}"))
+                    .spawn(move || {
+                        if shared.deterministic {
+                            shared.det_worker()
+                        } else {
+                            shared.free_worker(me)
+                        }
+                    })
+                    .expect("spawn engine worker")
+            })
+            .collect()
     }
 
     /// Submits one update. See [`submit_batch`](Self::submit_batch).
@@ -1256,51 +1813,51 @@ impl ExchangeEngine {
         if shared.stop.load(Ordering::SeqCst) {
             return Err(SubmitError::ShutDown);
         }
+        // A durable engine serialises admission against the sequencer: the
+        // WAL record's action stamp fixes the exact interleaving point replay
+        // must reproduce, which it only does while the sequencer cannot act.
+        let mut cursor = shared.durable.as_ref().map(|_| lock(&shared.cursor));
         let mut slots = shared.slots.write().unwrap_or_else(|e| e.into_inner());
         let active = shared.active.load(Ordering::SeqCst);
         if active.saturating_add(ops.len()) > shared.config.admission_cap {
             return Err(SubmitError::Saturated { active, cap: shared.config.admission_cap });
         }
-        let base = slots.len();
-        let count = ops.len();
-        let mut handles = Vec::with_capacity(count);
-        {
-            let mut all_ids = lock(&shared.all_ids);
-            for (i, op) in ops.into_iter().enumerate() {
-                let id = UpdateId(shared.config.first_update_number + (base + i) as u64);
-                let cell = Arc::new(SlotCell {
-                    slot: Mutex::new(Slot {
-                        exec: UpdateExecution::with_mode(
-                            id,
-                            op,
-                            shared.config.scheduler.chase_mode,
-                        ),
-                        frontier_wait: 0,
-                        parked: false,
-                        published: None,
-                        failed: None,
-                    }),
-                    abort_requested: AtomicBool::new(false),
-                });
-                slots.push(Arc::clone(&cell));
-                all_ids.push(id);
-                handles.push(UpdateHandle { id, cell, shared: Arc::downgrade(shared) });
+        let base = slots.total();
+        if let Some(d) = &shared.durable {
+            // Logged before any effect is visible: a submission the caller
+            // saw admitted is in the log, and one that failed to log was
+            // never admitted.
+            let first = shared.config.first_update_number + base as u64;
+            let stamp = d.actions.load(Ordering::SeqCst);
+            if let Err(e) = lock(&d.wal).append(&encode_submit(first, stamp, &ops)) {
+                return Err(SubmitError::Durability(e.to_string()));
             }
+            d.records.fetch_add(1, Ordering::SeqCst);
         }
-        shared.active.fetch_add(count, Ordering::SeqCst);
-        lock(&shared.metrics).workload_size += count;
+        let count = ops.len();
+        let handles: Vec<UpdateHandle> = shared
+            .admit_locked(&mut slots, ops)
+            .into_iter()
+            .map(|(id, cell)| UpdateHandle { id, cell, shared: Arc::downgrade(shared) })
+            .collect();
         if shared.deterministic {
-            lock(&shared.det_incoming).extend(base..base + count);
+            match cursor.as_deref_mut() {
+                // Durable path, sequencer held: fix the interleaving point
+                // directly instead of via the absorb queue.
+                Some(cur) => cur.live.extend(base..base + count),
+                None => lock(&shared.det_incoming).extend(base..base + count),
+            }
         } else {
             for idx in base..base + count {
                 let shard = {
-                    let slot = lock(&slots[idx].slot);
+                    let slot = lock(&slots.get(idx).expect("just admitted").slot);
                     shared.shard_of(&slot.exec)
                 };
                 lock(&shared.queues[shard % shared.queues.len()]).push_back(idx);
             }
         }
         drop(slots);
+        drop(cursor);
         shared.signal.bump();
         Ok(handles)
     }
@@ -1328,9 +1885,28 @@ impl ExchangeEngine {
         token: FrontierToken,
         decision: FrontierDecision,
     ) -> Result<AnswerOutcome, ChaseError> {
-        let entry = lock(&self.shared.pending).remove(&token.0);
+        let shared = &self.shared;
+        // A durable engine holds the sequencer across remove → append → apply
+        // so the log order is the order decisions' effects landed and the
+        // stamp pins the interleaving point (this also closes the solo
+        // fast-path race where a step slips between the append and the
+        // apply).
+        let _cursor = shared.durable.as_ref().map(|_| lock(&shared.cursor));
+        let entry = lock(&shared.pending).remove(&token.0);
         let Some(entry) = entry else { return Ok(AnswerOutcome::Stale) };
-        self.shared.apply_answer(token, entry, decision)
+        if let Some(d) = &shared.durable {
+            let stamp = d.actions.load(Ordering::SeqCst);
+            if let Err(e) = lock(&d.wal).append(&encode_answer(token.0, stamp, &decision)) {
+                // Restore the entry so the request is not silently lost, then
+                // fail the engine: its log no longer matches its history.
+                lock(&shared.pending).insert(token.0, entry);
+                let err = ChaseError::InvalidDecision(format!("durability failure: {e}"));
+                shared.fail(err.clone());
+                return Err(err);
+            }
+            d.records.fetch_add(1, Ordering::SeqCst);
+        }
+        shared.apply_answer(token, entry, decision)
     }
 
     /// Runs a closure over the last-committed database state (a read-lock
@@ -1352,10 +1928,15 @@ impl ExchangeEngine {
         lock(&self.shared.metrics).clone()
     }
 
-    /// Per-update execution statistics, in submission order.
+    /// Per-update execution statistics of every **retained** update, in
+    /// submission order. With a finite [`EngineConfig::retention_horizon`],
+    /// records evicted by compaction are absent — use
+    /// [`update_stats_of`](Self::update_stats_of) to distinguish evicted from
+    /// unknown ids.
     pub fn update_stats(&self) -> Vec<(UpdateId, UpdateStats)> {
         let slots = self.shared.slots.read().unwrap_or_else(|e| e.into_inner());
         slots
+            .cells
             .iter()
             .map(|cell| {
                 let slot = lock(&cell.slot);
@@ -1365,18 +1946,37 @@ impl ExchangeEngine {
     }
 
     /// The execution statistics of one update (index lookup — prefer this
-    /// over scanning [`Self::update_stats`] on a long-lived engine).
-    pub fn update_stats_of(&self, update: UpdateId) -> Option<UpdateStats> {
-        let idx = self.shared.index_of(update)?;
-        let cell = self.shared.slot_cell(idx);
+    /// over scanning [`Self::update_stats`] on a long-lived engine). Fails
+    /// with [`LookupError::SlotEvicted`] once compaction has dropped the
+    /// record, [`LookupError::UnknownUpdate`] for an id never admitted.
+    pub fn update_stats_of(&self, update: UpdateId) -> Result<UpdateStats, LookupError> {
+        let cell = self.shared.lookup(update)?;
         let slot = lock(&cell.slot);
-        Some(slot.exec.stats())
+        Ok(slot.exec.stats())
+    }
+
+    /// The completion report of one update: `Ok(Some(..))` once it has
+    /// terminated, `Ok(None)` while it is still in flight (or failed), and a
+    /// [`LookupError`] when the id is unknown or its record was evicted. An
+    /// [`UpdateHandle`] pins its own record and keeps answering after
+    /// eviction; this keyed lookup is for callers holding only the id.
+    pub fn update_report_of(&self, update: UpdateId) -> Result<Option<UpdateReport>, LookupError> {
+        let cell = self.shared.lookup(update)?;
+        let slot = lock(&cell.slot);
+        Ok(slot.exec.is_terminated().then(|| UpdateReport::for_execution(&slot.exec)))
     }
 
     /// The priority number the next submission will receive.
     pub fn next_update_id(&self) -> UpdateId {
         let slots = self.shared.slots.read().unwrap_or_else(|e| e.into_inner());
-        UpdateId(self.shared.config.first_update_number + slots.len() as u64)
+        UpdateId(self.shared.config.first_update_number + slots.total() as u64)
+    }
+
+    /// Number of update records currently retained in the slot table (grows
+    /// with submissions, shrinks when compaction evicts terminal records past
+    /// the retention horizon).
+    pub fn retained_slots(&self) -> usize {
+        self.shared.slots.read().unwrap_or_else(|e| e.into_inner()).cells.len()
     }
 
     /// Number of in-flight (non-terminated, non-failed) updates.
@@ -1453,13 +2053,24 @@ impl ExchangeEngine {
         // on another thread, holding a transient upgrade of its weak
         // reference. The stop flag (set by `halt`) makes every such call
         // return on its next check; keep nudging the signal until the last
-        // transient strong reference drops.
+        // transient strong reference drops. An `Arc` drop cannot notify a
+        // condvar, so this is necessarily a poll — but with bounded
+        // exponential backoff (capped at ~1 ms) instead of a hot yield loop
+        // that would burn a core for as long as a handle-holder stays
+        // descheduled.
+        let mut spins = 0u32;
         let shared = loop {
             match Arc::try_unwrap(shared) {
                 Ok(inner) => break inner,
                 Err(still_shared) => {
                     still_shared.signal.bump();
-                    std::thread::yield_now();
+                    if spins < 10 {
+                        std::thread::yield_now();
+                    } else {
+                        let exp = (spins - 10).min(10);
+                        std::thread::sleep(std::time::Duration::from_micros(1 << exp));
+                    }
+                    spins += 1;
                     shared = still_shared;
                 }
             }
@@ -1496,6 +2107,16 @@ impl std::fmt::Debug for ExchangeEngine {
 
 /// A ticket for one submitted update. Clonable; outlives the engine safely
 /// (methods needing the engine report shutdown instead of blocking forever).
+///
+/// The handle pins its own slot record: with a finite
+/// [`EngineConfig::retention_horizon`], the engine's keyed lookups
+/// ([`ExchangeEngine::update_stats_of`],
+/// [`ExchangeEngine::update_report_of`]) report
+/// [`LookupError::SlotEvicted`] once compaction drops a terminated record,
+/// but a live handle keeps answering [`status`](Self::status) /
+/// [`stats`](Self::stats) / [`report`](Self::report) from the pinned cell —
+/// retention bounds the *engine's* memory, not a handle the caller chose to
+/// keep.
 #[derive(Clone)]
 pub struct UpdateHandle {
     id: UpdateId,

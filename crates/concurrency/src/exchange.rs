@@ -222,7 +222,7 @@ impl UpdateExchange {
     /// Aggregate statistics of the most recent update (diagnostics).
     pub fn last_update_stats(&self) -> Option<(UpdateId, UpdateStats)> {
         let last = UpdateId(self.engine.next_update_id().0.checked_sub(1)?);
-        Some((last, self.engine.update_stats_of(last)?))
+        Some((last, self.engine.update_stats_of(last).ok()?))
     }
 
     fn relation(&self, name: &str) -> Result<RelationId, ChaseError> {

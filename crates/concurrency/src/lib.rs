@@ -47,6 +47,7 @@
 
 pub mod conflict;
 pub mod deps;
+pub mod durable;
 pub mod engine;
 pub mod exchange;
 pub mod log;
@@ -62,6 +63,7 @@ pub use conflict::{
 pub use deps::{
     CoarseTracker, DependencyTracker, HybridTracker, NaiveTracker, PreciseTracker, TrackerKind,
 };
+pub use durable::{decode_record, DurabilityConfig, RecoveryError, WalRecord};
 pub use engine::{
     AnswerOutcome, EngineConfig, ExchangeEngine, ResolverPump, SubmitError, UpdateHandle,
     UpdateStatus,

@@ -53,6 +53,37 @@ impl From<StorageError> for ChaseError {
     }
 }
 
+/// Errors raised by keyed per-update lookups (report and stats queries on a
+/// long-lived engine).
+///
+/// With slot-table compaction enabled, an engine retains only a bounded
+/// window of terminated update records; looking up an update whose record was
+/// compacted away is distinguishable from looking up an update that never
+/// existed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupError {
+    /// The update terminated and its record was evicted by slot-table
+    /// compaction (it fell behind the configured retention horizon). An
+    /// [`crate::update::UpdateReport`] for it existed and was durable before
+    /// eviction; only the in-memory record is gone.
+    SlotEvicted(UpdateId),
+    /// No update with this id was ever admitted by the engine.
+    UnknownUpdate(UpdateId),
+}
+
+impl fmt::Display for LookupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LookupError::SlotEvicted(u) => {
+                write!(f, "update {u}'s record was evicted past the retention horizon")
+            }
+            LookupError::UnknownUpdate(u) => write!(f, "unknown update {u}"),
+        }
+    }
+}
+
+impl std::error::Error for LookupError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod error;
 pub mod frontier;
 pub mod querying;
@@ -64,7 +65,11 @@ pub mod read_query;
 pub mod resolver;
 pub mod update;
 
-pub use error::ChaseError;
+pub use codec::{
+    decode_chase_error, decode_decision, decode_initial_op, encode_chase_error, encode_decision,
+    encode_initial_op,
+};
+pub use error::{ChaseError, LookupError};
 pub use frontier::{
     FrontierDecision, FrontierRequest, FrontierToken, FrontierTuple, NegativeFrontier,
     PendingFrontier, PositiveAction, PositiveFrontier,

@@ -250,6 +250,28 @@ impl UpdateExecution {
         }
     }
 
+    /// Rebuilds an execution from a durable snapshot: the id, initial
+    /// operation and counters survive; the violation queue does not need to
+    /// (snapshots are only taken at engine quiescence, where every retained
+    /// execution is either terminated or failed — nothing mid-chase). A
+    /// restored terminated execution reports exactly what the original did
+    /// through [`UpdateReport::for_execution`].
+    pub fn restored(
+        id: UpdateId,
+        initial: InitialOp,
+        mode: ChaseMode,
+        stats: UpdateStats,
+        terminated: bool,
+    ) -> UpdateExecution {
+        let mut exec = UpdateExecution::with_mode(id, initial, mode);
+        exec.stats = stats;
+        if terminated {
+            exec.state = UpdateState::Terminated;
+            exec.pending_writes.clear();
+        }
+        exec
+    }
+
     /// The queue-maintenance mode this execution runs with.
     pub fn mode(&self) -> ChaseMode {
         self.mode

@@ -75,6 +75,25 @@ impl Database {
         &self.store
     }
 
+    /// Mutable store access for snapshot restore (`crate::wal`), which rebuilds
+    /// version chains without allocating ids.
+    pub(crate) fn store_mut(&mut self) -> &mut VersionStore {
+        &mut self.store
+    }
+
+    /// The id-allocator counters, in `(next_tuple, next_null, next_seq)` order,
+    /// for snapshot serialization.
+    pub(crate) fn wal_counters(&self) -> (u64, u64, u64) {
+        (self.next_tuple, self.next_null.load(Ordering::Relaxed), self.next_seq)
+    }
+
+    /// Restores the id-allocator counters from a snapshot.
+    pub(crate) fn restore_wal_counters(&mut self, next_tuple: u64, next_null: u64, next_seq: u64) {
+        self.next_tuple = next_tuple;
+        self.next_null.store(next_null, Ordering::Relaxed);
+        self.next_seq = next_seq;
+    }
+
     /// Schema of a relation.
     pub fn schema(&self, relation: RelationId) -> &RelationSchema {
         self.catalog.schema(relation)

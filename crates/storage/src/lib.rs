@@ -47,6 +47,7 @@ pub mod store;
 pub mod tuple;
 pub mod value;
 pub mod version;
+pub mod wal;
 
 pub use database::Database;
 pub use error::StorageError;
@@ -61,3 +62,7 @@ pub use tuple::{
 };
 pub use value::{NullId, Symbol, Value};
 pub use version::{AppliedWrite, TupleChange, TupleVersion, UpdateId, VersionChain, Write};
+pub use wal::{
+    crc32, deserialize_database, read_wal, serialize_database, write_file_atomic, ByteReader,
+    ByteWriter, Fnv64, WalContents, WalError, WalWriter,
+};

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod crash;
 pub mod data_gen;
 pub mod experiment;
 pub mod mapping_gen;
@@ -40,6 +41,7 @@ pub mod schema_gen;
 pub mod update_gen;
 
 pub use config::{ArrivalProcess, ExperimentConfig, WorkloadKind};
+pub use crash::{run_crash_recovery, CrashRecoveryReport};
 pub use data_gen::{generate_initial_database, InitialDataStats};
 pub use experiment::{
     build_fixture, run_experiment, run_single, ExperimentFixture, ExperimentPoint,

@@ -15,6 +15,12 @@
 # renamed or dropped) — either way the perf gate silently stopped guarding
 # something it used to.
 #
+# The reverse direction is NOT silent either: a freshly produced
+# target/BENCH_<name>.json with no committed baseline (a newly added bench
+# group) emits a warning and seeds bench-baselines/<name> from the fresh
+# summary, so the new group is guarded from its first run — commit the seeded
+# file in the PR that adds the bench.
+#
 # The chase/parallel/* and chase/engine_ingest/* groups are exempt from the
 # hard tier: both benchmark OS-thread worker pools (the free-running scheduler
 # and the long-lived engine) whose medians on the 1-core shared runner are
@@ -81,6 +87,22 @@ for baseline in "$BASELINE_DIR"/BENCH_*.json; do
         | [.key, (.value | tostring), ($now[.key] | tostring)] | @tsv' "$baseline")
 done
 
+# The symmetric check: fresh summaries with no committed baseline. Silence
+# here would mean a newly added bench group is never guarded; instead warn
+# and seed the baseline from the fresh summary so the gate picks it up
+# immediately (and the PR author is told to commit it).
+seeded=0
+for current in "$TARGET_DIR"/BENCH_*.json; do
+    [ -e "$current" ] || continue
+    name=$(basename "$current")
+    baseline="$BASELINE_DIR/$name"
+    if [ ! -f "$baseline" ]; then
+        echo "::warning file=bench-baselines/$name::fresh $name has no committed baseline — seeding bench-baselines/$name from this run; commit it so the new bench group is guarded"
+        cp "$current" "$baseline"
+        seeded=$((seeded + 1))
+    fi
+done
+
 if [ "$missing" -gt 0 ]; then
     echo "FAIL: $missing baseline file(s)/id(s) without a current-side counterpart"
     exit 1
@@ -93,5 +115,8 @@ if [ "$soft_hits" -eq 0 ]; then
     echo "bench medians within ${SOFT}% of baselines"
 else
     echo "bench regressions detected ($soft_hits soft warning(s) above; hard tier ${HARD}% clean)"
+fi
+if [ "$seeded" -gt 0 ]; then
+    echo "NOTE: seeded $seeded new baseline file(s) — commit bench-baselines/ additions"
 fi
 exit 0

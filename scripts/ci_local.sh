@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Mirrors the full CI matrix (.github/workflows/ci.yml) for offline pre-push
-# runs: lint → test → stress → bench, same commands, same gates, one machine.
-# Stops at the first failing stage, like the `needs:` edges do in CI.
+# runs: lint → test → stress → recovery → bench, same commands, same gates,
+# one machine. Stops at the first failing stage, like the `needs:` edges do
+# in CI.
 #
 # Usage: scripts/ci_local.sh [stage...]
-#   stages: lint test stress bench   (default: all, in order)
+#   stages: lint test stress recovery bench   (default: all, in order)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -47,14 +48,25 @@ stage_stress() {
     done
 }
 
+stage_recovery() {
+    echo "==> [recovery] crash-recovery and retention suite"
+    cargo test -q --release --test engine_recovery
+    echo "==> [recovery] durable compaction stress (ignored tests)"
+    cargo test -q --release --test engine_recovery -- --ignored
+    echo "==> [recovery] workload crash-recovery scenario"
+    cargo test -q --release -p youtopia-workload crash
+}
+
 stage_bench() {
     echo "==> [bench] cargo bench --no-run --workspace"
     cargo bench --no-run --workspace
     echo "==> [bench] bench summaries"
     cargo bench -p youtopia-bench --bench storage_ops
     cargo bench -p youtopia-bench --bench violation_queries
+    cargo bench -p youtopia-bench --bench trackers
     cargo bench -p youtopia-bench --bench chase
     cargo bench -p youtopia-bench --bench engine
+    cargo bench -p youtopia-bench --bench wal
     echo "==> [bench] two-tier regression gate"
     bash scripts/check_bench_regression.sh 25 100
     echo "==> [bench] fig3 smoke (quick profile)"
@@ -63,16 +75,17 @@ stage_bench() {
 
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(lint test stress bench)
+    stages=(lint test stress recovery bench)
 fi
 for stage in "${stages[@]}"; do
     case "$stage" in
         lint) stage_lint ;;
         test) stage_test ;;
         stress) stage_stress ;;
+        recovery) stage_recovery ;;
         bench) stage_bench ;;
         *)
-            echo "unknown stage '$stage' (expected: lint test stress bench)" >&2
+            echo "unknown stage '$stage' (expected: lint test stress recovery bench)" >&2
             exit 2
             ;;
     esac

@@ -73,14 +73,14 @@ pub use youtopia_concurrency as concurrency;
 pub use youtopia_workload as workload;
 
 pub use youtopia_concurrency::{
-    AnswerOutcome, ConcurrentRun, EngineConfig, ExchangeConfig, ExchangeEngine, ParallelRun,
-    ResolverPump, RunMetrics, SchedulerConfig, SubmitError, TrackerKind, UpdateExchange,
-    UpdateHandle, UpdateStatus,
+    AnswerOutcome, ConcurrentRun, DurabilityConfig, EngineConfig, ExchangeConfig, ExchangeEngine,
+    ParallelRun, RecoveryError, ResolverPump, RunMetrics, SchedulerConfig, SubmitError,
+    TrackerKind, UpdateExchange, UpdateHandle, UpdateStatus,
 };
 pub use youtopia_core::{
     ChaseError, ExpandResolver, FrontierDecision, FrontierRequest, FrontierResolver, FrontierToken,
-    InitialOp, PendingFrontier, PositiveAction, RandomResolver, ScriptedResolver, UnifyResolver,
-    UpdateExecution, UpdateReport, UpdateState,
+    InitialOp, LookupError, PendingFrontier, PositiveAction, RandomResolver, ScriptedResolver,
+    UnifyResolver, UpdateExecution, UpdateReport, UpdateState,
 };
 pub use youtopia_mappings::{
     find_violations, satisfies_all, MappingGraph, MappingSet, Tgd, Violation, ViolationKind,
