@@ -52,6 +52,40 @@ fn bench_scans_and_probes(c: &mut Criterion) {
     group.bench_function("null_occurrences", |b| {
         b.iter(|| black_box(db.null_occurrences(NullId(500), UpdateId::OMNISCIENT).len()))
     });
+    // The per-column candidate memo: the chase re-probes a handful of hot
+    // (column, value) keys every step, so the warm path should be a map hit.
+    // The cold variant starts from a fresh clone (clones start with a cold
+    // memo) and pays the index-bucket walk once per key.
+    group.bench_function("column_index_memo_warm", |b| {
+        // Warm the memo once, then measure repeated hits across 8 hot keys.
+        for i in 0..8 {
+            db.candidates(rel, 0, Value::constant(&format!("k{i}")), UpdateId::OMNISCIENT);
+        }
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..8 {
+                total += db
+                    .candidates(rel, 0, Value::constant(&format!("k{i}")), UpdateId::OMNISCIENT)
+                    .len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("column_index_memo_cold", |b| {
+        b.iter_batched(
+            || db.clone(),
+            |db| {
+                let mut total = 0usize;
+                for i in 0..8 {
+                    total += db
+                        .candidates(rel, 0, Value::constant(&format!("k{i}")), UpdateId::OMNISCIENT)
+                        .len();
+                }
+                black_box(total)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
     group.finish();
 }
 

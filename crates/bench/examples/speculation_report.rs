@@ -1,0 +1,55 @@
+//! Prints the speculation counters behind the README perf table's
+//! `chase/speculative/*` row: for the same two workloads the bench group
+//! measures (disjoint deep-cascade, contended skewed), run the deterministic
+//! scheduler with 4 workers and eager speculation and report how many
+//! speculative steps were started, how many survived validation, and the
+//! discard rate.
+//!
+//! Usage: cargo run -p youtopia-bench --release --example speculation_report
+
+use youtopia_concurrency::{ParallelRun, SchedulerConfig, SpeculationMode, TrackerKind};
+use youtopia_core::RandomResolver;
+use youtopia_workload::{build_fixture, generate_workload, ExperimentConfig, WorkloadKind};
+
+fn main() {
+    let mut config = ExperimentConfig::quick();
+    config.initial_tuples = 200;
+    config.workload_updates = 24;
+    let fixture = build_fixture(&config).expect("fixture builds");
+    let first_number = config.initial_tuples as u64 + 1_000;
+
+    for (kind, label) in
+        [(WorkloadKind::DeepCascade, "disjoint"), (WorkloadKind::Skewed, "contended")]
+    {
+        let ops = generate_workload(
+            &config,
+            &fixture.schema,
+            &fixture.initial_db,
+            &fixture.mappings,
+            kind,
+            0,
+        );
+        let scheduler = SchedulerConfig {
+            tracker: TrackerKind::Coarse,
+            workers: 4,
+            deterministic: true,
+            ..SchedulerConfig::default()
+        }
+        .with_speculation(SpeculationMode::Eager);
+        let mut run = ParallelRun::new(
+            fixture.initial_db.clone(),
+            fixture.mappings.clone(),
+            ops.clone(),
+            first_number,
+            scheduler,
+        );
+        let metrics = run.run(&mut RandomResolver::seeded(7)).expect("run succeeds");
+        let started = metrics.speculations_started;
+        let discarded = metrics.speculations_discarded;
+        let rate = if started == 0 { 0.0 } else { discarded as f64 / started as f64 * 100.0 };
+        println!(
+            "{label}: steps={} speculations started={} committed={} discarded={} ({rate:.1}% discard)",
+            metrics.steps, started, metrics.speculations_committed, discarded,
+        );
+    }
+}

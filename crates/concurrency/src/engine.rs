@@ -62,7 +62,7 @@ use youtopia_core::{
 };
 use youtopia_mappings::MappingSet;
 use youtopia_storage::wal::{read_wal, write_file_atomic, WalWriter};
-use youtopia_storage::{Database, TupleChange, UpdateId};
+use youtopia_storage::{Database, SpeculationReadSet, SpeculativeDb, TupleChange, UpdateId, Write};
 
 use crate::deps::DependencyTracker;
 use crate::durable::{
@@ -71,7 +71,7 @@ use crate::durable::{
     SlotSummary, SnapshotMeta, WalRecord,
 };
 use crate::metrics::RunMetrics;
-use crate::scheduler::{SchedulerConfig, SchedulingPolicy};
+use crate::scheduler::{SchedulerConfig, SchedulingPolicy, SpeculationMode};
 use crate::striped::{StripedReadLog, StripedWriteLog};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -284,8 +284,22 @@ impl Signal {
     }
 }
 
+/// One pre-executed chase step, parked on its slot until the sequencer
+/// reaches it: the advanced execution clone, the buffered step outcome
+/// (writes still unapplied to the base), and everything the step observed,
+/// reduced to the integer compares that decide commit vs discard.
+struct Speculation {
+    exec: UpdateExecution,
+    outcome: StepOutcome,
+    reads: SpeculationReadSet,
+}
+
 struct Slot {
     exec: UpdateExecution,
+    /// A speculatively pre-executed next step (deterministic mode with
+    /// [`SpeculationMode::Eager`] only). The sequencer validates it at the
+    /// slot's commit point; aborts and failures clear it.
+    speculation: Option<Speculation>,
     /// Rounds remaining before a pending frontier request is published
     /// (deterministic mode only; free-running has no notion of rounds).
     frontier_wait: usize,
@@ -381,6 +395,21 @@ struct EngineShared {
     /// Threadless mode: the deterministic sequencer runs on whichever thread
     /// pumps or waits (see [`EngineConfig::inline`]).
     inline: bool,
+    /// Whether workers losing the cursor race pre-execute upcoming steps
+    /// speculatively: deterministic multi-worker engines with
+    /// [`SpeculationMode::Eager`]. Inline and free-running engines never
+    /// speculate, nor does a single worker (it owns the cursor anyway).
+    speculate: bool,
+    /// The sequencer's published position: the slot index after the one it
+    /// last acted on. Speculators scan live slots from here — these are the
+    /// steps the sequencer will want next.
+    spec_next: AtomicUsize,
+    /// Adaptive speculation throttle: a discarded speculation sets this to
+    /// [`EngineShared::SPEC_DISCARD_PENALTY`] and each would-be speculator
+    /// decrements it and declines instead, so a contention storm (where every
+    /// epoch the overlay read is stale by commit time) stops burning cycles
+    /// on doomed steps. A committed speculation resets it to zero.
+    spec_penalty: AtomicUsize,
     /// Growable (and front-compacted) slot table; index = update number −
     /// `first_update_number`.
     slots: RwLock<SlotTable>,
@@ -418,6 +447,10 @@ struct EngineShared {
 }
 
 impl EngineShared {
+    /// How many speculation attempts sit out after a validation failure
+    /// before workers try again (see [`EngineShared::spec_penalty`]).
+    const SPEC_DISCARD_PENALTY: usize = 8;
+
     /// The cell at `idx`, or `None` when compaction evicted it. Callers on
     /// abort paths treat `None` as "terminal, nothing to do" — eviction is
     /// restricted to updates that can never be revived.
@@ -469,6 +502,7 @@ impl EngineShared {
                 let cell = Arc::new(SlotCell {
                     slot: Mutex::new(Slot {
                         exec: UpdateExecution::with_mode(id, op, self.config.scheduler.chase_mode),
+                        speculation: None,
                         frontier_wait: 0,
                         parked: false,
                         published: None,
@@ -626,6 +660,14 @@ impl EngineShared {
     /// the consolidated abort set — the caller decides how to execute the
     /// aborts (synchronously in deterministic mode, via flags when
     /// free-running).
+    ///
+    /// A speculation parked on the slot *is* the step, already executed
+    /// against a snapshot: if every epoch and allocator it observed is
+    /// unchanged, its buffered writes are re-applied for real (regenerating
+    /// sequence numbers at the commit point) and its advanced execution clone
+    /// grafted in — byte-identical to executing the step here, minus all the
+    /// analysis. An invalidated speculation is discarded and the step
+    /// re-executes directly.
     fn step_and_validate(
         &self,
         slot: &mut Slot,
@@ -638,12 +680,42 @@ impl EngineShared {
                 limit: self.config.scheduler.max_total_steps,
             });
         }
-        let applied = {
+        let mut committed: Option<StepOutcome> = None;
+        if let Some(mut spec) = slot.speculation.take() {
             let mut db = self.db.write().unwrap_or_else(|e| e.into_inner());
-            slot.exec.begin_step(&mut db)?
+            if spec.reads.still_valid(&db) {
+                // The writes re-apply against the same visible state the
+                // overlay shadowed (that is what validation established), so
+                // they cannot fail and they allocate the very tuple ids the
+                // buffered outcome and grafted execution already embed.
+                let writes: Vec<Write> = spec.outcome.writes.drain(..).map(|aw| aw.write).collect();
+                let applied = db.apply_all_owned(writes, slot.exec.id())?;
+                spec.reads.commit_allocators(&db);
+                slot.exec = spec.exec;
+                committed = Some(StepOutcome { writes: applied, ..spec.outcome });
+                lock(&self.metrics).speculations_committed += 1;
+                self.spec_penalty.store(0, Ordering::Relaxed);
+            } else {
+                lock(&self.metrics).speculations_discarded += 1;
+                self.spec_penalty.store(Self::SPEC_DISCARD_PENALTY, Ordering::Relaxed);
+            }
+        }
+        let applied = match committed {
+            Some(_) => None,
+            None => {
+                let mut db = self.db.write().unwrap_or_else(|e| e.into_inner());
+                Some(slot.exec.begin_step(&mut *db)?)
+            }
         };
         let db = self.db.read().unwrap_or_else(|e| e.into_inner());
-        let outcome = slot.exec.finish_step(&db, &self.mappings, applied)?;
+        let outcome = match committed {
+            Some(outcome) => outcome,
+            None => slot.exec.finish_step(
+                &*db,
+                &self.mappings,
+                applied.expect("direct path applied its writes"),
+            )?,
+        };
         {
             let mut metrics = lock(&self.metrics);
             metrics.steps += 1;
@@ -800,6 +872,9 @@ impl EngineShared {
             lock(&self.pending).remove(&token.0);
             self.unanswered.fetch_sub(1, Ordering::SeqCst);
         }
+        // A parked speculation pre-executed the state this abort is wiping
+        // out; discard it.
+        let stale_speculation = slot.speculation.take().is_some();
         slot.exec.reset_for_restart();
         slot.frontier_wait = 0;
         self.read_log.clear(victim);
@@ -809,7 +884,13 @@ impl EngineShared {
             tracker.note_abort(victim);
             tracker.clear_update(victim);
         }
-        lock(&self.metrics).aborts += 1;
+        {
+            let mut metrics = lock(&self.metrics);
+            metrics.aborts += 1;
+            if stale_speculation {
+                metrics.speculations_discarded += 1;
+            }
+        }
         let undone_readers = self.validate_rollback(victim, &rolled_back);
         cell.abort_requested.store(false, Ordering::SeqCst);
         if revive {
@@ -844,6 +925,9 @@ impl EngineShared {
         self.read_log.clear(victim);
         self.write_log.remove_update(victim);
         lock(&self.tracker).clear_update(victim);
+        if slot.speculation.take().is_some() {
+            lock(&self.metrics).speculations_discarded += 1;
+        }
         slot.failed = Some(error);
         slot.parked = true;
         self.active.fetch_sub(1, Ordering::SeqCst);
@@ -882,6 +966,14 @@ impl EngineShared {
         self.write_log.clear_all();
         *lock(&self.tracker) = self.config.scheduler.tracker.build();
         self.compact_locked(&mut slots);
+        // Quiescence is a durability point: any group-commit window still
+        // open is flushed so an idle engine never sits on unsynced records.
+        if let Some(d) = &self.durable {
+            if let Err(e) = lock(&d.wal).flush() {
+                self.fail(ChaseError::InvalidDecision(format!("wal flush failed: {e}")));
+                return;
+            }
+        }
         self.maybe_snapshot_locked(&slots);
     }
 
@@ -961,6 +1053,10 @@ impl EngineShared {
         records: u64,
     ) -> Result<(), youtopia_storage::WalError> {
         let d = self.durable.as_ref().expect("snapshot on a durable engine");
+        // The log being superseded must be fully on disk before the snapshot
+        // that claims to cover it: a crash between the two may fall back to
+        // replaying the old log, whose tail would otherwise be missing.
+        lock(&d.wal).flush()?;
         let mut summaries = Vec::with_capacity(slots.cells.len());
         for cell in &slots.cells {
             let slot = lock(&cell.slot);
@@ -997,7 +1093,9 @@ impl EngineShared {
         let len = fresh.position();
         drop(fresh);
         std::fs::rename(&tmp, &wal_path)?;
-        *lock(&d.wal) = WalWriter::open_append(&wal_path, len)?;
+        let mut writer = WalWriter::open_append(&wal_path, len)?;
+        writer.set_group_commit(d.config.group_commit);
+        *lock(&d.wal) = writer;
         d.last_snapshot.store(records, Ordering::SeqCst);
         Ok(())
     }
@@ -1097,7 +1195,28 @@ impl EngineShared {
             // generation and makes the wait below return immediately; any
             // event before it is visible to `det_action`. No lost wakeups.
             let gen = self.signal.current();
-            let mut cur = lock(&self.cursor);
+            // Speculative mode turns cursor contention into useful work: a
+            // worker that would otherwise queue on the sequencer pre-executes
+            // an upcoming step against a snapshot instead. With nothing left
+            // to pre-execute it falls back to *blocking* on the cursor — the
+            // mutex handoff is what keeps it live across releases that are
+            // not followed by a signal bump (a durable `submit`/`answer`
+            // holds the cursor from the caller's thread and releases it
+            // silently).
+            let mut cur = if self.speculate {
+                match self.cursor.try_lock() {
+                    Ok(cur) => cur,
+                    Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        if self.try_speculate() {
+                            continue;
+                        }
+                        lock(&self.cursor)
+                    }
+                }
+            } else {
+                lock(&self.cursor)
+            };
             if self.stop.load(Ordering::SeqCst) {
                 break;
             }
@@ -1114,6 +1233,82 @@ impl EngineShared {
                 }
             }
         }
+    }
+
+    /// Pre-executes one upcoming chase step against a read-locked snapshot,
+    /// parking the buffered result on its slot for the sequencer to validate
+    /// at the commit point. Scans the live window from the sequencer's
+    /// published position; every filter is a `try_lock` or a cheap check —
+    /// a speculator never blocks another worker. Returns whether a
+    /// speculation ran (even one that errored — the slot was claimed and
+    /// progress made), so the caller knows whether to sleep.
+    fn try_speculate(&self) -> bool {
+        const SPEC_SCAN_WINDOW: usize = 32;
+        // Back off while the penalty runs down: recent validation failures
+        // mean commits are landing faster than overlays stay fresh, so a
+        // speculative step here would almost certainly be discarded too.
+        if self
+            .spec_penalty
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |p| p.checked_sub(1))
+            .is_ok()
+        {
+            return false;
+        }
+        let (base, total) = {
+            let slots = self.slots.read().unwrap_or_else(|e| e.into_inner());
+            (slots.base, slots.total())
+        };
+        let span = total - base;
+        if span == 0 {
+            return false;
+        }
+        let hint = self.spec_next.load(Ordering::Relaxed).clamp(base, total - 1);
+        for k in 0..span.min(SPEC_SCAN_WINDOW) {
+            let idx = base + (hint - base + k) % span;
+            let Some(cell) = self.slot_cell(idx) else { continue };
+            if cell.abort_requested.load(Ordering::SeqCst) {
+                continue;
+            }
+            let Ok(mut slot) = cell.slot.try_lock() else { continue };
+            if slot.failed.is_some()
+                || slot.speculation.is_some()
+                || slot.exec.state() != UpdateState::Ready
+                || slot.exec.stats().steps >= self.config.max_steps_per_update
+            {
+                continue;
+            }
+            lock(&self.metrics).speculations_started += 1;
+            let mut exec = slot.exec.clone();
+            let id = exec.id();
+            // One read-lock session covers the whole speculative step: the
+            // overlay shadows this exact committed state, and the read set
+            // proves at commit time that it is still the state the sequencer
+            // sees. The slot lock is held throughout — the sequencer reaching
+            // this slot queues behind the speculation it is about to consume.
+            let speculation = {
+                let db = self.db.read().unwrap_or_else(|e| e.into_inner());
+                let mut overlay = SpeculativeDb::new(&db, id);
+                let stepped = exec
+                    .begin_step(&mut overlay)
+                    .and_then(|applied| exec.finish_step(&overlay, &self.mappings, applied));
+                match stepped {
+                    Ok(outcome) => {
+                        Some(Speculation { exec, outcome, reads: overlay.into_read_set() })
+                    }
+                    // A speculative error (e.g. a poisoned plan) is not acted
+                    // on — the sequencer re-executes directly and surfaces it
+                    // at the committed point, keeping error reports identical
+                    // to a non-speculative run.
+                    Err(_) => None,
+                }
+            };
+            match speculation {
+                Some(spec) => slot.speculation = Some(spec),
+                None => lock(&self.metrics).speculations_discarded += 1,
+            }
+            return true;
+        }
+        false
     }
 
     /// Drives the deterministic sequencer on the calling thread (inline mode:
@@ -1165,11 +1360,16 @@ impl EngineShared {
             None => {
                 // Round boundary.
                 cur.next = 0;
+                self.spec_next.store(0, Ordering::Relaxed);
                 self.bump_action();
                 return Ok(DetProgress::Acted);
             }
         };
         cur.next = idx + 1;
+        // Published for speculators before the action executes: while this
+        // slot commits, the profitable speculation targets are the ones after
+        // it.
+        self.spec_next.store(cur.next, Ordering::Relaxed);
         let Some(cell) = self.slot_cell(idx) else {
             // Compaction (which runs under this same cursor) evicted a slot a
             // stale live entry still names; evicted slots are terminal, so
@@ -1575,7 +1775,10 @@ impl ExchangeEngine {
         };
         write_file_atomic(&durability.snapshot_path(), &encode_snapshot(&meta, &db))?;
         let mut wal = WalWriter::create(&durability.wal_path())?;
+        // The header is appended (and synced) before the window opens: a log
+        // file without a durable header is indistinguishable from corruption.
         wal.append(&encode_header(fingerprint, 0))?;
+        wal.set_group_commit(durability.group_commit);
         let durable = DurableEngineState {
             config: durability,
             fingerprint,
@@ -1680,6 +1883,7 @@ impl ExchangeEngine {
             cells.push_back(Arc::new(SlotCell {
                 slot: Mutex::new(Slot {
                     exec,
+                    speculation: None,
                     frontier_wait: 0,
                     parked: true,
                     published: None,
@@ -1693,7 +1897,8 @@ impl ExchangeEngine {
         // Reopen the log for appends at its validated length (discarding any
         // torn tail record) *before* replay: replay injects records directly
         // and never re-appends, so the write position is already final.
-        let writer = WalWriter::open_append(&durability.wal_path(), wal.valid_len)?;
+        let mut writer = WalWriter::open_append(&durability.wal_path(), wal.valid_len)?;
+        writer.set_group_commit(durability.group_commit);
         let durable = DurableEngineState {
             config: durability,
             fingerprint,
@@ -1745,11 +1950,18 @@ impl ExchangeEngine {
         // the deterministic scheduler regardless of what the config says.
         let inline = config.inline;
         let deterministic = config.scheduler.deterministic || inline;
+        let speculate = deterministic
+            && !inline
+            && workers >= 2
+            && config.scheduler.speculation == SpeculationMode::Eager;
         Arc::new(EngineShared {
             mappings,
             db: RwLock::new(db),
             deterministic,
             inline,
+            speculate,
+            spec_next: AtomicUsize::new(0),
+            spec_penalty: AtomicUsize::new(0),
             slots: RwLock::new(slots),
             all_ids: Mutex::new(all_ids),
             read_log: StripedReadLog::default(),
@@ -2047,6 +2259,11 @@ impl ExchangeEngine {
     /// [`is_quiescent`](Self::is_quiescent) first if that matters).
     pub fn shutdown(mut self) -> (Database, MappingSet, RunMetrics) {
         self.halt();
+        // A clean shutdown is a durability point: close any open group-commit
+        // window so the log on disk covers everything that was logged.
+        if let Some(d) = &self.shared.durable {
+            let _ = lock(&d.wal).flush();
+        }
         let mut shared = Arc::clone(&self.shared);
         drop(self);
         // Workers are joined, but a cloned `UpdateHandle` may be mid-`wait()`

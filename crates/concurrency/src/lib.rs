@@ -72,5 +72,5 @@ pub use exchange::{DbRef, DbRefMut, ExchangeConfig, UpdateExchange};
 pub use log::{ChangeSource, ReadLog, WriteLog};
 pub use metrics::{AveragedMetrics, RunMetrics};
 pub use parallel::ParallelRun;
-pub use scheduler::{ConcurrentRun, SchedulerConfig, SchedulingPolicy};
+pub use scheduler::{ConcurrentRun, SchedulerConfig, SchedulingPolicy, SpeculationMode};
 pub use striped::{StripedReadLog, StripedWriteLog};

@@ -25,6 +25,16 @@ pub struct RunMetrics {
     pub frontier_ops: usize,
     /// Tuple-level changes written.
     pub changes: usize,
+    /// Chase steps the deterministic engine pre-executed speculatively
+    /// (see `SpeculationMode`). Zero outside speculative mode.
+    pub speculations_started: usize,
+    /// Speculations whose read sets validated at commit time and whose
+    /// buffered outcomes were committed without re-execution.
+    pub speculations_committed: usize,
+    /// Speculations invalidated by an earlier commit (or failed outright) and
+    /// discarded; the step re-executed at the sequencer. The discard *rate* is
+    /// `speculations_discarded / speculations_started`.
+    pub speculations_discarded: usize,
     /// Wall-clock time of the whole run.
     pub wall_time: Duration,
 }
@@ -57,6 +67,9 @@ impl RunMetrics {
         self.steps += other.steps;
         self.frontier_ops += other.frontier_ops;
         self.changes += other.changes;
+        self.speculations_started += other.speculations_started;
+        self.speculations_committed += other.speculations_committed;
+        self.speculations_discarded += other.speculations_discarded;
         self.wall_time += other.wall_time;
     }
 
@@ -140,10 +153,16 @@ mod tests {
                 steps: 1000,
                 frontier_ops: 50,
                 changes: 400,
+                speculations_started: 12,
+                speculations_committed: 9,
+                speculations_discarded: 3,
                 wall_time: Duration::from_millis(500),
             });
         }
         assert_eq!(total.aborts, 32);
+        assert_eq!(total.speculations_started, 48);
+        assert_eq!(total.speculations_committed, 36);
+        assert_eq!(total.speculations_discarded, 12);
         let avg = total.averaged(4);
         assert!((avg.aborts - 8.0).abs() < 1e-9);
         assert!((avg.cascading_abort_requests - 2.0).abs() < 1e-9);

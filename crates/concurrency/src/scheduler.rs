@@ -33,6 +33,26 @@ pub enum SchedulingPolicy {
     StratumRoundRobin,
 }
 
+/// Whether the deterministic engine runs chase steps speculatively.
+///
+/// With speculation on, idle workers execute Ready slots' steps against
+/// epoch-stamped snapshot reads *before* the sequencer reaches them; the
+/// sequencer still commits in its fixed round-robin order, validating each
+/// speculation's read set against the per-relation write epochs and
+/// discarding (re-executing) any that a prior commit invalidated. The
+/// committed sequence is byte-identical to [`SpeculationMode::Off`] — and to
+/// [`ConcurrentRun`] — at any worker count; only wall-clock changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpeculationMode {
+    /// No speculation: the PR 4/5 sequencer as it was, each step executed by
+    /// whichever worker wins the commit cursor. The differential baseline.
+    Off,
+    /// Speculate eagerly: workers that lose the commit cursor pick upcoming
+    /// Ready slots and pre-execute their steps against the current database.
+    #[default]
+    Eager,
+}
+
 /// Configuration of a concurrent run.
 #[derive(Clone, Copy, Debug)]
 pub struct SchedulerConfig {
@@ -58,6 +78,11 @@ pub struct SchedulerConfig {
     /// serialisation order (byte-identical to [`ConcurrentRun`] at any worker
     /// count) or free-runs for throughput. Ignored by [`ConcurrentRun`].
     pub deterministic: bool,
+    /// Whether deterministic multi-worker engines pre-execute steps
+    /// speculatively (see [`SpeculationMode`]). Ignored by [`ConcurrentRun`],
+    /// free-running mode, and single-worker engines, where there is nothing
+    /// to overlap.
+    pub speculation: SpeculationMode,
 }
 
 impl Default for SchedulerConfig {
@@ -70,6 +95,7 @@ impl Default for SchedulerConfig {
             chase_mode: ChaseMode::default(),
             workers: 1,
             deterministic: true,
+            speculation: SpeculationMode::default(),
         }
     }
 }
@@ -114,6 +140,12 @@ impl SchedulerConfig {
     /// Replaces the violation-queue maintenance mode.
     pub fn with_chase_mode(mut self, chase_mode: ChaseMode) -> SchedulerConfig {
         self.chase_mode = chase_mode;
+        self
+    }
+
+    /// Replaces the deterministic engine's speculation mode.
+    pub fn with_speculation(mut self, speculation: SpeculationMode) -> SchedulerConfig {
+        self.speculation = speculation;
         self
     }
 

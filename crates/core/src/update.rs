@@ -12,8 +12,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use youtopia_mappings::{violations_from_change, MappingSet, Violation, ViolationKind};
 use youtopia_storage::{
-    specialization, substitute_nulls, AppliedWrite, DataView, Database, NullId, RelationId,
-    TupleData, TupleId, UpdateId, Value, Write,
+    specialization, substitute_nulls, AppliedWrite, ChaseData, DataView, Database, NullId,
+    RelationId, TupleData, TupleId, UpdateId, Value, Write,
 };
 
 use crate::error::ChaseError;
@@ -374,7 +374,7 @@ impl UpdateExecution {
     /// Enqueues a newly discovered violation (the caller has already checked
     /// `queued_set` for membership), indexing it under the relations it reads
     /// and stamping the current write epochs.
-    fn enqueue(&mut self, db: &Database, mappings: &MappingSet, violation: Violation) {
+    fn enqueue<D: ChaseData>(&mut self, db: &D, mappings: &MappingSet, violation: Violation) {
         let tgd = mappings.get(violation.mapping);
         let read_relations = violation.read_relations(tgd);
         let checked_epochs: Vec<u64> =
@@ -414,7 +414,12 @@ impl UpdateExecution {
     /// relation was last validated — everything else is provably unchanged.
     /// Dirty relations cover this step's own writes as well as writes and
     /// rollbacks other updates performed since our previous step.
-    fn recheck_touched(&mut self, db: &Database, view: &dyn DataView, mappings: &MappingSet) {
+    fn recheck_touched<D: ChaseData>(
+        &mut self,
+        db: &D,
+        view: &dyn DataView,
+        mappings: &MappingSet,
+    ) {
         let dirty: Vec<RelationId> = self
             .queue_index
             .keys()
@@ -480,9 +485,14 @@ impl UpdateExecution {
     /// detects the new violations they cause, re-checks queued violations, and
     /// either schedules corrective writes for the next step or emits a
     /// frontier request.
-    pub fn step(
+    ///
+    /// Generic over [`ChaseData`], like both halves below: the scheduler runs
+    /// steps directly against the [`Database`] and speculatively against a
+    /// `SpeculativeDb` overlay through the *same* code, which is what makes a
+    /// committed speculation byte-identical to a direct step.
+    pub fn step<D: ChaseData>(
         &mut self,
-        db: &mut Database,
+        db: &mut D,
         mappings: &MappingSet,
     ) -> Result<StepOutcome, ChaseError> {
         let applied = self.begin_step(db)?;
@@ -496,7 +506,10 @@ impl UpdateExecution {
     /// and runs [`Self::finish_step`] under a read lock, so analysis of
     /// different updates can overlap. Calling the two halves back to back is
     /// exactly [`Self::step`].
-    pub fn begin_step(&mut self, db: &mut Database) -> Result<Vec<AppliedWrite>, ChaseError> {
+    pub fn begin_step<D: ChaseData>(
+        &mut self,
+        db: &mut D,
+    ) -> Result<Vec<AppliedWrite>, ChaseError> {
         if self.state != UpdateState::Ready {
             return Err(ChaseError::NotReady(self.id));
         }
@@ -520,9 +533,9 @@ impl UpdateExecution {
     /// the optimistic scheduler already handles — every read this half
     /// performs is returned in the [`StepOutcome`] for logging, and a later
     /// conflict check aborts this update if one of those reads was premature.
-    pub fn finish_step(
+    pub fn finish_step<D: ChaseData>(
         &mut self,
-        db: &Database,
+        db: &D,
         mappings: &MappingSet,
         applied: Vec<AppliedWrite>,
     ) -> Result<StepOutcome, ChaseError> {
@@ -535,7 +548,7 @@ impl UpdateExecution {
         //    did since its previous step); the reference mode re-checks the
         //    whole queue after detection, like the pre-optimisation chase.
         {
-            let snap = db.snapshot(self.id);
+            let snap = db.view(self.id);
             if self.mode == ChaseMode::Incremental {
                 self.recheck_touched(db, &snap, mappings);
             }
@@ -792,9 +805,9 @@ impl UpdateExecution {
     /// Computes the repair plan for one violation: either a deterministic set
     /// of corrective writes or a frontier request, together with the
     /// correction queries that were needed to decide.
-    fn plan_repair(
+    fn plan_repair<D: ChaseData>(
         &self,
-        db: &Database,
+        db: &D,
         mappings: &MappingSet,
         violation: &Violation,
     ) -> (RepairPlan, Vec<ReadQuery>) {
@@ -807,9 +820,9 @@ impl UpdateExecution {
     /// Forward repair (Section 2.2): generate the missing RHS tuples; tuples
     /// with an existing, more specific counterpart become positive frontier
     /// tuples.
-    fn plan_forward(
+    fn plan_forward<D: ChaseData>(
         &self,
-        db: &Database,
+        db: &D,
         mappings: &MappingSet,
         violation: &Violation,
     ) -> (RepairPlan, Vec<ReadQuery>) {
@@ -833,7 +846,7 @@ impl UpdateExecution {
         }
 
         // Examine each generated tuple against the database.
-        let snap = db.snapshot(self.id);
+        let snap = db.view(self.id);
         let mut reads = Vec::new();
         let mut tuples = Vec::new();
         let mut writes = Vec::new();
@@ -880,9 +893,9 @@ impl UpdateExecution {
 
     /// Backward repair (Section 2.3): delete witness tuples. Deterministic
     /// only when there is a single candidate.
-    fn plan_backward(
+    fn plan_backward<D: ChaseData>(
         &self,
-        db: &Database,
+        db: &D,
         mappings: &MappingSet,
         violation: &Violation,
     ) -> RepairPlan {
@@ -892,7 +905,7 @@ impl UpdateExecution {
             if candidates.iter().any(|(_, existing, _)| existing == tid) {
                 continue; // self-joins repeat the same tuple
             }
-            if let Some(data) = db.visible(atom.relation, *tid, self.id) {
+            if let Some(data) = db.visible_tuple(atom.relation, *tid, self.id) {
                 candidates.push((idx, *tid, data));
             }
         }

@@ -17,6 +17,12 @@ const VISIBLE_CACHE_MAX_READERS: usize = 128;
 /// The memoised visible rows of one relation for one reader.
 type VisibleRows = Arc<Vec<(TupleId, TupleData)>>;
 
+/// Upper bound on memoised `(reader, column, value)` candidate probes per
+/// relation between writes. Probes are much more numerous than full scans
+/// (every violation-query join leg issues one), so the bound is wider than
+/// [`VISIBLE_CACHE_MAX_READERS`].
+const CANDIDATE_CACHE_MAX_ENTRIES: usize = 1024;
+
 /// Storage for the tuples of one relation.
 ///
 /// Tuples are kept in a [`BTreeMap`] keyed by [`TupleId`] so iteration order is
@@ -54,6 +60,14 @@ pub struct RelationStore {
     /// paths (`visible_count`, the join planner's `relation_size`) never pay
     /// for materialising rows.
     count_cache: Mutex<HashMap<UpdateId, usize>>,
+    /// (reader, column, value) → visible candidate rows: the per-column
+    /// *visible-value* memo. Candidate probes dominate the read half of a
+    /// chase step (one per join leg per violation query), and between writes
+    /// the same probes repeat across steps; memoising them turns the repeated
+    /// bucket-walk + version-chain filter into one hash lookup. Invalidated
+    /// exactly like the visible-set memos: a write by update `w` drops entries
+    /// of readers ≥ `w`.
+    candidate_cache: Mutex<HashMap<(UpdateId, usize, Value), VisibleRows>>,
 }
 
 impl Clone for RelationStore {
@@ -68,6 +82,7 @@ impl Clone for RelationStore {
             epoch: self.epoch,
             visible_cache: Mutex::new(HashMap::new()),
             count_cache: Mutex::new(HashMap::new()),
+            candidate_cache: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -83,6 +98,7 @@ impl RelationStore {
             epoch: 0,
             visible_cache: Mutex::new(HashMap::new()),
             count_cache: Mutex::new(HashMap::new()),
+            candidate_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -120,6 +136,10 @@ impl RelationStore {
             .get_mut()
             .unwrap_or_else(|e| e.into_inner())
             .retain(|reader, _| *reader < writer);
+        self.candidate_cache
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|(reader, _, _), _| *reader < writer);
     }
 
     fn cache(&self) -> MutexGuard<'_, HashMap<UpdateId, VisibleRows>> {
@@ -223,7 +243,9 @@ impl RelationStore {
         count
     }
 
-    /// Tuples visible to `reader` whose value at `column` equals `value`.
+    /// Tuples visible to `reader` whose value at `column` equals `value`,
+    /// memoised per `(reader, column, value)` until the next write visible to
+    /// that reader.
     ///
     /// Uses the column index as a candidate filter and re-checks against the
     /// visible version, so stale index entries are harmless.
@@ -233,12 +255,15 @@ impl RelationStore {
         value: Value,
         reader: UpdateId,
     ) -> Vec<(TupleId, TupleData)> {
-        let Some(bucket) = self.index.get(column).and_then(|m| m.get(&value)) else {
-            return Vec::new();
-        };
+        {
+            let memo = self.candidate_cache.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(rows) = memo.get(&(reader, column, value)) {
+                return (**rows).clone();
+            }
+        }
         let mut seen = Vec::new();
         let mut out = Vec::new();
-        for &tid in bucket {
+        for &tid in self.index_bucket(column, &value) {
             if seen.contains(&tid) {
                 continue;
             }
@@ -249,7 +274,20 @@ impl RelationStore {
                 }
             }
         }
+        let mut memo = self.candidate_cache.lock().unwrap_or_else(|e| e.into_inner());
+        if memo.len() >= CANDIDATE_CACHE_MAX_ENTRIES {
+            memo.clear();
+        }
+        memo.insert((reader, column, value), Arc::new(out.clone()));
         out
+    }
+
+    /// The raw column-index bucket for `value` at `column`: candidate tuple
+    /// ids in *append* order, unfiltered (stale entries included). Speculative
+    /// execution replays this exact order — bucket first, overlay appends
+    /// second — so candidate iteration matches a post-commit re-execution.
+    pub(crate) fn index_bucket(&self, column: usize, value: &Value) -> &[TupleId] {
+        self.index.get(column).and_then(|m| m.get(value)).map_or(&[], Vec::as_slice)
     }
 
     /// Removes every version created by `update`. Returns the ids of logical
@@ -462,6 +500,45 @@ mod tests {
         assert!(store.cache().contains_key(&UpdateId(2)));
         assert!(!store.cache().contains_key(&UpdateId(9)));
         assert_eq!(store.scan(UpdateId(9)).len(), 1);
+    }
+
+    #[test]
+    fn candidate_memo_is_invalidated_per_reader() {
+        let mut store = RelationStore::new(RelationId(0), 1);
+        let a = V::constant("a");
+        store.insert_new(TupleId(1), version(1, 1, Some(&[a])));
+        // Prime the memo for a low- and a high-numbered reader.
+        assert_eq!(store.candidates(0, a, UpdateId(2)).len(), 1);
+        assert_eq!(store.candidates(0, a, UpdateId(9)).len(), 1);
+        // A write by update 5 must only invalidate reader 9's memo.
+        store.insert_new(TupleId(2), version(5, 2, Some(&[a])));
+        {
+            let memo = store.candidate_cache.lock().unwrap();
+            assert!(memo.contains_key(&(UpdateId(2), 0, a)));
+            assert!(!memo.contains_key(&(UpdateId(9), 0, a)));
+        }
+        assert_eq!(store.candidates(0, a, UpdateId(2)).len(), 1);
+        assert_eq!(store.candidates(0, a, UpdateId(9)).len(), 2);
+        // Memoised and recomputed answers agree after a rollback, too.
+        store.remove_versions_of(UpdateId(5));
+        assert_eq!(store.candidates(0, a, UpdateId(9)).len(), 1);
+        // A clone starts cold but answers identically.
+        let clone = store.clone();
+        assert!(clone.candidate_cache.lock().unwrap().is_empty());
+        assert_eq!(clone.candidates(0, a, UpdateId(9)), store.candidates(0, a, UpdateId(9)));
+    }
+
+    #[test]
+    fn candidate_memo_bounds_entries() {
+        let mut store = RelationStore::new(RelationId(0), 1);
+        let a = V::constant("a");
+        store.insert_new(TupleId(1), version(1, 1, Some(&[a])));
+        for reader in 0..(2 * CANDIDATE_CACHE_MAX_ENTRIES as u64) {
+            let expected = usize::from(reader >= 1);
+            assert_eq!(store.candidates(0, a, UpdateId(reader)).len(), expected);
+        }
+        let memo = store.candidate_cache.lock().unwrap();
+        assert!(!memo.is_empty() && memo.len() <= CANDIDATE_CACHE_MAX_ENTRIES);
     }
 
     #[test]

@@ -1,0 +1,733 @@
+//! Speculative execution support: the [`ChaseData`] abstraction over what a
+//! chase step reads and writes, and [`SpeculativeDb`] — a write overlay that
+//! lets a whole chase step run against a *read-locked* base database.
+//!
+//! The deterministic scheduler commits chase steps in a fixed order, but the
+//! steps themselves are pure functions of (a) the data they read and (b) the
+//! ids they allocate. A speculative step therefore runs against the committed
+//! base through this overlay: writes land in a private buffer that shadows the
+//! base tuple-by-tuple, id allocators advance private counters seeded from the
+//! base, and *every* base observation — scans, candidate probes, epoch
+//! checks, null-occurrence queries — records the touched relation's write
+//! epoch into a [`SpeculationReadSet`]. At commit time the sequencer replays
+//! the validation in one integer-compare pass: if no recorded epoch (and no
+//! consulted allocator) moved since the speculation ran, re-executing the step
+//! now would read exactly the same data and produce byte-identical results, so
+//! the buffered outcome can be committed as-is; otherwise it is discarded and
+//! the step re-executes for real.
+//!
+//! Exactness matters more than it may look: chase analysis stamps relation
+//! epochs into its violation queue and memoised repair plans, and candidate
+//! probes observe the column index's *append order* (not tuple-id order). The
+//! overlay reproduces both — overlay epochs continue the base epoch per
+//! mutation, and candidate iteration walks the base index bucket first and the
+//! overlay's appended entries second, with the same first-occurrence dedup the
+//! real index uses — so a committed speculation leaves the execution in the
+//! same state, bit for bit, as a non-speculative step would have.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::database::Database;
+use crate::error::StorageError;
+use crate::schema::{Catalog, RelationId};
+use crate::snapshot::{DataView, Snapshot};
+use crate::tuple::{self, TupleData, TupleId};
+use crate::value::{NullId, Value};
+use crate::version::{AppliedWrite, TupleChange, UpdateId, Write};
+
+/// What a chase step needs from its data source: visibility-filtered reads,
+/// relation write epochs, and id allocation. Implemented by [`Database`]
+/// (direct execution) and [`SpeculativeDb`] (speculative execution against a
+/// read-locked base); `UpdateExecution::begin_step` / `finish_step` are
+/// generic over it so both paths run the *same* chase code.
+pub trait ChaseData {
+    /// The read view handed to query evaluation.
+    type View<'a>: DataView
+    where
+        Self: 'a;
+
+    /// A visibility-filtered view for `reader`.
+    fn view(&self, reader: UpdateId) -> Self::View<'_>;
+
+    /// The relation's write epoch (see [`Database::relation_epoch`]).
+    fn relation_epoch(&self, relation: RelationId) -> u64;
+
+    /// Allocates a fresh labeled null.
+    fn fresh_null(&self) -> NullId;
+
+    /// Data of one tuple as visible to `reader`.
+    fn visible_tuple(
+        &self,
+        relation: RelationId,
+        tuple: TupleId,
+        reader: UpdateId,
+    ) -> Option<TupleData>;
+
+    /// Applies a batch of writes on behalf of `writer`.
+    fn apply_all_owned(
+        &mut self,
+        writes: Vec<Write>,
+        writer: UpdateId,
+    ) -> Result<Vec<AppliedWrite>, StorageError>;
+}
+
+impl ChaseData for Database {
+    type View<'a> = Snapshot<'a>;
+
+    fn view(&self, reader: UpdateId) -> Snapshot<'_> {
+        self.snapshot(reader)
+    }
+
+    fn relation_epoch(&self, relation: RelationId) -> u64 {
+        Database::relation_epoch(self, relation)
+    }
+
+    fn fresh_null(&self) -> NullId {
+        Database::fresh_null(self)
+    }
+
+    fn visible_tuple(
+        &self,
+        relation: RelationId,
+        tuple: TupleId,
+        reader: UpdateId,
+    ) -> Option<TupleData> {
+        self.visible(relation, tuple, reader)
+    }
+
+    fn apply_all_owned(
+        &mut self,
+        writes: Vec<Write>,
+        writer: UpdateId,
+    ) -> Result<Vec<AppliedWrite>, StorageError> {
+        Database::apply_all_owned(self, writes, writer)
+    }
+}
+
+/// Everything a speculative step observed, reduced to the integer compares
+/// that decide whether its buffered outcome is still exact.
+#[derive(Clone, Debug)]
+pub struct SpeculationReadSet {
+    /// Relation → base write epoch at observation time. Any mutation of a
+    /// listed relation since then invalidates the speculation.
+    reads: BTreeMap<RelationId, u64>,
+    base_tuple: u64,
+    tuples_allocated: u64,
+    base_null: u64,
+    nulls_minted: u64,
+}
+
+impl SpeculationReadSet {
+    /// Whether re-executing the step against `db` now would read exactly what
+    /// the speculation read: no observed relation epoch moved, and — when the
+    /// speculation allocated ids — the allocators still sit where it left
+    /// them, so the buffered outcome embeds the very ids a real run would
+    /// assign.
+    pub fn still_valid(&self, db: &Database) -> bool {
+        if self.tuples_allocated > 0 && db.wal_counters().0 != self.base_tuple {
+            return false;
+        }
+        if self.nulls_minted > 0 && db.null_counter() != self.base_null {
+            return false;
+        }
+        self.reads.iter().all(|(relation, epoch)| db.relation_epoch(*relation) == *epoch)
+    }
+
+    /// Advances the real null allocator past the ids the speculation minted.
+    /// Committing re-applies the buffered *writes* (which re-allocates tuple
+    /// ids and sequence numbers), but null minting happens during repair
+    /// planning, which a commit does not re-run.
+    pub fn commit_allocators(&self, db: &Database) {
+        for _ in 0..self.nulls_minted {
+            db.fresh_null();
+        }
+    }
+
+    /// Number of relations whose epoch the speculation depends on.
+    pub fn relations_read(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of labeled nulls the speculation minted.
+    pub fn nulls_minted(&self) -> u64 {
+        self.nulls_minted
+    }
+}
+
+/// A write overlay over a read-locked [`Database`], recording every base
+/// observation. See the module docs for the validation model.
+///
+/// The overlay is single-consumer by construction (one speculating worker owns
+/// it for one step), so observation recording uses `Cell`/`RefCell` rather
+/// than locks; views are only ever taken for the speculating update itself.
+pub struct SpeculativeDb<'db> {
+    base: &'db Database,
+    writer: UpdateId,
+    /// Tuple → (relation, current overlay data); `None` data is a tombstone.
+    /// Only tuples the speculation wrote appear here.
+    touched: HashMap<TupleId, (RelationId, Option<TupleData>)>,
+    /// Overlay-inserted tuple ids per relation, in id order. All overlay ids
+    /// are ≥ the base's `next_tuple`, so they sort after every base row.
+    inserted: HashMap<RelationId, BTreeSet<TupleId>>,
+    /// Mirror of the column index's *appended* entries: candidate iteration
+    /// replays the base bucket first, then these, in application order.
+    index_events: HashMap<(RelationId, usize, Value), Vec<TupleId>>,
+    /// Mirror of the null-occurrence index for overlay writes.
+    null_mentions: HashMap<NullId, BTreeSet<TupleId>>,
+    /// Overlay mutations per relation; overlay epoch = base epoch + bumps,
+    /// which is exactly where the real epoch lands after a commit.
+    epoch_bumps: HashMap<RelationId, u64>,
+    base_tuple: u64,
+    next_tuple: u64,
+    base_null: u64,
+    minted_nulls: Cell<u64>,
+    next_seq: u64,
+    reads: RefCell<BTreeMap<RelationId, u64>>,
+}
+
+impl<'db> SpeculativeDb<'db> {
+    /// Starts an empty overlay for one step of `writer` against `base`.
+    pub fn new(base: &'db Database, writer: UpdateId) -> SpeculativeDb<'db> {
+        let (next_tuple, next_null, next_seq) = base.wal_counters();
+        SpeculativeDb {
+            base,
+            writer,
+            touched: HashMap::new(),
+            inserted: HashMap::new(),
+            index_events: HashMap::new(),
+            null_mentions: HashMap::new(),
+            epoch_bumps: HashMap::new(),
+            base_tuple: next_tuple,
+            next_tuple,
+            base_null: next_null,
+            minted_nulls: Cell::new(0),
+            next_seq,
+            reads: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// Finishes the speculation, returning what it observed.
+    pub fn into_read_set(self) -> SpeculationReadSet {
+        SpeculationReadSet {
+            reads: self.reads.into_inner(),
+            base_tuple: self.base_tuple,
+            tuples_allocated: self.next_tuple - self.base_tuple,
+            base_null: self.base_null,
+            nulls_minted: self.minted_nulls.get(),
+        }
+    }
+
+    /// Records that the step's outcome depends on `relation`'s base contents.
+    fn record(&self, relation: RelationId) {
+        let mut reads = self.reads.borrow_mut();
+        reads.entry(relation).or_insert_with(|| self.base.relation_epoch(relation));
+    }
+
+    /// Records a dependency on *every* relation (null-occurrence queries and
+    /// null-replacement writes scan the whole database).
+    fn record_all(&self) {
+        for relation in self.base.catalog().relation_ids() {
+            self.record(relation);
+        }
+    }
+
+    fn note_overlay_mutation(&mut self, relation: RelationId) {
+        *self.epoch_bumps.entry(relation).or_default() += 1;
+    }
+
+    fn visible_in(
+        &self,
+        relation: RelationId,
+        tuple: TupleId,
+        reader: UpdateId,
+    ) -> Option<TupleData> {
+        if reader >= self.writer {
+            if let Some((rel, data)) = self.touched.get(&tuple) {
+                if *rel == relation {
+                    return data.clone();
+                }
+            }
+        }
+        self.base.visible(relation, tuple, reader)
+    }
+
+    fn register_nulls(&mut self, tuple: TupleId, data: &TupleData) {
+        for null in tuple::nulls_of(data) {
+            self.null_mentions.entry(null).or_default().insert(tuple);
+        }
+    }
+
+    fn index_values(&mut self, relation: RelationId, tuple: TupleId, data: &TupleData) {
+        for (col, value) in data.iter().enumerate() {
+            let bucket = self.index_events.entry((relation, col, *value)).or_default();
+            if bucket.last() != Some(&tuple) {
+                bucket.push(tuple);
+            }
+        }
+    }
+
+    /// Mirrors [`Database::apply`] against the overlay, change for change and
+    /// epoch bump for epoch bump.
+    fn apply(&mut self, write: &Write) -> Result<Vec<TupleChange>, StorageError> {
+        match write {
+            Write::Insert { relation, values } => {
+                let schema_arity = self.base.catalog().try_schema(*relation)?.arity();
+                if values.len() != schema_arity {
+                    return Err(StorageError::ArityMismatch {
+                        relation: *relation,
+                        expected: schema_arity,
+                        actual: values.len(),
+                    });
+                }
+                let tuple = TupleId(self.next_tuple);
+                self.next_tuple += 1;
+                self.next_seq += 1;
+                let data: TupleData = values.clone().into();
+                self.register_nulls(tuple, &data);
+                self.index_values(*relation, tuple, &data);
+                self.touched.insert(tuple, (*relation, Some(data.clone())));
+                self.inserted.entry(*relation).or_default().insert(tuple);
+                self.note_overlay_mutation(*relation);
+                Ok(vec![TupleChange::Inserted { relation: *relation, tuple, values: data }])
+            }
+            Write::Delete { relation, tuple } => {
+                // A delete's no-op checks read the target relation.
+                self.record(*relation);
+                let store = self
+                    .base
+                    .version_store()
+                    .relation(*relation)
+                    .ok_or(StorageError::UnknownRelation(*relation))?;
+                let known = store.contains(*tuple)
+                    || self.touched.get(tuple).is_some_and(|(rel, _)| rel == relation);
+                if !known {
+                    return Ok(Vec::new());
+                }
+                let Some(old) = self.visible_in(*relation, *tuple, self.writer) else {
+                    return Ok(Vec::new());
+                };
+                self.next_seq += 1;
+                self.touched.insert(*tuple, (*relation, None));
+                self.note_overlay_mutation(*relation);
+                Ok(vec![TupleChange::Deleted { relation: *relation, tuple: *tuple, old }])
+            }
+            Write::NullReplace { null, replacement } => {
+                // Replacement walks the global null index: depend on everything.
+                self.record_all();
+                let mut subst = HashMap::new();
+                subst.insert(*null, *replacement);
+                let mut affected: BTreeSet<TupleId> =
+                    self.base.version_store().tuples_mentioning(*null).into_iter().collect();
+                if let Some(extra) = self.null_mentions.get(null) {
+                    affected.extend(extra.iter().copied());
+                }
+                let mut changes = Vec::new();
+                for tuple in affected {
+                    let relation = match self.touched.get(&tuple) {
+                        Some((rel, _)) => *rel,
+                        None => match self.base.tuple_relation(tuple) {
+                            Some(rel) => rel,
+                            None => continue,
+                        },
+                    };
+                    let Some(old) = self.visible_in(relation, tuple, self.writer) else {
+                        continue;
+                    };
+                    let (new_values, changed) = tuple::substitute_nulls(&old, &subst);
+                    if !changed {
+                        continue;
+                    }
+                    let new: TupleData = new_values.into();
+                    self.next_seq += 1;
+                    self.register_nulls(tuple, &new);
+                    self.index_values(relation, tuple, &new);
+                    self.touched.insert(tuple, (relation, Some(new.clone())));
+                    self.note_overlay_mutation(relation);
+                    changes.push(TupleChange::Modified { relation, tuple, old, new });
+                }
+                Ok(changes)
+            }
+        }
+    }
+}
+
+impl ChaseData for SpeculativeDb<'_> {
+    type View<'a>
+        = SpeculativeView<'a>
+    where
+        Self: 'a;
+
+    fn view(&self, reader: UpdateId) -> SpeculativeView<'_> {
+        debug_assert_eq!(
+            reader, self.writer,
+            "speculative views exist only for the speculating update"
+        );
+        SpeculativeView { db: self, reader }
+    }
+
+    fn relation_epoch(&self, relation: RelationId) -> u64 {
+        self.record(relation);
+        self.base.relation_epoch(relation) + self.epoch_bumps.get(&relation).copied().unwrap_or(0)
+    }
+
+    fn fresh_null(&self) -> NullId {
+        let minted = self.minted_nulls.get();
+        self.minted_nulls.set(minted + 1);
+        NullId(self.base_null + minted)
+    }
+
+    fn visible_tuple(
+        &self,
+        relation: RelationId,
+        tuple: TupleId,
+        reader: UpdateId,
+    ) -> Option<TupleData> {
+        self.record(relation);
+        self.visible_in(relation, tuple, reader)
+    }
+
+    fn apply_all_owned(
+        &mut self,
+        writes: Vec<Write>,
+        writer: UpdateId,
+    ) -> Result<Vec<AppliedWrite>, StorageError> {
+        debug_assert_eq!(writer, self.writer, "overlay writes belong to the speculating update");
+        let mut out = Vec::with_capacity(writes.len());
+        for w in writes {
+            let seq = self.next_seq;
+            let changes = self.apply(&w)?;
+            out.push(AppliedWrite { update: writer, seq, write: w, changes });
+        }
+        Ok(out)
+    }
+}
+
+/// The [`DataView`] over a [`SpeculativeDb`]: base rows with the overlay's
+/// writes shadowed in, every access recorded.
+pub struct SpeculativeView<'a> {
+    db: &'a SpeculativeDb<'a>,
+    reader: UpdateId,
+}
+
+impl DataView for SpeculativeView<'_> {
+    fn catalog(&self) -> &Catalog {
+        self.db.base.catalog()
+    }
+
+    fn tuple(&self, relation: RelationId, tuple: TupleId) -> Option<TupleData> {
+        self.db.record(relation);
+        self.db.visible_in(relation, tuple, self.reader)
+    }
+
+    fn scan(&self, relation: RelationId) -> Vec<(TupleId, TupleData)> {
+        self.db.record(relation);
+        let mut rows: Vec<(TupleId, TupleData)> = self
+            .db
+            .base
+            .scan(relation, self.reader)
+            .into_iter()
+            .filter_map(|(id, data)| match self.db.touched.get(&id) {
+                Some((rel, None)) if *rel == relation => None,
+                Some((rel, Some(new))) if *rel == relation => Some((id, new.clone())),
+                _ => Some((id, data)),
+            })
+            .collect();
+        // Overlay inserts carry ids above every base row: appending them in id
+        // order preserves the scan's global id order.
+        if let Some(ids) = self.db.inserted.get(&relation) {
+            for &id in ids {
+                if let Some((_, Some(data))) = self.db.touched.get(&id) {
+                    rows.push((id, data.clone()));
+                }
+            }
+        }
+        rows
+    }
+
+    fn candidates(
+        &self,
+        relation: RelationId,
+        column: usize,
+        value: Value,
+    ) -> Vec<(TupleId, TupleData)> {
+        self.db.record(relation);
+        let Some(store) = self.db.base.version_store().relation(relation) else {
+            return Vec::new();
+        };
+        // Candidate order is the index bucket's *append* order, which analysis
+        // outcomes depend on: walk the base bucket, then the overlay's
+        // appended entries, with the same first-occurrence dedup the real
+        // index applies after a commit.
+        let events = self.db.index_events.get(&(relation, column, value));
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        let bucket = store.index_bucket(column, &value);
+        for &tid in bucket.iter().chain(events.into_iter().flatten()) {
+            if seen.contains(&tid) {
+                continue;
+            }
+            seen.push(tid);
+            if let Some(data) = self.db.visible_in(relation, tid, self.reader) {
+                if data.get(column) == Some(&value) {
+                    out.push((tid, data));
+                }
+            }
+        }
+        out
+    }
+
+    fn null_occurrences(&self, null: NullId) -> Vec<(RelationId, TupleId, TupleData)> {
+        self.db.record_all();
+        let mut affected: BTreeSet<TupleId> =
+            self.db.base.version_store().tuples_mentioning(null).into_iter().collect();
+        if let Some(extra) = self.db.null_mentions.get(&null) {
+            affected.extend(extra.iter().copied());
+        }
+        let mut out = Vec::new();
+        for tuple in affected {
+            let relation = match self.db.touched.get(&tuple) {
+                Some((rel, _)) => *rel,
+                None => match self.db.base.tuple_relation(tuple) {
+                    Some(rel) => rel,
+                    None => continue,
+                },
+            };
+            if let Some(data) = self.db.visible_in(relation, tuple, self.reader) {
+                if tuple::contains_null(&data, null) {
+                    out.push((relation, tuple, data));
+                }
+            }
+        }
+        out
+    }
+
+    fn relation_size(&self, relation: RelationId) -> usize {
+        self.db.record(relation);
+        let mut count = self.db.base.visible_count(relation, self.reader);
+        if self.reader >= self.db.writer {
+            for (id, (rel, data)) in &self.db.touched {
+                if *rel != relation {
+                    continue;
+                }
+                let overlay_new = id.0 >= self.db.base_tuple;
+                match (overlay_new, data) {
+                    (true, Some(_)) => count += 1,
+                    (false, None) => count -= 1,
+                    _ => {}
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value as V;
+
+    fn fixture() -> (Database, RelationId, RelationId) {
+        let mut db = Database::new();
+        let r = db.add_relation("R", ["a", "b"]).unwrap();
+        let s = db.add_relation("S", ["x"]).unwrap();
+        db.insert_by_name("R", &["a", "b"], UpdateId(1));
+        db.insert_by_name("R", &["a", "c"], UpdateId(1));
+        db.insert_by_name("S", &["w"], UpdateId(2));
+        (db, r, s)
+    }
+
+    /// Applying the same writes to the overlay and to a database clone must
+    /// produce identical reads through every view method.
+    fn assert_views_match(db: &Database, spec: &SpeculativeDb<'_>, reader: UpdateId) {
+        let real = db.snapshot(reader);
+        let overlay = spec.view(reader);
+        for relation in db.catalog().relation_ids() {
+            assert_eq!(real.scan(relation), overlay.scan(relation), "scan {relation:?}");
+            assert_eq!(
+                real.relation_size(relation),
+                overlay.relation_size(relation),
+                "size {relation:?}"
+            );
+            for (_, data) in real.scan(relation) {
+                for (col, value) in data.iter().enumerate() {
+                    assert_eq!(
+                        real.candidates(relation, col, *value),
+                        overlay.candidates(relation, col, *value),
+                        "candidates {relation:?} {col} {value:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_insert_matches_real_apply() {
+        let (base, r, _) = fixture();
+        let mut real = base.clone();
+        let mut spec = SpeculativeDb::new(&base, UpdateId(5));
+        let writes = vec![
+            Write::Insert { relation: r, values: vec![V::constant("n"), V::constant("m")] },
+            Write::Insert { relation: r, values: vec![V::constant("a"), V::constant("z")] },
+        ];
+        let spec_applied = spec.apply_all_owned(writes.clone(), UpdateId(5)).unwrap();
+        let real_applied = real.apply_all_owned(writes, UpdateId(5)).unwrap();
+        assert_eq!(spec_applied.len(), real_applied.len());
+        for (s, r) in spec_applied.iter().zip(real_applied.iter()) {
+            assert_eq!(s.seq, r.seq);
+            assert_eq!(format!("{:?}", s.changes), format!("{:?}", r.changes));
+        }
+        assert_eq!(ChaseData::relation_epoch(&spec, r), real.relation_epoch(r));
+        assert_views_match(&real, &spec, UpdateId(5));
+    }
+
+    #[test]
+    fn overlay_delete_and_modify_match_real_apply() {
+        let (mut base, r, s) = fixture();
+        let x = base.fresh_null();
+        base.apply(
+            &Write::Insert { relation: r, values: vec![V::Null(x), V::constant("k")] },
+            UpdateId(2),
+        )
+        .unwrap();
+        base.apply(&Write::Insert { relation: s, values: vec![V::Null(x)] }, UpdateId(2)).unwrap();
+        let victim = base.scan(r, UpdateId::OMNISCIENT)[0].0;
+
+        let mut real = base.clone();
+        let mut spec = SpeculativeDb::new(&base, UpdateId(6));
+        let writes = vec![
+            Write::Delete { relation: r, tuple: victim },
+            Write::NullReplace { null: x, replacement: V::constant("NYC") },
+            // Deleting an invisible tuple stays a no-op through the overlay.
+            Write::Delete { relation: r, tuple: victim },
+        ];
+        let spec_applied = spec.apply_all_owned(writes.clone(), UpdateId(6)).unwrap();
+        let real_applied = real.apply_all_owned(writes, UpdateId(6)).unwrap();
+        for (sw, rw) in spec_applied.iter().zip(real_applied.iter()) {
+            assert_eq!(format!("{:?}", sw.changes), format!("{:?}", rw.changes));
+        }
+        for relation in [r, s] {
+            assert_eq!(
+                ChaseData::relation_epoch(&spec, relation),
+                real.relation_epoch(relation),
+                "epoch {relation:?}"
+            );
+        }
+        assert_views_match(&real, &spec, UpdateId(6));
+        assert_eq!(
+            spec.view(UpdateId(6)).null_occurrences(x),
+            real.snapshot(UpdateId(6)).null_occurrences(x)
+        );
+    }
+
+    #[test]
+    fn overlay_nulls_and_inserts_feed_later_replacements() {
+        let (base, r, _) = fixture();
+        let mut real = base.clone();
+        let mut spec = SpeculativeDb::new(&base, UpdateId(7));
+        // Mint a null exactly as repair planning would, then insert with it
+        // and replace it — the replacement must find the overlay insert.
+        let spec_null = ChaseData::fresh_null(&spec);
+        let real_null = real.fresh_null();
+        assert_eq!(spec_null, real_null);
+        let writes = vec![
+            Write::Insert { relation: r, values: vec![V::Null(spec_null), V::constant("q")] },
+            Write::NullReplace { null: spec_null, replacement: V::constant("resolved") },
+        ];
+        let spec_applied = spec.apply_all_owned(writes.clone(), UpdateId(7)).unwrap();
+        let real_applied = real.apply_all_owned(writes, UpdateId(7)).unwrap();
+        assert_eq!(spec_applied.len(), real_applied.len());
+        assert_eq!(
+            format!("{:?}", spec_applied.last().unwrap().changes),
+            format!("{:?}", real_applied.last().unwrap().changes),
+            "the replacement must rewrite the overlay-inserted tuple"
+        );
+        assert_views_match(&real, &spec, UpdateId(7));
+    }
+
+    #[test]
+    fn read_set_validation_detects_conflicting_commits() {
+        let (mut base, r, s) = fixture();
+        let spec = {
+            let spec = SpeculativeDb::new(&base, UpdateId(5));
+            let view = spec.view(UpdateId(5));
+            view.scan(r);
+            spec
+        };
+        let reads = spec.into_read_set();
+        assert!(reads.still_valid(&base));
+        assert_eq!(reads.relations_read(), 1, "only R was observed");
+        // A commit into the *unread* relation leaves the speculation valid;
+        // one into the read relation invalidates it.
+        base.insert_by_name("S", &["other"], UpdateId(3));
+        assert!(reads.still_valid(&base), "writes to S are irrelevant: {s:?} unread");
+        base.insert_by_name("R", &["p", "q"], UpdateId(3));
+        assert!(!reads.still_valid(&base));
+    }
+
+    #[test]
+    fn read_set_validates_allocators() {
+        let (base, r, _) = fixture();
+        // Tuple allocation: any interleaved insert shifts predicted ids.
+        let mut spec = SpeculativeDb::new(&base, UpdateId(5));
+        spec.apply_all_owned(
+            vec![Write::Insert { relation: r, values: vec![V::constant("x"), V::constant("y")] }],
+            UpdateId(5),
+        )
+        .unwrap();
+        let reads = spec.into_read_set();
+        let mut moved = base.clone();
+        moved.insert_by_name("S", &["w2"], UpdateId(3));
+        assert!(!reads.still_valid(&moved), "tuple counter moved");
+
+        // Null minting: validation pins the counter, commit advances it.
+        let spec = SpeculativeDb::new(&base, UpdateId(5));
+        let _ = ChaseData::fresh_null(&spec);
+        let _ = ChaseData::fresh_null(&spec);
+        let reads = spec.into_read_set();
+        assert_eq!(reads.nulls_minted(), 2);
+        assert!(reads.still_valid(&base));
+        reads.commit_allocators(&base);
+        assert!(!reads.still_valid(&base), "commit consumed the minted ids");
+        assert_eq!(base.null_counter(), 2, "the two minted ids are consumed");
+    }
+
+    #[test]
+    fn epoch_observations_are_recorded_as_reads() {
+        let (mut base, r, _) = fixture();
+        let spec = SpeculativeDb::new(&base, UpdateId(5));
+        // An epoch probe alone (as the violation queue's revalidation does)
+        // must pin the relation.
+        let _ = ChaseData::relation_epoch(&spec, r);
+        let reads = spec.into_read_set();
+        assert!(reads.still_valid(&base));
+        base.insert_by_name("R", &["e", "f"], UpdateId(3));
+        assert!(!reads.still_valid(&base));
+    }
+
+    #[test]
+    fn candidate_order_follows_index_append_order() {
+        // A null replacement re-indexes the rewritten tuple *late*: its bucket
+        // position differs from its id order, and the overlay must agree.
+        let mut base = Database::new();
+        let r = base.add_relation("R", ["a"]).unwrap();
+        let x = base.fresh_null();
+        base.apply(&Write::Insert { relation: r, values: vec![V::Null(x)] }, UpdateId(1)).unwrap();
+        base.insert_by_name("R", &["hit"], UpdateId(1));
+
+        let mut real = base.clone();
+        let mut spec = SpeculativeDb::new(&base, UpdateId(4));
+        let writes = vec![Write::NullReplace { null: x, replacement: V::constant("hit") }];
+        spec.apply_all_owned(writes.clone(), UpdateId(4)).unwrap();
+        real.apply_all_owned(writes, UpdateId(4)).unwrap();
+
+        let real_rows = real.snapshot(UpdateId(4)).candidates(r, 0, V::constant("hit"));
+        let spec_rows = spec.view(UpdateId(4)).candidates(r, 0, V::constant("hit"));
+        assert_eq!(real_rows, spec_rows);
+        assert_eq!(real_rows.len(), 2);
+        // The rewritten tuple (id 0) was appended after the original hit
+        // (id 1): bucket order, not id order.
+        assert_eq!(real_rows[0].0, TupleId(1));
+        assert_eq!(real_rows[1].0, TupleId(0));
+    }
+}

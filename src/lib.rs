@@ -74,8 +74,8 @@ pub use youtopia_workload as workload;
 
 pub use youtopia_concurrency::{
     AnswerOutcome, ConcurrentRun, DurabilityConfig, EngineConfig, ExchangeConfig, ExchangeEngine,
-    ParallelRun, RecoveryError, ResolverPump, RunMetrics, SchedulerConfig, SubmitError,
-    TrackerKind, UpdateExchange, UpdateHandle, UpdateStatus,
+    ParallelRun, RecoveryError, ResolverPump, RunMetrics, SchedulerConfig, SpeculationMode,
+    SubmitError, TrackerKind, UpdateExchange, UpdateHandle, UpdateStatus,
 };
 pub use youtopia_core::{
     ChaseError, ExpandResolver, FrontierDecision, FrontierRequest, FrontierResolver, FrontierToken,

@@ -20,7 +20,9 @@ use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use youtopia::chase::ChaseMode;
-use youtopia::concurrency::{EngineConfig, RunMetrics, SchedulerConfig, SchedulingPolicy};
+use youtopia::concurrency::{
+    EngineConfig, RunMetrics, SchedulerConfig, SchedulingPolicy, SpeculationMode,
+};
 use youtopia::mappings::satisfies_all;
 use youtopia::workload::{
     build_fixture, generate_workload, run_single, ArrivalProcess, ExperimentConfig, WorkloadKind,
@@ -31,9 +33,16 @@ use youtopia::{
     Value,
 };
 
-/// Strips the wall-clock field so metrics compare byte-exactly.
+/// Strips the wall-clock field and the speculation counters so metrics
+/// compare byte-exactly: how many steps were *pre-executed* is a scheduling
+/// artefact (it depends on worker timing), but everything those steps
+/// committed — steps, changes, aborts, conflict requests — must be identical
+/// to the reference.
 fn scrub(mut m: RunMetrics) -> RunMetrics {
     m.wall_time = std::time::Duration::ZERO;
+    m.speculations_started = 0;
+    m.speculations_committed = 0;
+    m.speculations_discarded = 0;
     m
 }
 
@@ -91,32 +100,46 @@ fn engine_matches_reference(
     let ref_abort_set: BTreeSet<UpdateId> =
         ref_stats.iter().filter(|(_, s)| s.restarts > 0).map(|(id, _)| *id).collect();
 
-    for workers in [1usize, 2, 4] {
-        let engine = ExchangeEngine::new(
-            fixture.initial_db.clone(),
-            fixture.mappings.clone(),
-            EngineConfig::default()
-                .with_scheduler(scheduler.with_workers(workers))
-                .with_first_update_number(first_number),
-        );
-        let handles = engine.submit_batch(ops.clone()).expect("uncapped submission");
-        let mut resolver = RandomResolver::seeded(seed ^ 0xE61E);
-        ResolverPump::new(&engine, &mut resolver).run_until_quiescent().unwrap();
-        let label = format!(
-            "seed {seed}, {tracker}, {kind}, {policy:?}, {chase_mode:?}, {workers} workers"
-        );
-        for handle in &handles {
-            assert_eq!(handle.status(), UpdateStatus::Terminated, "{label}: {:?}", handle.id());
-            assert!(handle.report().expect("terminated").terminated, "{label}");
+    for speculation in [SpeculationMode::Off, SpeculationMode::Eager] {
+        for workers in [1usize, 2, 4] {
+            let engine = ExchangeEngine::new(
+                fixture.initial_db.clone(),
+                fixture.mappings.clone(),
+                EngineConfig::default()
+                    .with_scheduler(scheduler.with_workers(workers).with_speculation(speculation))
+                    .with_first_update_number(first_number),
+            );
+            let handles = engine.submit_batch(ops.clone()).expect("uncapped submission");
+            let mut resolver = RandomResolver::seeded(seed ^ 0xE61E);
+            ResolverPump::new(&engine, &mut resolver).run_until_quiescent().unwrap();
+            let label = format!(
+                "seed {seed}, {tracker}, {kind}, {policy:?}, {chase_mode:?}, \
+                 {workers} workers, {speculation:?}"
+            );
+            for handle in &handles {
+                assert_eq!(handle.status(), UpdateStatus::Terminated, "{label}: {:?}", handle.id());
+                assert!(handle.report().expect("terminated").terminated, "{label}");
+            }
+            let stats = engine.update_stats();
+            assert_eq!(stats, ref_stats, "{label}: per-update stats");
+            let abort_set: BTreeSet<UpdateId> =
+                stats.iter().filter(|(_, s)| s.restarts > 0).map(|(id, _)| *id).collect();
+            assert_eq!(abort_set, ref_abort_set, "{label}: abort set");
+            let (db, _, metrics) = engine.shutdown();
+            // Speculation bookkeeping must balance, and a non-speculative
+            // configuration (mode off, or a single worker that always owns
+            // the sequencer) must not speculate at all.
+            assert_eq!(
+                metrics.speculations_started,
+                metrics.speculations_committed + metrics.speculations_discarded,
+                "{label}: speculation counters balance"
+            );
+            if speculation == SpeculationMode::Off || workers < 2 {
+                assert_eq!(metrics.speculations_started, 0, "{label}: no speculation");
+            }
+            assert_eq!(scrub(metrics), scrub(ref_metrics.clone()), "{label}: metrics");
+            assert_eq!(render(&db), render(&ref_db), "{label}: final database state");
         }
-        let stats = engine.update_stats();
-        assert_eq!(stats, ref_stats, "{label}: per-update stats");
-        let abort_set: BTreeSet<UpdateId> =
-            stats.iter().filter(|(_, s)| s.restarts > 0).map(|(id, _)| *id).collect();
-        assert_eq!(abort_set, ref_abort_set, "{label}: abort set");
-        let (db, _, metrics) = engine.shutdown();
-        assert_eq!(scrub(metrics), scrub(ref_metrics.clone()), "{label}: metrics");
-        assert_eq!(render(&db), render(&ref_db), "{label}: final database state");
     }
 }
 

@@ -64,9 +64,14 @@ impl Drop for TempDir {
     }
 }
 
-/// Strips the wall-clock field so metrics compare byte-exactly.
+/// Strips the wall-clock field — and the speculation counters, which measure
+/// *pre*-execution attempts and so vary with worker timing (and reset to zero
+/// across a recovery) — so metrics compare byte-exactly.
 fn scrub(mut m: RunMetrics) -> RunMetrics {
     m.wall_time = Duration::ZERO;
+    m.speculations_started = 0;
+    m.speculations_committed = 0;
+    m.speculations_discarded = 0;
     m
 }
 
@@ -95,6 +100,7 @@ struct ReferenceRun {
     mappings: MappingSet,
     config: EngineConfig,
     snapshot_every: u64,
+    group_commit: usize,
 }
 
 fn abort_set(stats: &[(UpdateId, UpdateStats)]) -> BTreeSet<UpdateId> {
@@ -105,7 +111,7 @@ fn abort_set(stats: &[(UpdateId, UpdateStats)]) -> BTreeSet<UpdateId> {
 /// `dir`, submitting in small waves with a resolver pump in between so the
 /// log interleaves `Submit` and `Answer` records, and returns the reference
 /// observables plus the surviving durable artifacts.
-fn reference_run(seed: u64, dir: &Path, snapshot_every: u64) -> ReferenceRun {
+fn reference_run(seed: u64, dir: &Path, snapshot_every: u64, group_commit: usize) -> ReferenceRun {
     let mut experiment = ExperimentConfig::tiny();
     experiment.seed = seed;
     let fixture = build_fixture(&experiment).expect("fixture builds");
@@ -130,7 +136,9 @@ fn reference_run(seed: u64, dir: &Path, snapshot_every: u64) -> ReferenceRun {
                 .with_workers(2),
         )
         .with_first_update_number(first_number);
-    let durability = DurabilityConfig::new(dir).with_snapshot_every(snapshot_every);
+    let durability = DurabilityConfig::new(dir)
+        .with_snapshot_every(snapshot_every)
+        .with_group_commit(group_commit);
     let engine = ExchangeEngine::new_durable(
         fixture.initial_db.clone(),
         fixture.mappings.clone(),
@@ -163,6 +171,7 @@ fn reference_run(seed: u64, dir: &Path, snapshot_every: u64) -> ReferenceRun {
         mappings,
         config,
         snapshot_every,
+        group_commit,
     }
 }
 
@@ -274,7 +283,9 @@ fn recover_refeed_and_compare(
     tail: &[WalRecord],
     label: &str,
 ) {
-    let durability = DurabilityConfig::new(dir).with_snapshot_every(reference.snapshot_every);
+    let durability = DurabilityConfig::new(dir)
+        .with_snapshot_every(reference.snapshot_every)
+        .with_group_commit(reference.group_commit);
     let engine = ExchangeEngine::recover(reference.mappings.clone(), reference.config, durability)
         .unwrap_or_else(|e| panic!("{label}: recovery failed: {e}"));
     refeed(&engine, tail, label);
@@ -294,9 +305,13 @@ fn recover_refeed_and_compare(
 /// Cuts the reference log after each record, recovers from the prefix, and
 /// re-feeds the suffix. With `snapshot_every` large enough that only
 /// snapshot 0 exists, this covers **every** prefix of the logged run.
-fn recovery_matches_reference_at_every_boundary(seed: u64, snapshot_every: u64) {
+fn recovery_matches_reference_at_every_boundary(
+    seed: u64,
+    snapshot_every: u64,
+    group_commit: usize,
+) {
     let ref_dir = TempDir::new("ref");
-    let reference = reference_run(seed, ref_dir.path(), snapshot_every);
+    let reference = reference_run(seed, ref_dir.path(), snapshot_every, group_commit);
     let n = reference.records.len();
 
     let scratch = TempDir::new("scratch");
@@ -337,14 +352,32 @@ proptest! {
     /// Crash at any acknowledged record: recover + re-feed ≡ never crashed.
     #[test]
     fn recovery_is_byte_identical_at_every_record_boundary(seed in 0u64..10_000) {
-        recovery_matches_reference_at_every_boundary(seed, 1_000_000);
+        recovery_matches_reference_at_every_boundary(seed, 1_000_000, 1);
+    }
+
+    /// The same prefix sweep with a group-commit window: batched fsyncs must
+    /// not change a single byte of what gets logged or recovered — the window
+    /// only moves *when* records become durable, never what they say. The
+    /// reference's clean shutdown flushes its open window, so the final log
+    /// is complete and every boundary is still reachable.
+    #[test]
+    fn recovery_is_byte_identical_with_group_commit(seed in 0u64..10_000) {
+        recovery_matches_reference_at_every_boundary(seed, 1_000_000, 8);
     }
 
     /// The same equality when snapshots have folded most of the log away:
     /// recovery starts from mid-run snapshot state, not the initial database.
     #[test]
     fn recovery_is_byte_identical_across_snapshots(seed in 0u64..10_000) {
-        recovery_matches_reference_at_every_boundary(seed, 3);
+        recovery_matches_reference_at_every_boundary(seed, 3, 1);
+    }
+
+    /// Snapshots and group commit together: the snapshot path force-flushes
+    /// the open window before folding the log away, so a snapshot can never
+    /// claim to cover records that were not yet on disk.
+    #[test]
+    fn recovery_across_snapshots_with_group_commit(seed in 0u64..10_000) {
+        recovery_matches_reference_at_every_boundary(seed, 3, 8);
     }
 
     /// Torn tail: truncating the log at **every byte offset** inside its
@@ -353,7 +386,7 @@ proptest! {
     #[test]
     fn torn_final_record_is_dropped_exactly_and_replayable(seed in 0u64..10_000) {
         let ref_dir = TempDir::new("torn-ref");
-        let reference = reference_run(seed, ref_dir.path(), 1_000_000);
+        let reference = reference_run(seed, ref_dir.path(), 1_000_000, 1);
         let n = reference.records.len();
         assert!(n >= 2, "a non-empty workload always logs past the header");
 
@@ -400,7 +433,7 @@ proptest! {
 #[test]
 fn recovery_rejects_a_mismatched_config() {
     let dir = TempDir::new("mismatch");
-    let reference = reference_run(7, dir.path(), 1_000_000);
+    let reference = reference_run(7, dir.path(), 1_000_000, 1);
 
     let altered = reference.config.with_scheduler(
         SchedulerConfig::with_tracker(TrackerKind::Naive)
@@ -442,7 +475,7 @@ fn durability_rejects_free_running_configs() {
 #[test]
 fn recovery_rejects_a_headerless_log() {
     let dir = TempDir::new("headerless");
-    let reference = reference_run(11, dir.path(), 1_000_000);
+    let reference = reference_run(11, dir.path(), 1_000_000, 1);
     std::fs::write(dir.path().join("wal.log"), b"").unwrap();
     let durability = DurabilityConfig::new(dir.path()).with_snapshot_every(1_000_000);
     match ExchangeEngine::recover(reference.mappings.clone(), reference.config, durability) {
