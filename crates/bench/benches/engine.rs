@@ -13,6 +13,10 @@
 //!   (submit → wait), the `UpdateExchange` serving pattern; dominated by the
 //!   cross-thread handoff per update, which is exactly what this group
 //!   guards.
+//! * `admission/<clients>` — the same workload pushed through a small
+//!   admission cap by several clients of mixed priority, retrying every
+//!   rejection: the fair-share bookkeeping plus the rejection/retry
+//!   round-trip a saturated deployment pays.
 //!
 //! The engine spawns OS worker threads, so single-core CI medians include
 //! scheduler noise — the group is exempt from the hard regression tier the
@@ -20,7 +24,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use youtopia_concurrency::{
-    EngineConfig, ExchangeEngine, ResolverPump, SchedulerConfig, TrackerKind,
+    ClientId, EngineConfig, ExchangeEngine, Priority, ResolverPump, SchedulerConfig, SubmitError,
+    TrackerKind,
 };
 use youtopia_core::RandomResolver;
 use youtopia_workload::{build_fixture, generate_workload, ExperimentConfig, WorkloadKind};
@@ -89,6 +94,50 @@ fn bench_engine_ingest(c: &mut Criterion) {
             )
         });
     }
+
+    // The fair-share admission path: a small cap shared by eight clients of
+    // mixed priority, every rejection retried after draining to quiescence
+    // (the closed-loop spelling of the `retry_after` contract). Regressions
+    // here are the per-submission admission bookkeeping — the share check,
+    // the deficit scan, and the rejection/retry round-trip.
+    group.bench_with_input(BenchmarkId::new("admission", 8), &(), |b, ()| {
+        b.iter_batched(
+            || {
+                ExchangeEngine::new(
+                    fixture.initial_db.clone(),
+                    fixture.mappings.clone(),
+                    engine_config().with_admission_cap(4),
+                )
+            },
+            |engine| {
+                let mut resolver = RandomResolver::seeded(7);
+                let mut rejections = 0usize;
+                for (i, op) in ops.iter().enumerate() {
+                    let client = ClientId(i as u64 % 8);
+                    let priority = match client.0 % 4 {
+                        0 => Priority::High,
+                        3 => Priority::Low,
+                        _ => Priority::Normal,
+                    };
+                    loop {
+                        match engine.submit_as(op.clone(), client, priority) {
+                            Ok(_) => break,
+                            Err(SubmitError::Saturated { .. }) => {
+                                rejections += 1;
+                                ResolverPump::new(&engine, &mut resolver)
+                                    .run_until_quiescent()
+                                    .unwrap();
+                            }
+                            Err(e) => panic!("unexpected submit error: {e}"),
+                        }
+                    }
+                }
+                ResolverPump::new(&engine, &mut resolver).run_until_quiescent().unwrap();
+                black_box((engine.metrics().steps, rejections))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
 
     group.bench_with_input(BenchmarkId::new("submit_wait", ops.len()), &(), |b, ()| {
         b.iter_batched(

@@ -26,7 +26,7 @@ use std::sync::Mutex;
 
 use youtopia_core::{
     decode_chase_error, decode_decision, decode_initial_op, encode_chase_error, encode_decision,
-    encode_initial_op, ChaseError, FrontierDecision, InitialOp, UpdateStats,
+    encode_initial_op, ChaseError, FrontierDecision, InitialOp, ResolutionOrigin, UpdateStats,
 };
 use youtopia_mappings::MappingSet;
 use youtopia_storage::wal::{ByteReader, ByteWriter, Fnv64, WalError, WalWriter};
@@ -37,7 +37,11 @@ use crate::metrics::RunMetrics;
 
 const WAL_MAGIC: u32 = 0x4C41_5759; // "YWAL" little-endian
 const SNAPSHOT_MAGIC: u32 = 0x504E_5359; // "YSNP" little-endian
-const FORMAT_VERSION: u32 = 1;
+
+// Version 2: `Answer` records carry a `ResolutionOrigin` byte (after the
+// stamp, so stamp-scrubbing tooling is unaffected) and snapshots persist the
+// replay-stable `auto_resolutions` counter.
+const FORMAT_VERSION: u32 = 2;
 
 /// Where and how often a durable engine persists its state.
 ///
@@ -152,9 +156,11 @@ impl From<std::io::Error> for RecoveryError {
 
 /// Fingerprint of everything replay determinism depends on: the scheduler
 /// knobs that steer the sequencer, the id assignment base, the per-update
-/// budget and the mapping set. Deliberately excludes the worker count (the
-/// determinism suite pins worker-count independence), the admission cap
-/// (rejected submissions never reach the log) and the retention horizon
+/// budget, the frontier escalation policy (a system auto-resolution in the
+/// log only replays correctly against the policy that produced it) and the
+/// mapping set. Deliberately excludes the worker count (the determinism suite
+/// pins worker-count independence), the admission cap and client fair-share
+/// state (rejected submissions never reach the log) and the retention horizon
 /// (eviction changes lookups, never chase behaviour).
 pub(crate) fn config_fingerprint(config: &EngineConfig, mappings: &MappingSet) -> u64 {
     let mut h = Fnv64::new();
@@ -166,6 +172,7 @@ pub(crate) fn config_fingerprint(config: &EngineConfig, mappings: &MappingSet) -
     h.write_u64(config.scheduler.max_total_steps as u64);
     h.write_u64(config.first_update_number);
     h.write_u64(config.max_steps_per_update as u64);
+    h.write_str(&format!("{:?}", config.escalation));
     h.write_str(&format!("{mappings:?}"));
     h.finish()
 }
@@ -222,8 +229,13 @@ pub enum WalRecord {
         token: u64,
         /// Sequencer action counter at application.
         stamp: u64,
-        /// The human (or resolver) decision that was applied.
+        /// The decision that was applied.
         decision: FrontierDecision,
+        /// Who decided: a human (`answer`) or the lifecycle sweeper
+        /// (`AutoResolve` escalation). Replay applies the decision
+        /// identically either way — the origin keeps reports honest and
+        /// makes the `auto_resolutions` counter replay-stable.
+        origin: ResolutionOrigin,
     },
 }
 
@@ -253,11 +265,22 @@ pub(crate) fn encode_submit(first: u64, stamp: u64, ops: &[InitialOp]) -> Vec<u8
     w.into_bytes()
 }
 
-pub(crate) fn encode_answer(token: u64, stamp: u64, decision: &FrontierDecision) -> Vec<u8> {
+pub(crate) fn encode_answer(
+    token: u64,
+    stamp: u64,
+    decision: &FrontierDecision,
+    origin: ResolutionOrigin,
+) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u8(REC_ANSWER);
     w.put_u64(token);
     w.put_u64(stamp);
+    // Origin sits after the stamp: byte offsets 9..17 of an answer payload
+    // stay the stamp, which stamp-scrubbing comparison tooling relies on.
+    w.put_u8(match origin {
+        ResolutionOrigin::Human => 0,
+        ResolutionOrigin::System => 1,
+    });
     encode_decision(decision, &mut w);
     w.into_bytes()
 }
@@ -290,7 +313,14 @@ pub fn decode_record(payload: &[u8]) -> Result<WalRecord, RecoveryError> {
         REC_ANSWER => {
             let token = r.take_u64()?;
             let stamp = r.take_u64()?;
-            WalRecord::Answer { token, stamp, decision: decode_decision(&mut r)? }
+            let origin = match r.take_u8()? {
+                0 => ResolutionOrigin::Human,
+                1 => ResolutionOrigin::System,
+                tag => {
+                    return Err(RecoveryError::Corrupt(format!("unknown origin tag {tag}")));
+                }
+            };
+            WalRecord::Answer { token, stamp, decision: decode_decision(&mut r)?, origin }
         }
         tag => return Err(RecoveryError::Corrupt(format!("unknown wal record tag {tag}"))),
     };
@@ -364,6 +394,9 @@ pub(crate) fn encode_snapshot(meta: &SnapshotMeta, db: &Database) -> Vec<u8> {
         m.steps,
         m.frontier_ops,
         m.changes,
+        // Replay-stable (recounted from logged answer origins), unlike the
+        // speculation counters and `re_asks` — those restart at zero.
+        m.auto_resolutions,
     ] {
         w.put_u64(counter as u64);
     }
@@ -401,7 +434,7 @@ pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<(SnapshotMeta, Database), 
     let actions = r.take_u64()?;
     let next_token = r.take_u64()?;
     let slot_base = r.take_u64()?;
-    let mut counters = [0usize; 7];
+    let mut counters = [0usize; 8];
     for c in counters.iter_mut() {
         *c = r.take_u64()? as usize;
     }
@@ -413,9 +446,11 @@ pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<(SnapshotMeta, Database), 
         steps: counters[4],
         frontier_ops: counters[5],
         changes: counters[6],
+        auto_resolutions: counters[7],
         wall_time: std::time::Duration::ZERO,
-        // Speculation counters are wall-clock observability, not replayed
-        // state: like wall_time they restart at zero after a recovery.
+        // Speculation counters and `re_asks` are wall-clock observability,
+        // not replayed state: like wall_time they restart at zero after a
+        // recovery.
         ..RunMetrics::default()
     };
     let slot_count = r.take_u32()?;
@@ -467,13 +502,19 @@ mod tests {
         }
 
         let decision = FrontierDecision::Negative(vec![youtopia_storage::TupleId(9)]);
-        let bytes = encode_answer(7, 13, &decision);
+        let bytes = encode_answer(7, 13, &decision, ResolutionOrigin::Human);
         match decode_record(&bytes).unwrap() {
-            WalRecord::Answer { token, stamp, decision: decoded } => {
+            WalRecord::Answer { token, stamp, decision: decoded, origin } => {
                 assert_eq!(token, 7);
                 assert_eq!(stamp, 13);
                 assert_eq!(decoded, decision);
+                assert_eq!(origin, ResolutionOrigin::Human);
             }
+            _ => panic!("wrong record kind"),
+        }
+        let bytes = encode_answer(8, 21, &decision, ResolutionOrigin::System);
+        match decode_record(&bytes).unwrap() {
+            WalRecord::Answer { origin, .. } => assert_eq!(origin, ResolutionOrigin::System),
             _ => panic!("wrong record kind"),
         }
 
@@ -521,7 +562,13 @@ mod tests {
                     failed: Some(ChaseError::StepLimitExceeded { update: UpdateId(8), limit: 5 }),
                 },
             ],
-            metrics: RunMetrics { steps: 11, aborts: 2, ..RunMetrics::default() },
+            metrics: RunMetrics {
+                steps: 11,
+                aborts: 2,
+                auto_resolutions: 3,
+                re_asks: 5,
+                ..RunMetrics::default()
+            },
         };
         let bytes = encode_snapshot(&meta, &db);
         let (decoded, db2) = decode_snapshot(&bytes).unwrap();
@@ -532,6 +579,8 @@ mod tests {
         assert_eq!(decoded.slot_base, 2);
         assert_eq!(decoded.metrics.steps, 11);
         assert_eq!(decoded.metrics.aborts, 2);
+        assert_eq!(decoded.metrics.auto_resolutions, 3, "auto-resolutions survive the snapshot");
+        assert_eq!(decoded.metrics.re_asks, 0, "re-asks restart at zero, like speculation");
         assert_eq!(decoded.slots.len(), 2);
         assert_eq!(decoded.slots[0].id, 7);
         assert!(decoded.slots[0].terminated);
@@ -557,5 +606,26 @@ mod tests {
         assert_ne!(a, b);
         let c = config_fingerprint(&EngineConfig::default(), &mappings);
         assert_eq!(a, c, "fingerprint is stable");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_escalation_policies() {
+        use youtopia_core::{AutoDecision, EscalationPolicy};
+        let mappings = MappingSet::default();
+        let wait = config_fingerprint(&EngineConfig::default(), &mappings);
+        let re_ask = config_fingerprint(
+            &EngineConfig::default().with_escalation_policy(EscalationPolicy::ReAsk { after: 3 }),
+            &mappings,
+        );
+        let auto = config_fingerprint(
+            &EngineConfig::default().with_escalation_policy(EscalationPolicy::AutoResolve {
+                after: 3,
+                decision: AutoDecision::ExpandOrDeleteFirst,
+            }),
+            &mappings,
+        );
+        assert_ne!(wait, re_ask, "a re-ask log is not a wait log");
+        assert_ne!(wait, auto);
+        assert_ne!(re_ask, auto);
     }
 }

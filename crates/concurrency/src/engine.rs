@@ -42,9 +42,9 @@
 //! decision's correction queries are recorded in the same read-lock session
 //! that applies them, and any conflicting later write aborts the update.
 //!
-//! Lock order (outermost first): cursor → slots table → slot → pending →
-//! resolver (in [`ResolverPump`]) → database → tracker → metrics → all-ids →
-//! log stripes. A worker never blocks on a second slot lock while holding one
+//! Lock order (outermost first): cursor → slots table → admission → slot →
+//! pending → resolver (in [`ResolverPump`]) → database → tracker → metrics →
+//! all-ids → log stripes. A worker never blocks on a second slot lock while holding one
 //! (victim slots are `try_lock`ed; on failure the victim is flagged and its
 //! owner acts). Durable engines additionally hold a WAL writer mutex, nested
 //! innermost; every append happens while the cursor is held (durability
@@ -56,9 +56,9 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, Weak};
 use std::thread::JoinHandle;
 
 use youtopia_core::{
-    ChaseError, FrontierDecision, FrontierResolver, FrontierToken, InitialOp, LookupError,
-    PendingFrontier, ReadQuery, StepOutcome, UpdateExecution, UpdateReport, UpdateState,
-    UpdateStats,
+    ChaseError, EscalationPolicy, FrontierDecision, FrontierResolver, FrontierToken, InitialOp,
+    LookupError, PendingFrontier, ReadQuery, ResolutionOrigin, StepOutcome, UpdateExecution,
+    UpdateReport, UpdateState, UpdateStats,
 };
 use youtopia_mappings::MappingSet;
 use youtopia_storage::wal::{read_wal, write_file_atomic, WalWriter};
@@ -132,6 +132,12 @@ pub struct EngineConfig {
     /// deterministic scheduling (the flag overrides
     /// [`SchedulerConfig::deterministic`]).
     pub inline: bool,
+    /// What the lifecycle sweeper ([`ExchangeEngine::sweep`]) does with a
+    /// frontier request nobody answers: wait forever (the default), re-ask at
+    /// higher priority, or auto-resolve with a system decision. Part of the
+    /// durable config fingerprint — a WAL written under one policy is not
+    /// replayed under another.
+    pub escalation: EscalationPolicy,
 }
 
 impl Default for EngineConfig {
@@ -150,6 +156,7 @@ impl Default for EngineConfig {
             admission_cap: usize::MAX,
             retention_horizon: usize::MAX,
             inline: false,
+            escalation: EscalationPolicy::Wait,
         }
     }
 }
@@ -192,17 +199,84 @@ impl EngineConfig {
         self.inline = true;
         self
     }
+
+    /// Replaces the frontier escalation policy (see
+    /// [`EngineConfig::escalation`]).
+    pub fn with_escalation_policy(mut self, policy: EscalationPolicy) -> EngineConfig {
+        self.escalation = policy;
+        self
+    }
+}
+
+/// An admission-control identity: who is submitting. Clients are opaque to
+/// the chase (update numbering and scheduling ignore them entirely); they
+/// exist so fair-share admission can tell one submitter's load from
+/// another's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u64);
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "client#{}", self.0)
+    }
+}
+
+/// A client's admission priority. Priority weights admission capacity and the
+/// starvation deficit — it never reorders the chase itself (update numbers
+/// remain arrival order, the paper's timestamp prioritisation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Background work: smallest fair share, slowest-growing deficit.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Latency-sensitive work: largest fair share, fastest-growing deficit.
+    High,
+}
+
+impl Priority {
+    /// The weight used for fair-share splits and deficit growth.
+    pub fn weight(&self) -> u64 {
+        match self {
+            Priority::Low => 1,
+            Priority::Normal => 2,
+            Priority::High => 4,
+        }
+    }
+}
+
+/// The backoff hint carried by [`SubmitError::Saturated`]: how many currently
+/// in-flight updates must terminate before a retry of the same batch can be
+/// admitted (assuming no competing submissions land first). Callers should
+/// wait for that many completions — e.g. `wait()` on handles they hold, or
+/// poll [`ExchangeEngine::active_updates`] — rather than hot-retrying.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RetryAfter {
+    /// In-flight update completions to wait for before retrying.
+    pub completions: usize,
+}
+
+impl std::fmt::Display for RetryAfter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "retry after {} completion(s)", self.completions)
+    }
 }
 
 /// Why a submission was rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The admission cap is reached; retry after in-flight updates terminate.
+    /// Admission denied — the global cap is reached, or the submitting
+    /// client is over its fair share while others contend. Retry after
+    /// `retry_after` in-flight updates terminate (the backoff contract on
+    /// [`ExchangeEngine::submit`] / [`ExchangeEngine::submit_batch`]).
     Saturated {
         /// In-flight updates at rejection time.
         active: usize,
         /// The configured cap.
         cap: usize,
+        /// Typed backoff hint: completions to wait for before retrying.
+        retry_after: RetryAfter,
     },
     /// The engine has been shut down or has failed fatally (see
     /// [`ExchangeEngine::error`]).
@@ -215,8 +289,11 @@ pub enum SubmitError {
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::Saturated { active, cap } => {
-                write!(f, "engine saturated: {active} in-flight updates at cap {cap}")
+            SubmitError::Saturated { active, cap, retry_after } => {
+                write!(
+                    f,
+                    "engine saturated: {active} in-flight updates at cap {cap}; {retry_after}"
+                )
             }
             SubmitError::ShutDown => write!(f, "engine is shut down"),
             SubmitError::Durability(msg) => write!(f, "write-ahead log append failed: {msg}"),
@@ -366,6 +443,44 @@ struct PendingEntry {
     update: UpdateId,
     slot: usize,
     request: youtopia_core::FrontierRequest,
+    /// Action stamp at publish time (0 on a plain engine, where the action
+    /// counter does not run).
+    published_at: u64,
+    /// Sweeps survived unanswered since publish (or since the last
+    /// escalation reset it). The deadline unit of [`EscalationPolicy`].
+    age: u64,
+    /// `ReAsk` re-publications (plus failed auto-resolutions) so far.
+    /// Observability only — rebuilt entries start at zero after recovery,
+    /// like the speculation counters.
+    escalations: u32,
+}
+
+/// What one [`ExchangeEngine::sweep`] pass did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Pending requests aged by this pass (all of them).
+    pub aged: usize,
+    /// Tokens re-published at higher priority (`EscalationPolicy::ReAsk`).
+    pub re_asked: Vec<FrontierToken>,
+    /// Tokens the system answered (`EscalationPolicy::AutoResolve`), WAL-
+    /// logged with [`ResolutionOrigin::System`] on a durable engine.
+    pub auto_resolved: Vec<FrontierToken>,
+}
+
+/// Per-client admission bookkeeping (see [`ExchangeEngine::submit_batch_as`]).
+#[derive(Default)]
+struct ClientAdmission {
+    /// Slot indices this client was admitted for; pruned lazily (terminal or
+    /// evicted slots drop out at the next admission check).
+    admitted: Vec<usize>,
+    /// Weighted starvation deficit: grows by the client's priority weight on
+    /// every rejection, resets to zero on admission. A client whose deficit
+    /// reaches [`EngineShared::STARVATION_DEFICIT`] is *starving*: freed
+    /// capacity is reserved for it (other clients are refused) until it gets
+    /// in — the eventual-admission guarantee.
+    deficit: u64,
+    /// Priority weight of the client's most recent submission attempt.
+    weight: u64,
 }
 
 /// Lives for the whole body of a worker thread. A worker that exits its loop
@@ -428,6 +543,10 @@ struct EngineShared {
     det_incoming: Mutex<Vec<usize>>,
     /// Outstanding frontier requests, keyed by token (= publish order).
     pending: Mutex<BTreeMap<u64, PendingEntry>>,
+    /// Per-client fair-share admission state, keyed by [`ClientId`].
+    /// Anonymous submissions (no client) bypass it entirely and see only the
+    /// global cap — the pre-QoS admission path, byte-identical.
+    admission: Mutex<BTreeMap<ClientId, ClientAdmission>>,
     /// Number of slots with a published-but-not-fully-answered frontier.
     /// Unlike `pending` emptiness, this only drops once an answer has been
     /// *applied* (or the token invalidated by an abort) — the deterministic
@@ -450,6 +569,130 @@ impl EngineShared {
     /// How many speculation attempts sit out after a validation failure
     /// before workers try again (see [`EngineShared::spec_penalty`]).
     const SPEC_DISCARD_PENALTY: usize = 8;
+
+    /// Deficit at which a repeatedly rejected client becomes *starving* and
+    /// freed capacity is reserved for it. Deficit grows by the priority
+    /// weight per rejection, so a `High` client starves (and is rescued)
+    /// after 4 rejections, a `Low` client after 16 — weighted, but always
+    /// eventual.
+    const STARVATION_DEFICIT: u64 = 16;
+
+    /// Whether the slot at `idx` can never run again (terminated, failed, or
+    /// evicted by compaction — eviction is restricted to terminal slots).
+    fn slot_terminal_locked(slots: &SlotTable, idx: usize) -> bool {
+        match slots.get(idx) {
+            None => true,
+            Some(cell) => {
+                let slot = lock(&cell.slot);
+                slot.failed.is_some() || slot.exec.is_terminated()
+            }
+        }
+    }
+
+    /// Fair-share admission check for a batch of `n` updates, called with the
+    /// slot table locked (so in-flight counts cannot move underneath it).
+    ///
+    /// Anonymous submissions (`client == None`) see only the global cap —
+    /// the pre-QoS behavior. Identified submissions additionally get:
+    ///
+    /// 1. a **weighted fair share** of the cap while other clients contend
+    ///    (`cap · w_c / Σw` over clients with live work or unpaid deficit,
+    ///    never below 1);
+    /// 2. a **starvation reservation**: every rejection grows the client's
+    ///    deficit by its priority weight, and once some client's deficit
+    ///    reaches [`Self::STARVATION_DEFICIT`], freed capacity is refused to
+    ///    everyone else until the starving client is admitted.
+    ///
+    /// Together these guarantee a persistent low-priority client eventual
+    /// admission: its deficit only grows while it is refused, starvation
+    /// reserves it the next freed slot, and admission resets the deficit.
+    fn check_admission(
+        &self,
+        slots: &SlotTable,
+        client: Option<(ClientId, Priority)>,
+        n: usize,
+    ) -> Result<(), SubmitError> {
+        let cap = self.config.admission_cap;
+        let active = self.active.load(Ordering::SeqCst);
+        let Some((client_id, priority)) = client else {
+            if active.saturating_add(n) > cap {
+                let retry_after = RetryAfter { completions: active.saturating_add(n) - cap };
+                return Err(SubmitError::Saturated { active, cap, retry_after });
+            }
+            return Ok(());
+        };
+        let mut admission = lock(&self.admission);
+        // Lazily prune: a client's in-flight count is its admitted slots that
+        // are still live. Terminal and evicted slots drop out here.
+        for state in admission.values_mut() {
+            state.admitted.retain(|&idx| !Self::slot_terminal_locked(slots, idx));
+        }
+        admission.retain(|_, s| !s.admitted.is_empty() || s.deficit > 0);
+        let entry = admission.entry(client_id).or_default();
+        entry.weight = priority.weight();
+        let deficit = entry.deficit;
+        let reject = |admission: &mut BTreeMap<ClientId, ClientAdmission>,
+                      completions: usize|
+         -> SubmitError {
+            let e = admission.entry(client_id).or_default();
+            e.deficit += priority.weight();
+            SubmitError::Saturated {
+                active,
+                cap,
+                retry_after: RetryAfter { completions: completions.max(1) },
+            }
+        };
+        // Rule 0: the global cap binds everyone.
+        if active.saturating_add(n) > cap {
+            let over = active.saturating_add(n) - cap;
+            return Err(reject(&mut admission, over));
+        }
+        let starving = deficit >= Self::STARVATION_DEFICIT;
+        // Rule 1: weighted fair share, while other clients contend. A
+        // starving client bypasses its share — the reservation below has
+        // already throttled everyone else on its behalf.
+        if !starving && admission.len() > 1 {
+            let entry = admission.get(&client_id).expect("just inserted");
+            let total_weight: u64 = admission.values().map(|s| s.weight.max(1)).sum();
+            let share =
+                ((cap as u128 * priority.weight() as u128) / total_weight.max(1) as u128) as usize;
+            let share = share.max(1);
+            let in_flight = entry.admitted.len();
+            if in_flight.saturating_add(n) > share {
+                let over = in_flight.saturating_add(n) - share;
+                return Err(reject(&mut admission, over));
+            }
+        }
+        // Rule 2: starvation reservation. Admitting would leave fewer free
+        // slots than there are *other* starving clients → this submission is
+        // eating capacity reserved for them.
+        if !starving {
+            let others_starving = admission
+                .iter()
+                .filter(|(id, s)| **id != client_id && s.deficit >= Self::STARVATION_DEFICIT)
+                .count();
+            let free_after = cap.saturating_sub(active.saturating_add(n));
+            if others_starving > free_after {
+                return Err(reject(&mut admission, 1));
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a successful identified admission: the client's deficit is
+    /// paid off and its in-flight slots are tracked for fair-share checks.
+    fn record_admission(
+        &self,
+        client: Option<(ClientId, Priority)>,
+        slots: std::ops::Range<usize>,
+    ) {
+        let Some((client_id, priority)) = client else { return };
+        let mut admission = lock(&self.admission);
+        let entry = admission.entry(client_id).or_default();
+        entry.deficit = 0;
+        entry.weight = priority.weight();
+        entry.admitted.extend(slots);
+    }
 
     /// The cell at `idx`, or `None` when compaction evicted it. Callers on
     /// abort paths treat `None` as "terminal, nothing to do" — eviction is
@@ -545,7 +788,7 @@ impl EngineShared {
                     let count = self.admit_locked(&mut slots, ops).len();
                     cur.live.extend(base..base + count);
                 }
-                WalRecord::Answer { token, stamp, decision } => {
+                WalRecord::Answer { token, stamp, decision, origin } => {
                     self.drive_to_stamp(&mut cur, stamp)?;
                     let entry = lock(&self.pending).remove(&token);
                     let Some(entry) = entry else {
@@ -556,7 +799,10 @@ impl EngineShared {
                     // A decision the original run rejected as invalid is
                     // rejected here too (deterministically), restoring the
                     // pending entry — its retry records follow in the log.
-                    let _ = self.apply_answer(FrontierToken(token), entry, decision);
+                    // System answers replay from the log exactly like human
+                    // ones: the live sweeper is suppressed while `replaying`,
+                    // so an escalation is never re-decided.
+                    let _ = self.apply_answer(FrontierToken(token), entry, decision, origin);
                 }
             }
             if let Some(e) = lock(&self.error).clone() {
@@ -1126,8 +1372,19 @@ impl EngineShared {
         slot.published = Some(token);
         slot.parked = true;
         self.unanswered.fetch_add(1, Ordering::SeqCst);
-        lock(&self.pending)
-            .insert(token.0, PendingEntry { update: slot.exec.id(), slot: idx, request });
+        let published_at =
+            self.durable.as_ref().map(|d| d.actions.load(Ordering::SeqCst)).unwrap_or(0);
+        lock(&self.pending).insert(
+            token.0,
+            PendingEntry {
+                update: slot.exec.id(),
+                slot: idx,
+                request,
+                published_at,
+                age: 0,
+                escalations: 0,
+            },
+        );
         self.signal.bump();
     }
 
@@ -1139,6 +1396,7 @@ impl EngineShared {
         token: FrontierToken,
         entry: PendingEntry,
         decision: FrontierDecision,
+        origin: ResolutionOrigin,
     ) -> Result<AnswerOutcome, ChaseError> {
         let Some(cell) = self.slot_cell(entry.slot) else { return Ok(AnswerOutcome::Stale) };
         let mut slot = lock(&cell.slot);
@@ -1154,7 +1412,16 @@ impl EngineShared {
             let db = self.db.read().unwrap_or_else(|e| e.into_inner());
             match slot.exec.resolve_frontier(&self.mappings, decision) {
                 Ok(reads) => {
-                    lock(&self.metrics).frontier_ops += 1;
+                    {
+                        let mut metrics = lock(&self.metrics);
+                        metrics.frontier_ops += 1;
+                        if origin == ResolutionOrigin::System {
+                            // Replay-stable (recounted from the WAL's origin
+                            // bytes), so it survives snapshot folding — see
+                            // the snapshot codec.
+                            metrics.auto_resolutions += 1;
+                        }
+                    }
                     self.record_reads_locked(&db, id, reads);
                 }
                 Err(e) => {
@@ -1972,6 +2239,7 @@ impl ExchangeEngine {
             cursor: Mutex::new(DetCursor { next: 0, live: BTreeSet::new() }),
             det_incoming: Mutex::new(Vec::new()),
             pending: Mutex::new(BTreeMap::new()),
+            admission: Mutex::new(BTreeMap::new()),
             unanswered: AtomicUsize::new(0),
             next_token: AtomicU64::new(next_token),
             active: AtomicUsize::new(0),
@@ -2010,6 +2278,18 @@ impl ExchangeEngine {
         self.submit_batch(vec![op]).map(|mut handles| handles.pop().expect("one handle"))
     }
 
+    /// Submits one update on behalf of an identified client at a priority —
+    /// see [`submit_batch_as`](Self::submit_batch_as).
+    pub fn submit_as(
+        &self,
+        op: InitialOp,
+        client: ClientId,
+        priority: Priority,
+    ) -> Result<UpdateHandle, SubmitError> {
+        self.submit_batch_as(vec![op], Some((client, priority)))
+            .map(|mut handles| handles.pop().expect("one handle"))
+    }
+
     /// Submits a batch of updates atomically: all of them receive consecutive
     /// priority numbers and become visible to the scheduler together, so a
     /// batch submitted to an idle deterministic engine chases exactly like the
@@ -2017,7 +2297,41 @@ impl ExchangeEngine {
     /// [`SubmitError::Saturated`] when the admission cap would be exceeded
     /// (nothing is admitted) and [`SubmitError::ShutDown`] after shutdown or a
     /// fatal error.
+    ///
+    /// **Backoff contract:** a `Saturated` rejection carries a typed
+    /// [`RetryAfter`] hint — the number of in-flight completions the caller
+    /// should wait for before retrying. A retry after that many terminations
+    /// is admitted unless competing submissions claimed the capacity first,
+    /// in which case the fair-share machinery of
+    /// [`submit_batch_as`](Self::submit_batch_as) guarantees identified
+    /// clients eventual admission. Anonymous batches (this method) see only
+    /// the global [`EngineConfig::admission_cap`].
     pub fn submit_batch(&self, ops: Vec<InitialOp>) -> Result<Vec<UpdateHandle>, SubmitError> {
+        self.submit_batch_as(ops, None)
+    }
+
+    /// [`submit_batch`](Self::submit_batch) on behalf of an identified
+    /// client. Identified submissions get per-client fair-share admission on
+    /// top of the global cap:
+    ///
+    /// * while several clients contend, each is limited to a **weighted
+    ///   share** of the cap (`cap · weight / Σweights`, never below one
+    ///   slot), so one greedy client cannot occupy the whole engine;
+    /// * every rejection grows the client's **deficit** by its
+    ///   [`Priority::weight`]; once the deficit reaches the starvation bound,
+    ///   freed capacity is reserved for that client (others are refused with
+    ///   a `retry_after` of one completion) until it is admitted — so a
+    ///   persistent low-priority client is guaranteed eventual admission,
+    ///   just later than a high-priority one.
+    ///
+    /// Client identity is admission-only: update numbers, scheduling and
+    /// chase semantics are identical for every client, and `None` reproduces
+    /// the anonymous [`submit_batch`](Self::submit_batch) path exactly.
+    pub fn submit_batch_as(
+        &self,
+        ops: Vec<InitialOp>,
+        client: Option<(ClientId, Priority)>,
+    ) -> Result<Vec<UpdateHandle>, SubmitError> {
         if ops.is_empty() {
             return Ok(Vec::new());
         }
@@ -2030,10 +2344,7 @@ impl ExchangeEngine {
         // must reproduce, which it only does while the sequencer cannot act.
         let mut cursor = shared.durable.as_ref().map(|_| lock(&shared.cursor));
         let mut slots = shared.slots.write().unwrap_or_else(|e| e.into_inner());
-        let active = shared.active.load(Ordering::SeqCst);
-        if active.saturating_add(ops.len()) > shared.config.admission_cap {
-            return Err(SubmitError::Saturated { active, cap: shared.config.admission_cap });
-        }
+        shared.check_admission(&slots, client, ops.len())?;
         let base = slots.total();
         if let Some(d) = &shared.durable {
             // Logged before any effect is visible: a submission the caller
@@ -2052,6 +2363,7 @@ impl ExchangeEngine {
             .into_iter()
             .map(|(id, cell)| UpdateHandle { id, cell, shared: Arc::downgrade(shared) })
             .collect();
+        shared.record_admission(client, base..base + count);
         if shared.deterministic {
             match cursor.as_deref_mut() {
                 // Durable path, sequencer held: fix the interleaving point
@@ -2074,18 +2386,28 @@ impl ExchangeEngine {
         Ok(handles)
     }
 
-    /// The outstanding frontier requests, in publish order. Each entry can be
-    /// resumed with [`answer`](Self::answer); entries disappear when answered
-    /// or when the owning update aborts (the restart publishes a new token).
+    /// The outstanding frontier requests. Each entry can be resumed with
+    /// [`answer`](Self::answer); entries disappear when answered or when the
+    /// owning update aborts (the restart publishes a new token). Entries
+    /// carry their lifecycle state — publish stamp, sweep age, escalation
+    /// count — and are listed most-escalated first (re-asked requests jump
+    /// the queue; ties keep publish order), which is how
+    /// [`EscalationPolicy::ReAsk`] raises a request's priority in a
+    /// pull-based world.
     pub fn pending_frontiers(&self) -> Vec<PendingFrontier> {
-        lock(&self.shared.pending)
+        let mut out: Vec<PendingFrontier> = lock(&self.shared.pending)
             .iter()
             .map(|(token, entry)| PendingFrontier {
                 token: FrontierToken(*token),
                 update: entry.update,
                 request: entry.request.clone(),
+                published_at: entry.published_at,
+                age: entry.age,
+                escalations: entry.escalations,
             })
-            .collect()
+            .collect();
+        out.sort_by(|a, b| b.escalations.cmp(&a.escalations).then(a.token.cmp(&b.token)));
+        out
     }
 
     /// Answers one outstanding frontier request, resuming the owning update.
@@ -2096,6 +2418,20 @@ impl ExchangeEngine {
         &self,
         token: FrontierToken,
         decision: FrontierDecision,
+    ) -> Result<AnswerOutcome, ChaseError> {
+        self.answer_with_origin(token, decision, ResolutionOrigin::Human)
+    }
+
+    /// [`answer`](Self::answer) with an explicit [`ResolutionOrigin`]. The
+    /// engine's own sweeper stamps its auto-resolutions
+    /// [`ResolutionOrigin::System`] through this path; it is public so
+    /// log-replay tooling (e.g. a harness re-feeding a WAL tail) can
+    /// reproduce a system answer byte-identically instead of re-deciding it.
+    pub fn answer_with_origin(
+        &self,
+        token: FrontierToken,
+        decision: FrontierDecision,
+        origin: ResolutionOrigin,
     ) -> Result<AnswerOutcome, ChaseError> {
         let shared = &self.shared;
         // A durable engine holds the sequencer across remove → append → apply
@@ -2108,7 +2444,7 @@ impl ExchangeEngine {
         let Some(entry) = entry else { return Ok(AnswerOutcome::Stale) };
         if let Some(d) = &shared.durable {
             let stamp = d.actions.load(Ordering::SeqCst);
-            if let Err(e) = lock(&d.wal).append(&encode_answer(token.0, stamp, &decision)) {
+            if let Err(e) = lock(&d.wal).append(&encode_answer(token.0, stamp, &decision, origin)) {
                 // Restore the entry so the request is not silently lost, then
                 // fail the engine: its log no longer matches its history.
                 lock(&shared.pending).insert(token.0, entry);
@@ -2118,7 +2454,103 @@ impl ExchangeEngine {
             }
             d.records.fetch_add(1, Ordering::SeqCst);
         }
-        shared.apply_answer(token, entry, decision)
+        shared.apply_answer(token, entry, decision, origin)
+    }
+
+    /// One pass of the frontier lifecycle sweeper: every pending request ages
+    /// by one tick, and requests whose age reached the
+    /// [`EngineConfig::escalation`] deadline are escalated — re-published at
+    /// higher priority (`ReAsk`) or answered by the system (`AutoResolve`,
+    /// WAL-logged with [`ResolutionOrigin::System`] exactly like a human
+    /// answer, so recovery replays the outcome instead of re-deciding it).
+    ///
+    /// The sweep schedule is caller-owned, like answering itself: a
+    /// [`ResolverPump`] sweeps once per drain pass, and open-loop harnesses
+    /// sweep once per virtual tick. Sweeping is suppressed during recovery
+    /// replay (escalations come from the log there) and is a no-op under
+    /// [`EscalationPolicy::Wait`] beyond the aging.
+    pub fn sweep(&self) -> SweepReport {
+        let shared = &self.shared;
+        let mut report = SweepReport::default();
+        if let Some(d) = &shared.durable {
+            if d.replaying.load(Ordering::SeqCst) {
+                return report;
+            }
+        }
+        let policy = shared.config.escalation;
+        // Age every entry and collect the expired ones. The pending lock is
+        // dropped before any escalation is applied (apply_answer locks slot
+        // then pending — the documented order).
+        let mut re_ask: Vec<u64> = Vec::new();
+        let mut auto: Vec<(u64, FrontierDecision)> = Vec::new();
+        {
+            let mut pending = lock(&shared.pending);
+            for (token, entry) in pending.iter_mut() {
+                entry.age += 1;
+                report.aged += 1;
+                match policy {
+                    EscalationPolicy::Wait => {}
+                    EscalationPolicy::ReAsk { after } => {
+                        if entry.age >= after.max(1) {
+                            entry.age = 0;
+                            entry.escalations += 1;
+                            re_ask.push(*token);
+                        }
+                    }
+                    EscalationPolicy::AutoResolve { after, decision } => {
+                        if entry.age >= after.max(1) {
+                            // Reset before removal: if the system decision is
+                            // rejected as invalid, the entry is restored
+                            // as-is and gets a full deadline before the next
+                            // attempt instead of re-escalating every sweep.
+                            entry.age = 0;
+                            entry.escalations += 1;
+                            auto.push((*token, decision.decide(&entry.request)));
+                        }
+                    }
+                }
+            }
+        }
+        if !re_ask.is_empty() {
+            lock(&shared.metrics).re_asks += re_ask.len();
+            report.re_asked = re_ask.into_iter().map(FrontierToken).collect();
+            // Re-publication is a notification event: waiters and pumps see
+            // the escalated entries at the head of pending_frontiers().
+            shared.signal.bump();
+        }
+        for (token, decision) in auto {
+            match self.answer_with_origin(FrontierToken(token), decision, ResolutionOrigin::System)
+            {
+                Ok(AnswerOutcome::Applied) => report.auto_resolved.push(FrontierToken(token)),
+                // Stale (answered by a human in between, or the owner
+                // aborted) — nothing to do.
+                Ok(AnswerOutcome::Stale) => {}
+                // An invalid system decision: the entry was restored under
+                // the same token with a fresh deadline. The next expiry
+                // retries (requests evolve as neighbours commit, so a later
+                // attempt can succeed where this one could not).
+                Err(_) => {}
+            }
+        }
+        report
+    }
+
+    /// Advances an inline engine until its sequencer goes idle or blocks on
+    /// an unanswered frontier, then returns — unlike
+    /// [`wait_quiescent`](Self::wait_quiescent), blocking on a frontier is
+    /// not an error, so open-loop harnesses can interleave driving,
+    /// selective answering ([`pending_frontiers`](Self::pending_frontiers) /
+    /// [`answer`](Self::answer)) and [`sweep`](Self::sweep) on one thread.
+    /// On a threaded engine this is a no-op (the workers make progress on
+    /// their own); either way a fatal engine error is reported.
+    pub fn drive(&self) -> Result<(), ChaseError> {
+        if self.shared.inline {
+            self.shared.drive_inline()?;
+        }
+        match self.error() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Runs a closure over the last-committed database state (a read-lock
@@ -2487,7 +2919,10 @@ impl<'e, 'r> ResolverPump<'e, 'r> {
 
     /// Pumps until the engine is quiescent (every submitted update terminated
     /// or failed, no outstanding frontiers), propagating the engine's fatal
-    /// error if it stops instead.
+    /// error if it stops instead. Each pass runs one lifecycle sweep after
+    /// draining (a no-op under [`EscalationPolicy::Wait`]), so an engine
+    /// driven purely by a pump still ages and escalates any request the
+    /// drain left behind.
     pub fn run_until_quiescent(&mut self) -> Result<(), ChaseError> {
         loop {
             if self.engine.shared.inline {
@@ -2497,6 +2932,7 @@ impl<'e, 'r> ResolverPump<'e, 'r> {
                 self.engine.shared.drive_inline()?;
             }
             self.drain()?;
+            self.engine.sweep();
             if let Some(e) = self.engine.error() {
                 return Err(e);
             }

@@ -65,8 +65,8 @@ pub use deps::{
 };
 pub use durable::{decode_record, DurabilityConfig, RecoveryError, WalRecord};
 pub use engine::{
-    AnswerOutcome, EngineConfig, ExchangeEngine, ResolverPump, SubmitError, UpdateHandle,
-    UpdateStatus,
+    AnswerOutcome, ClientId, EngineConfig, ExchangeEngine, Priority, ResolverPump, RetryAfter,
+    SubmitError, SweepReport, UpdateHandle, UpdateStatus,
 };
 pub use exchange::{DbRef, DbRefMut, ExchangeConfig, UpdateExchange};
 pub use log::{ChangeSource, ReadLog, WriteLog};

@@ -35,6 +35,16 @@ pub struct RunMetrics {
     /// discarded; the step re-executed at the sequencer. The discard *rate* is
     /// `speculations_discarded / speculations_started`.
     pub speculations_discarded: usize,
+    /// Frontier requests the lifecycle sweeper re-published at higher
+    /// priority (`EscalationPolicy::ReAsk`). Live observability only: re-asks
+    /// are not WAL-logged, so the counter restarts at zero after recovery
+    /// (like the speculation counters).
+    pub re_asks: usize,
+    /// Frontier requests the system answered on deadline expiry
+    /// (`EscalationPolicy::AutoResolve`). Counted from the answer's logged
+    /// `ResolutionOrigin`, so recovery replay reproduces it exactly; included
+    /// in `frontier_ops` as well (an auto-resolution *is* a frontier op).
+    pub auto_resolutions: usize,
     /// Wall-clock time of the whole run.
     pub wall_time: Duration,
 }
@@ -70,6 +80,8 @@ impl RunMetrics {
         self.speculations_started += other.speculations_started;
         self.speculations_committed += other.speculations_committed;
         self.speculations_discarded += other.speculations_discarded;
+        self.re_asks += other.re_asks;
+        self.auto_resolutions += other.auto_resolutions;
         self.wall_time += other.wall_time;
     }
 
@@ -156,6 +168,8 @@ mod tests {
                 speculations_started: 12,
                 speculations_committed: 9,
                 speculations_discarded: 3,
+                re_asks: 2,
+                auto_resolutions: 1,
                 wall_time: Duration::from_millis(500),
             });
         }
@@ -163,6 +177,8 @@ mod tests {
         assert_eq!(total.speculations_started, 48);
         assert_eq!(total.speculations_committed, 36);
         assert_eq!(total.speculations_discarded, 12);
+        assert_eq!(total.re_asks, 8);
+        assert_eq!(total.auto_resolutions, 4);
         let avg = total.averaged(4);
         assert!((avg.aborts - 8.0).abs() < 1e-9);
         assert!((avg.cascading_abort_requests - 2.0).abs() < 1e-9);

@@ -35,8 +35,8 @@ impl fmt::Display for FrontierToken {
 }
 
 /// One outstanding frontier request of a long-lived exchange service: the
-/// token to answer it with, the update that is blocked on it, and the request
-/// itself (the provenance shown to the user).
+/// token to answer it with, the update that is blocked on it, the request
+/// itself (the provenance shown to the user), and its lifecycle state.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PendingFrontier {
     /// Ticket to pass back when answering.
@@ -45,6 +45,107 @@ pub struct PendingFrontier {
     pub update: UpdateId,
     /// What the user is being asked.
     pub request: FrontierRequest,
+    /// Engine action stamp at which the request was published.
+    pub published_at: u64,
+    /// Lifecycle sweeps this request has survived unanswered since it was
+    /// published (or since its last escalation). The engine's sweeper
+    /// escalates a request once its age reaches the policy's deadline.
+    pub age: u64,
+    /// How many times the request has been escalated (`ReAsk` re-publications
+    /// or failed auto-resolutions). Re-asked requests are listed first by
+    /// `pending_frontiers()` — the pull-based analogue of "higher priority".
+    pub escalations: u32,
+}
+
+/// Who supplied a frontier decision.
+///
+/// Every answer applied by the engine — and every `Answer` record in the
+/// write-ahead log — carries its origin, so reports can distinguish decisions
+/// humans made from deadline auto-resolutions the system made on their behalf.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ResolutionOrigin {
+    /// A human (or an external resolver driving `answer`) decided.
+    Human,
+    /// The engine's lifecycle sweeper auto-resolved an expired frontier.
+    System,
+}
+
+impl fmt::Display for ResolutionOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolutionOrigin::Human => write!(f, "human"),
+            ResolutionOrigin::System => write!(f, "system"),
+        }
+    }
+}
+
+/// What an engine does with a frontier nobody answers.
+///
+/// Deadlines are measured in **lifecycle sweeps** (each `ExchangeEngine::sweep`
+/// call ages every pending request by one tick), not wall clock: the sweep
+/// schedule is owned by the caller, and every escalation *outcome* that
+/// changes state is logged to the WAL with its action stamp — so recovery
+/// replays escalations from the log instead of re-deciding them, and
+/// escalation is never a new nondeterminism source.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EscalationPolicy {
+    /// Wait indefinitely for a human answer (the pre-lifecycle behavior).
+    #[default]
+    Wait,
+    /// After `after` sweeps, re-publish the token at higher priority: its
+    /// escalation count rises (re-asked requests list first in
+    /// `pending_frontiers()`), its age resets, and waiters are re-notified.
+    ReAsk {
+        /// Sweeps a request may stay unanswered before each re-ask.
+        after: u64,
+    },
+    /// After `after` sweeps, the system answers with `decision`, stamped
+    /// `ResolutionOrigin::System` and WAL-logged like a human answer.
+    AutoResolve {
+        /// Sweeps a request may stay unanswered before the system answers.
+        after: u64,
+        /// The default-decision strategy applied to the expired request.
+        decision: AutoDecision,
+    },
+}
+
+/// The default-decision strategy an [`EscalationPolicy::AutoResolve`]
+/// escalation applies to an expired request. A strategy (rather than a stored
+/// [`FrontierDecision`]) because the concrete decision depends on the request:
+/// one engine-wide literal cannot be valid for every frontier it may expire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AutoDecision {
+    /// Positive frontier: expand every generated tuple ("these are new
+    /// facts"). Negative frontier: delete the first deletion candidate. The
+    /// conservative strategy — it always makes progress and never unifies.
+    ExpandOrDeleteFirst,
+    /// Positive frontier: unify each tuple with its first candidate when one
+    /// exists, expand otherwise. Negative frontier: delete the first
+    /// candidate. The dedupe-leaning strategy.
+    UnifyOrDeleteFirst,
+}
+
+impl AutoDecision {
+    /// Materializes the concrete [`FrontierDecision`] for `request`.
+    pub fn decide(&self, request: &FrontierRequest) -> FrontierDecision {
+        match (self, request) {
+            (AutoDecision::ExpandOrDeleteFirst, FrontierRequest::Positive(p)) => {
+                FrontierDecision::expand_all(p)
+            }
+            (AutoDecision::UnifyOrDeleteFirst, FrontierRequest::Positive(p)) => {
+                FrontierDecision::Positive(
+                    p.tuples
+                        .iter()
+                        .map(|t| match t.candidates.first() {
+                            Some((id, _)) => PositiveAction::Unify { with: *id },
+                            None => PositiveAction::Expand,
+                        })
+                        .collect(),
+                )
+            }
+            (_, FrontierRequest::Negative(n)) => FrontierDecision::delete_first(n),
+        }
+    }
 }
 
 /// A positive frontier tuple: an RHS tuple generated by the forward chase but
@@ -268,5 +369,58 @@ mod tests {
             FrontierDecision::Negative(ids) => assert_eq!(ids, vec![TupleId(5)]),
             _ => panic!("expected negative decision"),
         }
+    }
+
+    #[test]
+    fn auto_decision_strategies() {
+        let pf = FrontierRequest::Positive(PositiveFrontier {
+            mapping: MappingId(0),
+            violation: dummy_violation(),
+            tuples: vec![
+                FrontierTuple {
+                    relation: RelationId(0),
+                    values: vec![Value::constant("a")].into(),
+                    fresh_nulls: vec![],
+                    candidates: vec![(TupleId(9), vec![Value::constant("a")].into())],
+                },
+                FrontierTuple {
+                    relation: RelationId(1),
+                    values: vec![Value::constant("b")].into(),
+                    fresh_nulls: vec![],
+                    candidates: vec![],
+                },
+            ],
+        });
+        assert_eq!(
+            AutoDecision::ExpandOrDeleteFirst.decide(&pf),
+            FrontierDecision::Positive(vec![PositiveAction::Expand, PositiveAction::Expand])
+        );
+        assert_eq!(
+            AutoDecision::UnifyOrDeleteFirst.decide(&pf),
+            FrontierDecision::Positive(vec![
+                PositiveAction::Unify { with: TupleId(9) },
+                PositiveAction::Expand,
+            ])
+        );
+        let nf = FrontierRequest::Negative(NegativeFrontier {
+            mapping: MappingId(0),
+            violation: dummy_violation(),
+            candidates: vec![(0, TupleId(5), vec![Value::constant("a")].into())],
+        });
+        assert_eq!(
+            AutoDecision::ExpandOrDeleteFirst.decide(&nf),
+            FrontierDecision::Negative(vec![TupleId(5)])
+        );
+        assert_eq!(
+            AutoDecision::UnifyOrDeleteFirst.decide(&nf),
+            FrontierDecision::Negative(vec![TupleId(5)])
+        );
+    }
+
+    #[test]
+    fn escalation_policy_defaults_to_wait() {
+        assert_eq!(EscalationPolicy::default(), EscalationPolicy::Wait);
+        assert_eq!(ResolutionOrigin::Human.to_string(), "human");
+        assert_eq!(ResolutionOrigin::System.to_string(), "system");
     }
 }

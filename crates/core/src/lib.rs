@@ -71,8 +71,9 @@ pub use codec::{
 };
 pub use error::{ChaseError, LookupError};
 pub use frontier::{
-    FrontierDecision, FrontierRequest, FrontierToken, FrontierTuple, NegativeFrontier,
-    PendingFrontier, PositiveAction, PositiveFrontier,
+    AutoDecision, EscalationPolicy, FrontierDecision, FrontierRequest, FrontierToken,
+    FrontierTuple, NegativeFrontier, PendingFrontier, PositiveAction, PositiveFrontier,
+    ResolutionOrigin,
 };
 pub use querying::{
     answer, keyword_search, AnswerRow, KeywordHit, QuerySemantics, RepositoryQuery,

@@ -76,7 +76,10 @@ pub fn run_crash_recovery(
     );
     let wave = match config.arrival {
         ArrivalProcess::Staggered { wave } => wave.max(1),
-        ArrivalProcess::Batch => 4,
+        // The crash scenario needs *counted* waves to place the crash, so
+        // open-loop Poisson arrivals fall back to the same fixed wave as
+        // `Batch`.
+        ArrivalProcess::Batch | ArrivalProcess::Poisson { .. } => 4,
     };
     let first_number = config.initial_tuples as u64 + 1_000;
     let scheduler = SchedulerConfig::with_tracker(tracker)

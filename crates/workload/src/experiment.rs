@@ -20,9 +20,10 @@ use youtopia_core::{ChaseError, InitialOp, RandomResolver};
 use youtopia_mappings::{satisfies_all, MappingSet};
 use youtopia_storage::{Database, UpdateId};
 
-use crate::config::{ArrivalProcess, ExperimentConfig, WorkloadKind};
+use crate::config::{poisson_arrival_ticks, ArrivalProcess, ExperimentConfig, WorkloadKind};
 use crate::data_gen::{generate_initial_database, InitialDataStats};
 use crate::mapping_gen::generate_mappings;
+use crate::report::LatencySummary;
 use crate::schema_gen::{generate_schema, GeneratedSchema};
 use crate::update_gen::generate_workload;
 
@@ -38,6 +39,10 @@ pub struct ExperimentPoint {
     pub runs: usize,
     /// Averaged metrics.
     pub avg: AveragedMetrics,
+    /// Nearest-rank percentiles of the per-update execution time across the
+    /// point's repeated runs (one sample per run) — the tail behind
+    /// `avg.per_update_time_secs`.
+    pub latency: LatencySummary,
 }
 
 /// The complete result of one figure's experiment (one workload, all trackers,
@@ -208,6 +213,25 @@ fn run_single_through_engine(
                 ResolverPump::new(&engine, resolver).run_until_quiescent()?;
             }
         }
+        ArrivalProcess::Poisson { rate } => {
+            // Sample the whole arrival schedule up front (seeded, so the run
+            // stays reproducible), then treat each tick's arrivals as one
+            // wave under the same closed-loop pump as `Staggered` — wave
+            // sizes are Poisson-distributed, determinism is untouched.
+            let ticks = poisson_arrival_ticks(ops.len(), rate, config.seed ^ 0x7019);
+            let mut wave: Vec<InitialOp> = Vec::new();
+            let mut current = ticks.first().copied().unwrap_or(0);
+            for (op, tick) in ops.into_iter().zip(ticks) {
+                if tick != current {
+                    submit(std::mem::take(&mut wave))?;
+                    ResolverPump::new(&engine, resolver).run_until_quiescent()?;
+                    current = tick;
+                }
+                wave.push(op);
+            }
+            submit(wave)?;
+            ResolverPump::new(&engine, resolver).run_until_quiescent()?;
+        }
     }
     debug_assert!(
         engine.read(|db| satisfies_all(&db.snapshot(UpdateId::OMNISCIENT), engine.mappings())),
@@ -254,8 +278,11 @@ fn assemble_points(
     for &mapping_count in &config.mapping_counts {
         for &tracker in trackers {
             let mut total = RunMetrics::default();
+            let mut samples = Vec::with_capacity(config.runs);
             for _ in 0..config.runs {
-                total.accumulate(&next_outcome(cell)?);
+                let metrics = next_outcome(cell)?;
+                samples.push(metrics.per_update_time().as_secs_f64());
+                total.accumulate(&metrics);
                 cell += 1;
             }
             let point = ExperimentPoint {
@@ -263,6 +290,7 @@ fn assemble_points(
                 tracker,
                 runs: config.runs,
                 avg: total.averaged(config.runs),
+                latency: LatencySummary::from_samples(&samples),
             };
             if let Some(cb) = progress.as_deref_mut() {
                 cb(&point);
@@ -439,6 +467,39 @@ mod tests {
             assert!(results.points[0].avg.steps > 0.0);
             assert_eq!(results.workload, kind);
         }
+    }
+
+    #[test]
+    fn poisson_arrivals_run_deterministically_through_the_engine() {
+        let mut config = ExperimentConfig::tiny();
+        config.runs = 1;
+        config.mapping_counts = vec![config.total_mappings];
+        config.arrival = ArrivalProcess::Poisson { rate: 1.5 };
+        let fixture = build_fixture(&config).unwrap();
+        let a =
+            run_single(&fixture, &config, WorkloadKind::Mixed, 8, TrackerKind::Precise, 0).unwrap();
+        assert_eq!(a.workload_size, config.workload_updates);
+        assert!(a.steps > 0);
+        // Same seed, same arrival schedule, same outcome — at any worker count.
+        let mut two = config.clone();
+        two.chase_workers = 2;
+        let b =
+            run_single(&fixture, &two, WorkloadKind::Mixed, 8, TrackerKind::Precise, 0).unwrap();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.aborts, b.aborts);
+        assert_eq!(a.changes, b.changes);
+    }
+
+    #[test]
+    fn points_carry_latency_percentiles() {
+        let mut config = ExperimentConfig::tiny();
+        config.mapping_counts = vec![4];
+        let results =
+            run_experiment(&config, WorkloadKind::AllInserts, &[TrackerKind::Coarse], None)
+                .unwrap();
+        let p = &results.points[0];
+        assert!(p.latency.p50 > 0.0, "non-trivial runs take non-zero time");
+        assert!(p.latency.p50 <= p.latency.p95 && p.latency.p95 <= p.latency.p99);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //!   a simulated user answering frontier requests ([`data_gen`]);
 //! * all-insert and mixed insert/delete workloads ([`update_gen`]);
 //! * the sweep over mapping densities and trackers that produces the series of
-//!   Figures 3 and 4 ([`experiment`]), and text/CSV reports ([`report`]).
+//!   Figures 3 and 4 ([`experiment`]), and text/CSV reports ([`report`]);
+//! * the fault-injected "million-user day" survival scenario for admission
+//!   QoS and frontier lifecycle management ([`scenario`]).
 //!
 //! ```no_run
 //! use youtopia_concurrency::TrackerKind;
@@ -37,10 +39,11 @@ pub mod data_gen;
 pub mod experiment;
 pub mod mapping_gen;
 pub mod report;
+pub mod scenario;
 pub mod schema_gen;
 pub mod update_gen;
 
-pub use config::{ArrivalProcess, ExperimentConfig, WorkloadKind};
+pub use config::{poisson_arrival_ticks, ArrivalProcess, ExperimentConfig, WorkloadKind};
 pub use crash::{run_crash_recovery, CrashRecoveryReport};
 pub use data_gen::{generate_initial_database, InitialDataStats};
 pub use experiment::{
@@ -48,7 +51,11 @@ pub use experiment::{
     ExperimentResults,
 };
 pub use mapping_gen::{generate_mappings, mapping_stats, MappingSetStats};
-pub use report::{render_figure, to_csv};
+pub use report::{percentile, render_figure, to_csv, LatencySummary};
+pub use scenario::{
+    run_million_user_day, AbandoningResolver, FaultInjectingResolver, ScenarioConfig,
+    ScenarioReport, SlowResolver,
+};
 pub use schema_gen::{generate_schema, GeneratedSchema};
 pub use update_gen::{
     cascade_depths, cascade_relations, generate_workload, hot_relation, visible_nulls,

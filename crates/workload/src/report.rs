@@ -5,6 +5,46 @@ use youtopia_concurrency::TrackerKind;
 
 use crate::experiment::ExperimentResults;
 
+/// Tail-latency summary of a sample set: the 50th, 95th and 99th percentiles
+/// by the nearest-rank method (see [`percentile`]). The experiment harness
+/// fills one per data point from the per-run per-update times; the scenario
+/// harness fills one from per-update latencies in virtual ticks.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile — the fair-tail-latency headline number.
+    pub p99: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a sample set (order irrelevant; empty yields all zeros).
+    pub fn from_samples(samples: &[f64]) -> LatencySummary {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        LatencySummary {
+            p50: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
+            p99: percentile(&sorted, 99.0),
+        }
+    }
+}
+
+/// The `p`-th percentile of an ascending-sorted sample set by the
+/// **nearest-rank** method: the value at 1-indexed rank `⌈p/100 · N⌉`
+/// (clamped to the ends, `0.0` for an empty set). Nearest-rank always
+/// returns an observed sample — no interpolation — which keeps percentiles
+/// of integer tick latencies integral.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Renders the three panels of a figure (aborts, cascading abort requests,
 /// slowdown of `PRECISE`) as aligned text tables.
 pub fn render_figure(results: &ExperimentResults, figure_name: &str) -> String {
@@ -27,6 +67,8 @@ pub fn render_figure(results: &ExperimentResults, figure_name: &str) -> String {
     }));
     // Panel 3: slowdown of PRECISE over COARSE.
     out.push_str(&slowdown_panel(results));
+    // Panel 4 (beyond the paper): tail latency across the repeated runs.
+    out.push_str(&latency_panel(results, &trackers));
     out
 }
 
@@ -57,6 +99,28 @@ fn panel(
     out
 }
 
+fn latency_panel(results: &ExperimentResults, trackers: &[TrackerKind]) -> String {
+    let mut out = String::new();
+    out.push_str("Per-update time p95 across runs (µs, nearest-rank)\n");
+    out.push_str(&format!("{:>10}", "#mappings"));
+    for t in trackers {
+        out.push_str(&format!("{:>12}", t.name()));
+    }
+    out.push('\n');
+    for &m in &results.config.mapping_counts {
+        out.push_str(&format!("{m:>10}"));
+        for &t in trackers {
+            match results.point(m, t) {
+                Some(p) => out.push_str(&format!("{:>12.1}", p.latency.p95 * 1e6)),
+                None => out.push_str(&format!("{:>12}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
 fn slowdown_panel(results: &ExperimentResults) -> String {
     let mut out = String::new();
     out.push_str("Slowdown of PRECISE (per-update time, PRECISE / COARSE)\n");
@@ -72,20 +136,25 @@ fn slowdown_panel(results: &ExperimentResults) -> String {
 }
 
 /// Renders the results as CSV, one row per (mapping count, tracker):
-/// `mappings,tracker,aborts,cascading_abort_requests,direct_conflicts,per_update_time_secs,steps,frontier_ops`.
+/// `mappings,tracker,aborts,cascading_abort_requests,direct_conflicts,per_update_time_secs,p50_update_secs,p95_update_secs,p99_update_secs,steps,frontier_ops`.
+/// The three percentile columns summarise the per-run per-update times of the
+/// point's repeated runs (nearest-rank, see [`percentile`]).
 pub fn to_csv(results: &ExperimentResults) -> String {
     let mut out = String::from(
-        "mappings,tracker,aborts,cascading_abort_requests,direct_conflicts,per_update_time_secs,steps,frontier_ops\n",
+        "mappings,tracker,aborts,cascading_abort_requests,direct_conflicts,per_update_time_secs,p50_update_secs,p95_update_secs,p99_update_secs,steps,frontier_ops\n",
     );
     for p in &results.points {
         out.push_str(&format!(
-            "{},{},{:.3},{:.3},{:.3},{:.6},{:.1},{:.1}\n",
+            "{},{},{:.3},{:.3},{:.3},{:.6},{:.6},{:.6},{:.6},{:.1},{:.1}\n",
             p.mappings,
             p.tracker.name(),
             p.avg.aborts,
             p.avg.cascading_abort_requests,
             p.avg.direct_conflict_requests,
             p.avg.per_update_time_secs,
+            p.latency.p50,
+            p.latency.p95,
+            p.latency.p99,
             p.avg.steps,
             p.avg.frontier_ops,
         ));
@@ -134,10 +203,31 @@ mod tests {
         let lines: Vec<&str> = csv.trim().lines().collect();
         assert_eq!(lines.len(), results.points.len() + 1);
         assert!(lines[0].starts_with("mappings,tracker"));
+        assert!(lines[0].contains("p50_update_secs,p95_update_secs,p99_update_secs"));
         assert!(lines[1].contains("COARSE") || lines[1].contains("PRECISE"));
         for line in &lines[1..] {
-            assert_eq!(line.split(',').count(), 8);
+            assert_eq!(line.split(',').count(), 11);
         }
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_are_pinned() {
+        // 1..=100: the p-th nearest-rank percentile is exactly p.
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0, "rank clamps to the first sample");
+        // Small sets: ⌈0.5·5⌉ = 3rd of five, ⌈0.95·5⌉ = 5th.
+        let five = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&five, 50.0), 30.0);
+        assert_eq!(percentile(&five, 95.0), 50.0);
+        assert_eq!(percentile(&[], 99.0), 0.0, "empty sample sets summarise to zero");
+        // from_samples sorts for the caller and never interpolates.
+        let summary = LatencySummary::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!(summary, LatencySummary { p50: 2.0, p95: 3.0, p99: 3.0 });
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
     }
 
     #[test]

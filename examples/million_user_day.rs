@@ -1,0 +1,53 @@
+//! The "million-user day" survival scenario, runnable from the command line.
+//!
+//! An open-loop, fault-injected stress run of the admission-QoS and
+//! frontier-lifecycle machinery: identified clients of mixed priority submit
+//! a skewed workload at Poisson arrival times through a small admission cap,
+//! while the simulated humans answer late ([`SlowResolver`]) or never
+//! ([`AbandoningResolver`]). Saturation turns into typed `retry_after`
+//! backpressure, abandonment into system auto-resolutions on the sweeper's
+//! deadline — and the day ends with bounded queues and nothing stuck.
+//!
+//! ```text
+//! cargo run --example million_user_day --release [-- --full]
+//! ```
+//!
+//! `--full` runs the full-scale day (thousands of clients; minutes), the
+//! same configuration as the `#[ignore]`d stress test.
+
+use youtopia::run_million_user_day;
+use youtopia::workload::ScenarioConfig;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let sc = if full { ScenarioConfig::full() } else { ScenarioConfig::scaled() };
+    println!(
+        "million-user day ({}): {} updates over {} clients, rate {}/tick, cap {}",
+        if full { "full" } else { "scaled" },
+        sc.experiment.workload_updates,
+        sc.clients,
+        sc.rate,
+        sc.admission_cap,
+    );
+
+    let report = run_million_user_day(&sc).expect("scenario runs");
+
+    println!("\nday over after {} virtual ticks", report.ticks);
+    println!("  submitted            {}", report.submitted);
+    println!("  saturation rejects   {} (all retried to admission)", report.rejections);
+    println!("  completed            {} ({} failed)", report.completed, report.failed);
+    println!("  stuck / pending      {} / {}", report.stuck, report.pending_at_end);
+    println!("  max admitted         {} (cap {})", report.max_admitted, sc.admission_cap);
+    println!("  max active           {} (admitted + cascading-abort revivals)", report.max_active);
+    println!("  max pending queue    {}", report.max_pending_frontiers);
+    println!(
+        "  latency ticks        p50 {} / p95 {} / p99 {}",
+        report.latency.p50, report.latency.p95, report.latency.p99
+    );
+    println!(
+        "  frontier ops         {} ({} auto-resolved by the sweeper)",
+        report.metrics.frontier_ops, report.metrics.auto_resolutions
+    );
+    println!("  consistent           {}", report.consistent);
+    assert_eq!(report.stuck, 0, "a stuck update means the lifecycle machinery failed");
+}

@@ -73,14 +73,16 @@ pub use youtopia_concurrency as concurrency;
 pub use youtopia_workload as workload;
 
 pub use youtopia_concurrency::{
-    AnswerOutcome, ConcurrentRun, DurabilityConfig, EngineConfig, ExchangeConfig, ExchangeEngine,
-    ParallelRun, RecoveryError, ResolverPump, RunMetrics, SchedulerConfig, SpeculationMode,
-    SubmitError, TrackerKind, UpdateExchange, UpdateHandle, UpdateStatus,
+    AnswerOutcome, ClientId, ConcurrentRun, DurabilityConfig, EngineConfig, ExchangeConfig,
+    ExchangeEngine, ParallelRun, Priority, RecoveryError, ResolverPump, RetryAfter, RunMetrics,
+    SchedulerConfig, SpeculationMode, SubmitError, SweepReport, TrackerKind, UpdateExchange,
+    UpdateHandle, UpdateStatus,
 };
 pub use youtopia_core::{
-    ChaseError, ExpandResolver, FrontierDecision, FrontierRequest, FrontierResolver, FrontierToken,
-    InitialOp, LookupError, PendingFrontier, PositiveAction, RandomResolver, ScriptedResolver,
-    UnifyResolver, UpdateExecution, UpdateReport, UpdateState,
+    AutoDecision, ChaseError, EscalationPolicy, ExpandResolver, FrontierDecision, FrontierRequest,
+    FrontierResolver, FrontierToken, InitialOp, LookupError, PendingFrontier, PositiveAction,
+    RandomResolver, ResolutionOrigin, ScriptedResolver, UnifyResolver, UpdateExecution,
+    UpdateReport, UpdateState,
 };
 pub use youtopia_mappings::{
     find_violations, satisfies_all, MappingGraph, MappingSet, Tgd, Violation, ViolationKind,
@@ -89,4 +91,7 @@ pub use youtopia_storage::{
     DataView, Database, NullId, RelationId, Snapshot, Symbol, Tuple, TupleId, UpdateId, Value,
     Write,
 };
-pub use youtopia_workload::{run_experiment, ArrivalProcess, ExperimentConfig, WorkloadKind};
+pub use youtopia_workload::{
+    run_experiment, run_million_user_day, ArrivalProcess, ExperimentConfig, LatencySummary,
+    ScenarioConfig, ScenarioReport, WorkloadKind,
+};

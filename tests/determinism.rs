@@ -12,8 +12,8 @@ use std::time::Duration;
 
 use youtopia::workload::{build_fixture, run_single, to_csv, ExperimentResults};
 use youtopia::{
-    run_experiment, ExperimentConfig, RandomResolver, RunMetrics, TrackerKind, UpdateExchange,
-    UpdateId, WorkloadKind,
+    run_experiment, ExperimentConfig, LatencySummary, RandomResolver, RunMetrics, TrackerKind,
+    UpdateExchange, UpdateId, WorkloadKind,
 };
 
 /// Replaces every wall-clock quantity in `metrics` with zero.
@@ -22,12 +22,15 @@ fn scrub_metrics_time(mut metrics: RunMetrics) -> RunMetrics {
     metrics
 }
 
-/// Replaces every wall-clock quantity in `results` with zero.
+/// Replaces every wall-clock quantity in `results` with zero. The latency
+/// percentiles are wall-clock too (per-update times in seconds), so they are
+/// scrubbed on the same grounds as `per_update_time_secs`.
 fn scrub_results_time(mut results: ExperimentResults) -> ExperimentResults {
     results.total_seconds = 0.0;
     for point in &mut results.points {
         point.avg.wall_time_secs = 0.0;
         point.avg.per_update_time_secs = 0.0;
+        point.latency = LatencySummary::default();
     }
     results
 }

@@ -28,9 +28,9 @@ use youtopia::workload::{
     build_fixture, generate_workload, run_single, ArrivalProcess, ExperimentConfig, WorkloadKind,
 };
 use youtopia::{
-    ConcurrentRun, Database, ExchangeEngine, FrontierDecision, FrontierRequest, InitialOp,
-    MappingSet, RandomResolver, ResolverPump, SubmitError, TrackerKind, UpdateId, UpdateStatus,
-    Value,
+    ClientId, ConcurrentRun, Database, EscalationPolicy, ExchangeEngine, FrontierDecision,
+    FrontierRequest, InitialOp, MappingSet, Priority, RandomResolver, ResolverPump, SubmitError,
+    TrackerKind, UpdateId, UpdateStatus, Value,
 };
 
 /// Strips the wall-clock field and the speculation counters so metrics
@@ -367,8 +367,9 @@ fn saturation_is_backpressure_not_failure() {
         values: vec![Value::constant("Syracuse"), Value::constant("Math Conf")],
     };
     match engine.submit(op.clone()) {
-        Err(SubmitError::Saturated { active, cap }) => {
+        Err(SubmitError::Saturated { active, cap, retry_after }) => {
             assert_eq!((active, cap), (1, 1));
+            assert_eq!(retry_after.completions, 1, "one completion frees one slot");
         }
         other => panic!("expected saturation, got {other:?}"),
     }
@@ -387,6 +388,149 @@ fn saturation_is_backpressure_not_failure() {
     let (final_db, mappings, metrics) = engine.shutdown();
     assert!(satisfies_all(&final_db.snapshot(UpdateId::OMNISCIENT), &mappings));
     assert_eq!(metrics.workload_size, 2);
+}
+
+/// `EscalationPolicy::Wait` (the default) is exactly the pre-lifecycle
+/// engine: sweeping as aggressively as a caller likes only ages the pending
+/// entries — the final database, metrics and per-update stats stay
+/// byte-identical to the `ConcurrentRun` reference, and no escalation
+/// counter ever moves.
+#[test]
+fn wait_policy_with_sweeps_matches_the_reference() {
+    let mut config = ExperimentConfig::tiny();
+    config.seed = 4242;
+    let fixture = build_fixture(&config).expect("fixture builds");
+    let ops: Vec<InitialOp> = generate_workload(
+        &config,
+        &fixture.schema,
+        &fixture.initial_db,
+        &fixture.mappings,
+        WorkloadKind::Mixed,
+        config.seed,
+    )
+    .into_iter()
+    .take(16)
+    .collect();
+    let first_number = config.initial_tuples as u64 + 1_000;
+    let scheduler =
+        SchedulerConfig::with_tracker(TrackerKind::Precise).with_frontier_delay_rounds(3);
+
+    let mut reference = ConcurrentRun::new(
+        fixture.initial_db.clone(),
+        fixture.mappings.clone(),
+        ops.clone(),
+        first_number,
+        scheduler,
+    );
+    let ref_metrics = reference.run(&mut RandomResolver::seeded(99)).unwrap();
+    let ref_stats = reference.update_stats();
+    let (ref_db, _, _) = reference.into_parts();
+
+    let engine = ExchangeEngine::new(
+        fixture.initial_db.clone(),
+        fixture.mappings.clone(),
+        EngineConfig::default()
+            .with_scheduler(scheduler.with_workers(2))
+            .with_first_update_number(first_number)
+            .with_escalation_policy(EscalationPolicy::Wait),
+    );
+    engine.submit_batch(ops).expect("uncapped submission");
+    // Sweep obsessively while the run is in flight: under `Wait` this must
+    // be pure observability (aging), never escalation.
+    let mut resolver = RandomResolver::seeded(99);
+    let mut pump = ResolverPump::new(&engine, &mut resolver);
+    loop {
+        let report = engine.sweep();
+        assert!(report.re_asked.is_empty() && report.auto_resolved.is_empty());
+        pump.drain().unwrap();
+        if engine.is_quiescent() {
+            break;
+        }
+    }
+    assert_eq!(engine.update_stats(), ref_stats, "per-update stats");
+    let (db, _, metrics) = engine.shutdown();
+    assert_eq!(metrics.re_asks, 0);
+    assert_eq!(metrics.auto_resolutions, 0);
+    assert_eq!(scrub(metrics), scrub(ref_metrics), "metrics");
+    assert_eq!(render(&db), render(&ref_db), "final database state");
+}
+
+/// The backoff contract of `SubmitError::Saturated`: a client that waits for
+/// the hinted number of completions and retries the same submission is
+/// admitted.
+#[test]
+fn saturated_clients_retrying_after_the_hint_are_admitted() {
+    let (db, mappings) = example_db();
+    let v = db.relation_id("V").unwrap();
+    let engine = ExchangeEngine::new(
+        db,
+        mappings,
+        EngineConfig::default().with_admission_cap(2).run_inline(),
+    );
+    let conv = |name: &str| InitialOp::Insert {
+        relation: v,
+        values: vec![Value::constant("Syracuse"), Value::constant(name)],
+    };
+    let (alice, bob) = (ClientId(1), ClientId(2));
+    let h1 = engine.submit_as(conv("Conf A1"), alice, Priority::Normal).unwrap();
+    let h2 = engine.submit_as(conv("Conf A2"), alice, Priority::Normal).unwrap();
+    // The engine is full; Bob's rejection carries the typed hint.
+    let retry_after = match engine.submit_as(conv("Conf B1"), bob, Priority::Normal) {
+        Err(SubmitError::Saturated { retry_after, .. }) => retry_after,
+        other => panic!("expected saturation, got {other:?}"),
+    };
+    assert!(retry_after.completions >= 1);
+    // Honour the contract: wait for that many in-flight completions (the V
+    // inserts chase deterministically, so `wait` drives them to termination
+    // on this thread), then retry verbatim.
+    for handle in [&h1, &h2].into_iter().take(retry_after.completions) {
+        assert!(handle.wait().unwrap().terminated);
+    }
+    let hb = engine
+        .submit_as(conv("Conf B1"), bob, Priority::Normal)
+        .expect("a retry after the hinted completions is admitted");
+    assert!(hb.wait().unwrap().terminated);
+}
+
+/// Weighted fair share never starves anyone: a `Low`-priority client whose
+/// every submission loses the race against a `High`-priority flood
+/// accumulates deficit until the engine reserves freed capacity for it.
+#[test]
+fn starving_low_priority_clients_are_eventually_admitted() {
+    let (db, mappings) = example_db();
+    let v = db.relation_id("V").unwrap();
+    let engine = ExchangeEngine::new(
+        db,
+        mappings,
+        EngineConfig::default().with_admission_cap(1).run_inline(),
+    );
+    let conv = |name: &str| InitialOp::Insert {
+        relation: v,
+        values: vec![Value::constant("Syracuse"), Value::constant(name)],
+    };
+    let (greedy, meek) = (ClientId(1), ClientId(2));
+    let mut admitted_round = None;
+    for round in 0..64usize {
+        // The greedy client grabs the only slot first every round — until
+        // the meek client's deficit crosses the starvation bound, at which
+        // point the engine refuses the greedy client to reserve the slot.
+        let greedy_handle = engine.submit_as(conv("Greedy Conf"), greedy, Priority::High).ok();
+        match engine.submit_as(conv("Meek Conf"), meek, Priority::Low) {
+            Ok(handle) => {
+                assert!(handle.wait().unwrap().terminated);
+                admitted_round = Some(round);
+                break;
+            }
+            Err(SubmitError::Saturated { .. }) => {}
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+        if let Some(h) = greedy_handle {
+            assert!(h.wait().unwrap().terminated);
+        }
+        engine.wait_quiescent().unwrap();
+    }
+    let round = admitted_round.expect("the meek client must eventually be admitted");
+    assert!(round > 0, "the first rounds must actually reject the meek client");
 }
 
 /// A stale token (the owner aborted or was already answered) is reported as

@@ -30,9 +30,10 @@ use youtopia::mappings::satisfies_all;
 use youtopia::storage::wal::{read_wal, WalWriter};
 use youtopia::workload::{build_fixture, generate_workload, ExperimentConfig, WorkloadKind};
 use youtopia::{
-    AnswerOutcome, Database, DurabilityConfig, EngineConfig, ExchangeEngine, FrontierToken,
-    InitialOp, LookupError, MappingSet, RandomResolver, RecoveryError, ResolverPump, RunMetrics,
-    SchedulerConfig, TrackerKind, UpdateId, UpdateStatus, Value,
+    AnswerOutcome, AutoDecision, Database, DurabilityConfig, EngineConfig, EscalationPolicy,
+    ExchangeEngine, FrontierResolver, FrontierToken, InitialOp, LookupError, MappingSet,
+    RandomResolver, RecoveryError, ResolutionOrigin, ResolverPump, RunMetrics, SchedulerConfig,
+    TrackerKind, UpdateId, UpdateStatus, Value,
 };
 
 // ---------------------------------------------------------------------------
@@ -66,12 +67,16 @@ impl Drop for TempDir {
 
 /// Strips the wall-clock field — and the speculation counters, which measure
 /// *pre*-execution attempts and so vary with worker timing (and reset to zero
-/// across a recovery) — so metrics compare byte-exactly.
+/// across a recovery) — so metrics compare byte-exactly. Re-asks are likewise
+/// advisory (never logged) and restart at zero after a crash, so they are
+/// scrubbed too; `auto_resolutions` is deliberately **not** scrubbed — system
+/// answers are WAL records, so the recovered count must match the original.
 fn scrub(mut m: RunMetrics) -> RunMetrics {
     m.wall_time = Duration::ZERO;
     m.speculations_started = 0;
     m.speculations_committed = 0;
     m.speculations_discarded = 0;
+    m.re_asks = 0;
     m
 }
 
@@ -231,8 +236,12 @@ fn await_quiescence(engine: &ExchangeEngine, label: &str) {
 
 /// Re-feeds decoded WAL tail records through the **public** API: submissions
 /// via [`ExchangeEngine::submit_batch`] (asserting the engine re-assigns the
-/// logged ids) and answers via [`ExchangeEngine::answer`] once the same
-/// token is republished by the recovered chase.
+/// logged ids) and answers via [`ExchangeEngine::answer_with_origin`] once
+/// the same token is republished by the recovered chase. System-origin
+/// answers are replayed verbatim with their logged origin — the harness
+/// never calls [`ExchangeEngine::sweep`], so a decision the sweeper made
+/// before the crash can only re-enter the run as a replayed log record,
+/// never as a fresh decision.
 fn refeed(engine: &ExchangeEngine, tail: &[WalRecord], label: &str) {
     for record in tail {
         match record {
@@ -250,7 +259,7 @@ fn refeed(engine: &ExchangeEngine, tail: &[WalRecord], label: &str) {
                     "{label}: recovered engine must re-assign the logged update ids"
                 );
             }
-            WalRecord::Answer { token, decision, .. } => {
+            WalRecord::Answer { token, decision, origin, .. } => {
                 let deadline = Instant::now() + Duration::from_secs(30);
                 loop {
                     if engine.pending_frontiers().iter().any(|pf| pf.token.0 == *token) {
@@ -266,7 +275,7 @@ fn refeed(engine: &ExchangeEngine, tail: &[WalRecord], label: &str) {
                     std::thread::yield_now();
                 }
                 let outcome = engine
-                    .answer(FrontierToken(*token), decision.clone())
+                    .answer_with_origin(FrontierToken(*token), decision.clone(), *origin)
                     .expect("logged decision re-applies");
                 assert_eq!(outcome, AnswerOutcome::Applied, "{label}: token {token}");
             }
@@ -305,13 +314,7 @@ fn recover_refeed_and_compare(
 /// Cuts the reference log after each record, recovers from the prefix, and
 /// re-feeds the suffix. With `snapshot_every` large enough that only
 /// snapshot 0 exists, this covers **every** prefix of the logged run.
-fn recovery_matches_reference_at_every_boundary(
-    seed: u64,
-    snapshot_every: u64,
-    group_commit: usize,
-) {
-    let ref_dir = TempDir::new("ref");
-    let reference = reference_run(seed, ref_dir.path(), snapshot_every, group_commit);
+fn sweep_every_boundary(reference: &ReferenceRun, ref_dir: &Path, tag: &str) {
     let n = reference.records.len();
 
     let scratch = TempDir::new("scratch");
@@ -329,21 +332,34 @@ fn recovery_matches_reference_at_every_boundary(
 
     for keep in 1..=n {
         let cut_dir = TempDir::new("cut");
-        std::fs::copy(ref_dir.path().join("snapshot.bin"), cut_dir.path().join("snapshot.bin"))
-            .unwrap();
+        std::fs::copy(ref_dir.join("snapshot.bin"), cut_dir.path().join("snapshot.bin")).unwrap();
         let prefix = &reference.wal_bytes[..boundaries[keep - 1] as usize];
         std::fs::write(cut_dir.path().join("wal.log"), prefix).unwrap();
-        let label = format!("seed {seed}, snapshot_every {snapshot_every}, {keep}/{n} records");
-        recover_refeed_and_compare(&reference, cut_dir.path(), &tail[keep - 1..], &label);
+        let label = format!("{tag}, {keep}/{n} records");
+        recover_refeed_and_compare(reference, cut_dir.path(), &tail[keep - 1..], &label);
 
         // After the re-feed the recovered log must carry the same record
         // sequence as the reference — so a second recovery would replay the
         // same history. (Only comparable while no snapshot fired during the
         // re-feed and truncated the log.)
-        if snapshot_every as usize > n {
-            assert_log_matches_reference(cut_dir.path(), &reference, &label);
+        if reference.snapshot_every as usize > n {
+            assert_log_matches_reference(cut_dir.path(), reference, &label);
         }
     }
+}
+
+fn recovery_matches_reference_at_every_boundary(
+    seed: u64,
+    snapshot_every: u64,
+    group_commit: usize,
+) {
+    let ref_dir = TempDir::new("ref");
+    let reference = reference_run(seed, ref_dir.path(), snapshot_every, group_commit);
+    sweep_every_boundary(
+        &reference,
+        ref_dir.path(),
+        &format!("seed {seed}, snapshot_every {snapshot_every}"),
+    );
 }
 
 proptest! {
@@ -421,6 +437,188 @@ proptest! {
             recover_refeed_and_compare(&reference, cut_dir.path(), &dropped, &label);
             assert_log_matches_reference(cut_dir.path(), &reference, &label);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Escalated runs: system answers are replayed, never re-decided
+// ---------------------------------------------------------------------------
+
+/// Settles the engine to quiescence while deliberately starving some frontier
+/// requests so the lifecycle sweeper must escalate them. Under `AutoResolve`
+/// the harness answers only even-numbered tokens by hand, leaving the odd
+/// ones to expire into system answers; under `ReAsk` it answers a request
+/// only once the sweeper has escalated it at least once (re-asks are
+/// advisory, so a human must still decide). Under `Wait` everything is
+/// answered on first sight — the sweep is pure aging.
+fn settle_with_escalations(
+    engine: &ExchangeEngine,
+    resolver: &mut RandomResolver,
+    policy: EscalationPolicy,
+) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !engine.is_quiescent() {
+        if let Some(e) = engine.error() {
+            panic!("escalated reference: engine failed while settling: {e}");
+        }
+        assert!(Instant::now() < deadline, "escalated reference never became quiescent");
+        for pf in engine.pending_frontiers() {
+            let by_hand = match policy {
+                EscalationPolicy::Wait => true,
+                EscalationPolicy::ReAsk { .. } => pf.escalations >= 1,
+                EscalationPolicy::AutoResolve { .. } => pf.token.0 % 2 == 0,
+            };
+            if !by_hand {
+                continue;
+            }
+            let decision = engine.read(|db| resolver.resolve(&db.snapshot(pf.update), &pf.request));
+            engine.answer(pf.token, decision).expect("hand answer applies");
+        }
+        engine.sweep();
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// [`reference_run`] under an escalation policy: the same workload, but the
+/// settling loop starves requests (see [`settle_with_escalations`]) so the
+/// final log interleaves Human- and System-origin answer records. Returns
+/// the reference plus the **unscrubbed** live metrics, so callers can pin
+/// escalation counts that `scrub` erases.
+fn escalated_reference_run(
+    seed: u64,
+    dir: &Path,
+    policy: EscalationPolicy,
+) -> (ReferenceRun, RunMetrics) {
+    let mut experiment = ExperimentConfig::tiny();
+    experiment.seed = seed;
+    let fixture = build_fixture(&experiment).expect("fixture builds");
+    let ops: Vec<InitialOp> = generate_workload(
+        &experiment,
+        &fixture.schema,
+        &fixture.initial_db,
+        &fixture.mappings,
+        WorkloadKind::Mixed,
+        seed,
+    )
+    .into_iter()
+    .take(10)
+    .collect();
+    let first_number = experiment.initial_tuples as u64 + 1_000;
+    let config = EngineConfig::default()
+        .with_scheduler(
+            SchedulerConfig::with_tracker(TrackerKind::Precise)
+                .with_policy(SchedulingPolicy::StepRoundRobin)
+                .with_chase_mode(ChaseMode::Incremental)
+                .with_frontier_delay_rounds(3)
+                .with_workers(2),
+        )
+        .with_first_update_number(first_number)
+        .with_escalation_policy(policy);
+    let durability = DurabilityConfig::new(dir).with_snapshot_every(1_000_000).with_group_commit(1);
+    let engine = ExchangeEngine::new_durable(
+        fixture.initial_db.clone(),
+        fixture.mappings.clone(),
+        config,
+        durability,
+    )
+    .expect("durable engine starts");
+
+    let mut resolver = RandomResolver::seeded(seed ^ 0xE61E);
+    for wave in ops.chunks(3) {
+        engine.submit_batch(wave.to_vec()).expect("uncapped submission");
+        settle_with_escalations(&engine, &mut resolver, policy);
+    }
+    assert!(engine.is_quiescent(), "escalated reference run must end quiescent");
+    let stats = engine.update_stats();
+    let aborts = abort_set(&stats);
+    let (db, mappings, metrics) = engine.shutdown();
+    assert!(satisfies_all(&db.snapshot(UpdateId::OMNISCIENT), &mappings));
+
+    let wal_bytes = std::fs::read(dir.join("wal.log")).expect("wal survives shutdown");
+    let records = read_wal(&dir.join("wal.log")).expect("wal parses").records;
+    let reference = ReferenceRun {
+        render: render(&db),
+        metrics: scrub(metrics.clone()),
+        stats,
+        aborts,
+        records,
+        wal_bytes,
+        mappings,
+        config,
+        snapshot_every: 1_000_000,
+        group_commit: 1,
+    };
+    (reference, metrics)
+}
+
+/// Counts (human, system) answer records in a decoded log.
+fn count_answer_origins(records: &[Vec<u8>]) -> (usize, usize) {
+    records[1..].iter().fold((0, 0), |(h, s), payload| {
+        match decode_record(payload).expect("logged record decodes") {
+            WalRecord::Answer { origin: ResolutionOrigin::Human, .. } => (h + 1, s),
+            WalRecord::Answer { origin: ResolutionOrigin::System, .. } => (h, s + 1),
+            _ => (h, s),
+        }
+    })
+}
+
+/// A pinned auto-resolving run: seed 4242 is known to block on frontiers, so
+/// the log *must* carry System-origin answer records, the live
+/// `auto_resolutions` metric must count exactly those records — and the full
+/// boundary sweep must hold with system answers in the replayed tail. The
+/// metrics equality inside the sweep is what pins "replayed, never
+/// re-decided": `scrub` keeps `auto_resolutions`, so a recovery that dropped
+/// or re-made even one system decision would miscount.
+#[test]
+fn auto_resolved_runs_recover_byte_identically() {
+    let policy =
+        EscalationPolicy::AutoResolve { after: 2, decision: AutoDecision::ExpandOrDeleteFirst };
+    let dir = TempDir::new("auto-ref");
+    let (reference, live) = escalated_reference_run(4242, dir.path(), policy);
+    let (human, system) = count_answer_origins(&reference.records);
+    assert!(system > 0, "the starved odd-token requests must have auto-resolved");
+    assert!(human > 0, "the even-token requests must still be human answers");
+    assert_eq!(live.auto_resolutions, system, "live metric counts the logged system answers");
+    assert_eq!(
+        reference.metrics.auto_resolutions, system,
+        "auto_resolutions survives the scrub — recovery must reproduce it"
+    );
+    sweep_every_boundary(&reference, dir.path(), "auto-resolve seed 4242");
+}
+
+/// The same pinned run under `ReAsk`: escalations happen (the harness only
+/// answers re-asked requests) but are advisory — the log carries Human
+/// answers only, and a recovered run restarts the re-ask counter at zero.
+#[test]
+fn re_asked_runs_recover_byte_identically() {
+    let dir = TempDir::new("reask-ref");
+    let (reference, live) =
+        escalated_reference_run(4242, dir.path(), EscalationPolicy::ReAsk { after: 2 });
+    let (human, system) = count_answer_origins(&reference.records);
+    assert!(live.re_asks > 0, "every answered request was re-asked first");
+    assert_eq!(system, 0, "re-asks are advisory: no system answers in the log");
+    assert!(human > 0, "the re-asked requests were answered by hand");
+    assert_eq!(reference.metrics.re_asks, 0, "scrubbed: re-asks reset across recovery");
+    sweep_every_boundary(&reference, dir.path(), "re-ask seed 4242");
+}
+
+proptest! {
+    // The boundary sweep recovers O(records) engines per case, and the
+    // escalated settle loop sleeps between sweeps, so keep the case count
+    // low — the pinned tests above already guarantee escalations occur.
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Crash anywhere in an auto-resolving run: recover + re-feed ≡ never
+    /// crashed, with the replayed tail carrying the sweeper's own answers.
+    #[test]
+    fn escalated_recovery_is_byte_identical_at_every_boundary(seed in 0u64..10_000) {
+        let policy = EscalationPolicy::AutoResolve {
+            after: 2,
+            decision: AutoDecision::ExpandOrDeleteFirst,
+        };
+        let dir = TempDir::new("auto-prop");
+        let (reference, _) = escalated_reference_run(seed, dir.path(), policy);
+        sweep_every_boundary(&reference, dir.path(), &format!("auto-resolve seed {seed}"));
     }
 }
 
