@@ -99,6 +99,11 @@ fn invert_change(change: &TupleChange) -> TupleChange {
 }
 
 /// Configuration of a long-lived [`ExchangeEngine`].
+///
+/// Prefer [`EngineBuilder`](crate::EngineBuilder), which assembles this
+/// struct (plus durability) behind one fluent surface — the field struct and
+/// its `with_*` setters survive as the assembled representation (and the
+/// durable config fingerprint input), not as the construction API.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// The scheduler knobs the engine inherits from the batch world: tracker,
@@ -744,7 +749,12 @@ impl EngineShared {
                 let id = UpdateId(self.config.first_update_number + (base + i) as u64);
                 let cell = Arc::new(SlotCell {
                     slot: Mutex::new(Slot {
-                        exec: UpdateExecution::with_mode(id, op, self.config.scheduler.chase_mode),
+                        exec: UpdateExecution::configured(
+                            id,
+                            op,
+                            self.config.scheduler.chase_mode,
+                            self.config.scheduler.violation_state,
+                        ),
                         speculation: None,
                         frontier_wait: 0,
                         parked: false,
@@ -938,6 +948,15 @@ impl EngineShared {
                 let applied = db.apply_all_owned(writes, slot.exec.id())?;
                 spec.reads.commit_allocators(&db);
                 slot.exec = spec.exec;
+                // The grafted execution's delta cursor was advanced against
+                // the overlay's *projected* sequence; re-anchor it to the real
+                // one while the write lock still excludes interleaved commits.
+                // Any delta the jump skips is either this update's own
+                // re-applied write (epochs already stamped in the grafted
+                // queue) or a relation its queue does not watch — anything
+                // else would have failed validation, because the overlay feed
+                // pinned every watched relation as an epoch read.
+                slot.exec.sync_delta_cursor(youtopia_storage::ViolationFeed::delta_seq(&*db));
                 committed = Some(StepOutcome { writes: applied, ..spec.outcome });
                 lock(&self.metrics).speculations_committed += 1;
                 self.spec_penalty.store(0, Ordering::Relaxed);
@@ -1211,6 +1230,15 @@ impl EngineShared {
         self.read_log.clear_all();
         self.write_log.clear_all();
         *lock(&self.tracker) = self.config.scheduler.tracker.build();
+        // The shared violation index's delta backlog is dead for the same
+        // reason: only live executions hold cursors into it, and there are
+        // none. Dropping it (rather than letting the cap drain it lazily)
+        // means a burst of speculative discards or a huge quiescent workload
+        // cannot leave buffered deltas pinned across idle periods; any
+        // later-admitted update starts at the post-truncation sequence, and a
+        // stale cursor would surface as a gap (all-dirty fallback), not a
+        // missed delta.
+        crate::viewmaint::clear(&mut self.db.write().unwrap_or_else(|e| e.into_inner()));
         self.compact_locked(&mut slots);
         // Quiescence is a durability point: any group-commit window still
         // open is flushed so an idle engine never sits on unsynced records.
@@ -2144,6 +2172,7 @@ impl ExchangeEngine {
                 id,
                 summary.initial.clone(),
                 config.scheduler.chase_mode,
+                config.scheduler.violation_state,
                 summary.stats,
                 summary.terminated,
             );
@@ -2608,6 +2637,14 @@ impl ExchangeEngine {
         let cell = self.shared.lookup(update)?;
         let slot = lock(&cell.slot);
         Ok(slot.exec.is_terminated().then(|| UpdateReport::for_execution(&slot.exec)))
+    }
+
+    /// Observes the shared violation index: the delta feed's sequence number
+    /// and its retained backlog (see [`crate::viewmaint`] for the maintenance
+    /// model). The backlog is bounded by the cap and cleared whenever
+    /// quiescence GC runs.
+    pub fn violation_index(&self) -> crate::viewmaint::ViolationIndexStats {
+        self.read(crate::viewmaint::stats)
     }
 
     /// The priority number the next submission will receive.

@@ -23,10 +23,15 @@ use youtopia_core::{
 use youtopia_mappings::{satisfies_all, MappingSet};
 use youtopia_storage::{Database, NullId, RelationId, TupleId, UpdateId, Value};
 
-use crate::engine::{EngineConfig, ExchangeEngine, ResolverPump, UpdateHandle, UpdateStatus};
-use crate::scheduler::SchedulerConfig;
+use crate::builder::EngineBuilder;
+use crate::engine::{ExchangeEngine, ResolverPump, UpdateHandle, UpdateStatus};
 
 /// Configuration of the single-update exchange.
+///
+/// Superseded by [`EngineBuilder`](crate::EngineBuilder), the one
+/// configuration surface for all engines — this struct survives for existing
+/// `with_config` callers and is translated into a builder internally. New
+/// knobs are added to the builder only.
 #[derive(Clone, Copy, Debug)]
 pub struct ExchangeConfig {
     /// Safety valve: the maximum number of chase steps a single update may
@@ -89,27 +94,27 @@ impl UpdateExchange {
         UpdateExchange::with_config(db, mappings, ExchangeConfig::default())
     }
 
-    /// Creates an exchange with a custom configuration.
+    /// Creates an exchange with a custom configuration. (Thin shim over
+    /// [`EngineBuilder`](crate::EngineBuilder) — callers wanting more than
+    /// these two knobs should build an engine directly.)
     pub fn with_config(
         db: Database,
         mappings: MappingSet,
         config: ExchangeConfig,
     ) -> UpdateExchange {
-        let scheduler = SchedulerConfig::default()
-            .with_workers(1)
-            .with_frontier_delay_rounds(0)
-            .with_chase_mode(config.chase_mode)
-            // The exchange's step valve is per-update, not global: a runaway
-            // chase fails its own update and leaves the exchange usable.
-            .with_max_total_steps(usize::MAX);
         // Inline mode: one update at a time needs no worker threads, and a
         // threadless engine keeps micro-chases at single-threaded cost (no
-        // cross-thread handoff per step or frontier answer).
-        let engine_config = EngineConfig::default()
-            .with_scheduler(scheduler)
-            .with_max_steps_per_update(config.max_steps_per_update)
-            .run_inline();
-        UpdateExchange { engine: ExchangeEngine::new(db, mappings, engine_config) }
+        // cross-thread handoff per step or frontier answer). The step valve
+        // is per-update, not global (the builder's default): a runaway chase
+        // fails its own update and leaves the exchange usable.
+        let engine = EngineBuilder::new()
+            .workers(1)
+            .chase_mode(config.chase_mode)
+            .max_steps_per_update(config.max_steps_per_update)
+            .inline()
+            .build(db, mappings)
+            .expect("non-durable engine construction is infallible");
+        UpdateExchange { engine }
     }
 
     /// The underlying engine — for callers that want to graduate from

@@ -45,17 +45,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod conflict;
 pub mod deps;
 pub mod durable;
 pub mod engine;
+pub mod error;
 pub mod exchange;
 pub mod log;
 pub mod metrics;
 pub mod parallel;
 pub mod scheduler;
 pub mod striped;
+pub mod viewmaint;
 
+pub use builder::EngineBuilder;
 pub use conflict::{
     change_conflicts_with_reader, change_conflicts_with_reader_keyed, direct_conflicts,
     DirectConflict,
@@ -68,9 +72,14 @@ pub use engine::{
     AnswerOutcome, ClientId, EngineConfig, ExchangeEngine, Priority, ResolverPump, RetryAfter,
     SubmitError, SweepReport, UpdateHandle, UpdateStatus,
 };
+pub use error::EngineError;
 pub use exchange::{DbRef, DbRefMut, ExchangeConfig, UpdateExchange};
 pub use log::{ChangeSource, ReadLog, WriteLog};
 pub use metrics::{AveragedMetrics, RunMetrics};
 pub use parallel::ParallelRun;
 pub use scheduler::{ConcurrentRun, SchedulerConfig, SchedulingPolicy, SpeculationMode};
 pub use striped::{StripedReadLog, StripedWriteLog};
+pub use viewmaint::ViolationIndexStats;
+// The violation-state knob lives in `youtopia-core` (executions own it) but
+// is configured here; re-exported so engine callers need one import path.
+pub use youtopia_core::ViolationStateMode;

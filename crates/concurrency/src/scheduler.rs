@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use youtopia_core::{
     ChaseError, ChaseMode, FrontierResolver, InitialOp, ReadQuery, UpdateExecution, UpdateState,
+    ViolationStateMode,
 };
 use youtopia_mappings::MappingSet;
 use youtopia_storage::{Database, TupleChange, UpdateId};
@@ -54,6 +55,11 @@ pub enum SpeculationMode {
 }
 
 /// Configuration of a concurrent run.
+///
+/// For long-lived engines, prefer [`EngineBuilder`](crate::EngineBuilder) —
+/// it exposes every one of these knobs without the
+/// `EngineConfig`-wraps-`SchedulerConfig` nesting. Batch runs
+/// ([`ConcurrentRun`], `ParallelRun`) keep taking this struct directly.
 #[derive(Clone, Copy, Debug)]
 pub struct SchedulerConfig {
     /// Which cascading-abort tracker to use.
@@ -83,6 +89,11 @@ pub struct SchedulerConfig {
     /// free-running mode, and single-worker engines, where there is nothing
     /// to overlap.
     pub speculation: SpeculationMode,
+    /// Where executions get their change signal from: the engine-shared
+    /// violation index's delta feed (the default) or per-update epoch
+    /// watermarks, the differential baseline
+    /// (see [`ViolationStateMode`]).
+    pub violation_state: ViolationStateMode,
 }
 
 impl Default for SchedulerConfig {
@@ -96,6 +107,7 @@ impl Default for SchedulerConfig {
             workers: 1,
             deterministic: true,
             speculation: SpeculationMode::default(),
+            violation_state: ViolationStateMode::default(),
         }
     }
 }
@@ -149,6 +161,13 @@ impl SchedulerConfig {
         self
     }
 
+    /// Replaces the violation-state maintenance mode (shared delta feed vs
+    /// the per-update differential baseline).
+    pub fn with_violation_state(mut self, violation_state: ViolationStateMode) -> SchedulerConfig {
+        self.violation_state = violation_state;
+        self
+    }
+
     /// Replaces the simulated-user frontier delay (in scheduler rounds).
     pub fn with_frontier_delay_rounds(mut self, rounds: usize) -> SchedulerConfig {
         self.frontier_delay_rounds = rounds;
@@ -197,10 +216,11 @@ impl ConcurrentRun {
             .into_iter()
             .enumerate()
             .map(|(i, op)| Slot {
-                exec: UpdateExecution::with_mode(
+                exec: UpdateExecution::configured(
                     UpdateId(first_update_number + i as u64),
                     op,
                     config.chase_mode,
+                    config.violation_state,
                 ),
                 frontier_wait: 0,
             })

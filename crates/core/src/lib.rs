@@ -84,4 +84,5 @@ pub use resolver::{
 };
 pub use update::{
     ChaseMode, InitialOp, StepOutcome, UpdateExecution, UpdateReport, UpdateState, UpdateStats,
+    ViolationStateMode,
 };

@@ -162,6 +162,32 @@ pub enum ChaseMode {
     FullRecheck,
 }
 
+/// How an execution finds out which of its watched relations changed between
+/// steps — the ownership model of violation-detection state.
+///
+/// Orthogonal to [`ChaseMode`]: the chase mode decides *how much* queue
+/// maintenance a step performs (delta-driven vs whole-queue), this mode
+/// decides *where the change signal comes from*. Both keep the per-violation
+/// epoch compare as the exact inner filter, so the two modes produce
+/// byte-identical executions (pinned by `tests/viewmaint_equivalence.rs`,
+/// exactly as `tests/queue_equivalence.rs` pins the chase modes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ViolationStateMode {
+    /// The engine-shared violation index (the default): the store keeps one
+    /// committed-write delta log (the
+    /// [`ViolationFeed`](youtopia_storage::ViolationFeed)) and the execution
+    /// holds a plain integer cursor into it. A step asks the feed which of
+    /// its indexed relations appear in the window its cursor missed — cost
+    /// proportional to what changed since this update's previous step, and
+    /// independent of how many updates are live on the engine.
+    #[default]
+    Shared,
+    /// The pre-index reference path: the execution owns per-relation epoch
+    /// watermarks and probes every indexed relation's write epoch each step.
+    /// Kept as the differential baseline, like [`ChaseMode::FullRecheck`].
+    PerUpdate,
+}
+
 /// One queued violation together with the bookkeeping the delta-driven queue
 /// needs: the relations it reads, the epochs those relations had when the
 /// violation was last known to be live, and the memoised repair plan.
@@ -211,8 +237,17 @@ pub struct UpdateExecution {
     /// relation → write epoch up to which every queued violation indexed
     /// under the relation has been validated. A step only revisits relations
     /// whose store epoch differs (covering its own writes, other updates'
-    /// writes and rollbacks alike).
+    /// writes and rollbacks alike). Only consulted in
+    /// [`ViolationStateMode::PerUpdate`]; the shared mode replaces the whole
+    /// watermark map with `delta_cursor`.
     index_epochs: HashMap<RelationId, u64>,
+    /// Where the shared violation index's delta feed owns the change signal.
+    viol_mode: ViolationStateMode,
+    /// This execution's cursor into the engine-shared committed-delta feed
+    /// ([`ViolationStateMode::Shared`]): every delta below it has been folded
+    /// into the queue's bookkeeping. Advanced at the end of each step's queue
+    /// maintenance; resynchronised by the engine after a speculative commit.
+    delta_cursor: u64,
     pending_frontier: Option<FrontierRequest>,
     stats: UpdateStats,
 }
@@ -233,6 +268,17 @@ impl UpdateExecution {
     /// Creates the execution with an explicit [`ChaseMode`] (tests and
     /// benchmarks use [`ChaseMode::FullRecheck`] as the reference path).
     pub fn with_mode(id: UpdateId, initial: InitialOp, mode: ChaseMode) -> UpdateExecution {
+        UpdateExecution::configured(id, initial, mode, ViolationStateMode::default())
+    }
+
+    /// Creates the execution with both maintenance modes chosen explicitly —
+    /// the constructor the engine's builder feeds.
+    pub fn configured(
+        id: UpdateId,
+        initial: InitialOp,
+        mode: ChaseMode,
+        viol_mode: ViolationStateMode,
+    ) -> UpdateExecution {
         let first_write = initial.to_write();
         UpdateExecution {
             id,
@@ -245,6 +291,8 @@ impl UpdateExecution {
             queued_set: HashSet::new(),
             queue_index: HashMap::new(),
             index_epochs: HashMap::new(),
+            viol_mode,
+            delta_cursor: 0,
             pending_frontier: None,
             stats: UpdateStats::default(),
         }
@@ -260,10 +308,11 @@ impl UpdateExecution {
         id: UpdateId,
         initial: InitialOp,
         mode: ChaseMode,
+        viol_mode: ViolationStateMode,
         stats: UpdateStats,
         terminated: bool,
     ) -> UpdateExecution {
-        let mut exec = UpdateExecution::with_mode(id, initial, mode);
+        let mut exec = UpdateExecution::configured(id, initial, mode, viol_mode);
         exec.stats = stats;
         if terminated {
             exec.state = UpdateState::Terminated;
@@ -275,6 +324,23 @@ impl UpdateExecution {
     /// The queue-maintenance mode this execution runs with.
     pub fn mode(&self) -> ChaseMode {
         self.mode
+    }
+
+    /// Where this execution's change signal comes from (shared feed cursor or
+    /// per-update epoch watermarks).
+    pub fn violation_state(&self) -> ViolationStateMode {
+        self.viol_mode
+    }
+
+    /// Resynchronises the shared-feed cursor to `seq`. Called by the engine
+    /// after committing a speculative step: the overlay numbered its buffered
+    /// deltas from the read-locked base, and the commit re-applies them at the
+    /// real sequence — every delta the jump skips is either this update's own
+    /// re-applied write (its epochs are already stamped in the queue) or a
+    /// commit into a relation the queue does not watch (validation pinned all
+    /// watched relations, so interference would have discarded the outcome).
+    pub fn sync_delta_cursor(&mut self, seq: u64) {
+        self.delta_cursor = seq;
     }
 
     /// The update's priority number.
@@ -410,22 +476,52 @@ impl UpdateExecution {
     }
 
     /// Delta-driven queue maintenance: re-runs `still_violated` only on the
-    /// violations indexed under a relation whose write epoch moved since that
-    /// relation was last validated — everything else is provably unchanged.
-    /// Dirty relations cover this step's own writes as well as writes and
-    /// rollbacks other updates performed since our previous step.
+    /// violations indexed under a relation that changed since this update
+    /// last looked — everything else is provably unchanged. Dirty relations
+    /// cover this step's own writes as well as writes and rollbacks other
+    /// updates performed since our previous step.
+    ///
+    /// The change signal depends on [`ViolationStateMode`]: the shared mode
+    /// replays the engine-global delta feed from this execution's cursor
+    /// (cost: the window it missed), the per-update mode probes every indexed
+    /// relation's epoch against its own watermarks (cost: the queue's
+    /// relation footprint). Both are over-approximations of "some queued
+    /// violation's checked epoch moved", and the per-entry epoch compare
+    /// below filters exactly — so the final queue state is identical either
+    /// way.
     fn recheck_touched<D: ChaseData>(
         &mut self,
         db: &D,
         view: &dyn DataView,
         mappings: &MappingSet,
     ) {
-        let dirty: Vec<RelationId> = self
-            .queue_index
-            .keys()
-            .copied()
-            .filter(|r| self.index_epochs.get(r).copied() != Some(db.relation_epoch(*r)))
-            .collect();
+        let dirty: Vec<RelationId> = match self.viol_mode {
+            ViolationStateMode::PerUpdate => self
+                .queue_index
+                .keys()
+                .copied()
+                .filter(|r| self.index_epochs.get(r).copied() != Some(db.relation_epoch(*r)))
+                .collect(),
+            ViolationStateMode::Shared => {
+                if self.queue_index.is_empty() {
+                    // Nothing queued, nothing to validate: jump the cursor
+                    // over the whole backlog without scanning it. This is
+                    // what makes a freshly admitted execution's first step
+                    // O(1) in the feed regardless of history length.
+                    self.delta_cursor = db.delta_seq();
+                    return;
+                }
+                let interest: Vec<RelationId> = self.queue_index.keys().copied().collect();
+                let dirty = db
+                    .dirty_relations(self.delta_cursor, &interest)
+                    // The backlog was truncated past our cursor: every
+                    // indexed relation is a candidate; the per-entry compare
+                    // below filters exactly what the per-update probe would.
+                    .unwrap_or(interest);
+                self.delta_cursor = db.delta_seq();
+                dirty
+            }
+        };
         if dirty.is_empty() {
             return;
         }

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use youtopia_storage::{Atom, Catalog, RelationId, Symbol};
 
@@ -165,8 +166,12 @@ pub struct MappingSet {
     tgds: Vec<Tgd>,
     lhs_index: HashMap<RelationId, Vec<MappingId>>,
     rhs_index: HashMap<RelationId, Vec<MappingId>>,
-    /// Precompiled violation-query skeletons, kept in sync by [`MappingSet::add`].
-    plans: CompiledPlans,
+    /// Precompiled violation-query skeletons, kept in sync by
+    /// [`MappingSet::add`]. Behind an [`Arc`] so the many clones a long-lived
+    /// engine makes of its mapping set (recovery, exchange facades, worker
+    /// handoff) all share one compiled-plan cache instead of duplicating it
+    /// per consumer; mutation is copy-on-write.
+    plans: Arc<CompiledPlans>,
 }
 
 impl MappingSet {
@@ -190,7 +195,7 @@ impl MappingSet {
         for rel in tgd.rhs_relations() {
             self.rhs_index.entry(rel).or_default().push(id);
         }
-        self.plans.add_mapping(&tgd);
+        Arc::make_mut(&mut self.plans).add_mapping(&tgd);
         self.tgds.push(tgd);
         Ok(id)
     }
@@ -243,6 +248,13 @@ impl MappingSet {
     /// straight to the plans that can possibly fire.
     pub fn plans(&self) -> &CompiledPlans {
         &self.plans
+    }
+
+    /// The shared handle to the compiled plans: cloning it is one reference
+    /// count, so engine-scope consumers (one per worker, per facade, per
+    /// recovery pass) can hold the cache without duplicating it.
+    pub fn plans_arc(&self) -> Arc<CompiledPlans> {
+        Arc::clone(&self.plans)
     }
 
     /// Validates every mapping against the catalog.

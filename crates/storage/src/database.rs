@@ -267,6 +267,21 @@ impl Database {
         self.store.relation_epoch(relation)
     }
 
+    /// Number of retained write-delta entries (see
+    /// [`VersionStore::delta_backlog_len`]); used by the engine's quiescence
+    /// GC diagnostics and memory-bound tests.
+    pub fn delta_backlog_len(&self) -> usize {
+        self.store.delta_backlog_len()
+    }
+
+    /// Drops the write-delta backlog of the shared violation feed (see
+    /// [`VersionStore::truncate_delta_backlog`]). Safe at any time — stale
+    /// cursors observe a gap and fall back to full revalidation — but meant
+    /// for engine quiescence, where no live cursor exists.
+    pub fn truncate_delta_backlog(&mut self) {
+        self.store.truncate_delta_backlog()
+    }
+
     /// All tuples of `relation` visible to `reader`.
     pub fn scan(&self, relation: RelationId, reader: UpdateId) -> Vec<(TupleId, TupleData)> {
         self.store.scan(relation, reader)

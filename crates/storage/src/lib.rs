@@ -43,6 +43,7 @@
 
 pub mod database;
 pub mod error;
+pub mod feed;
 pub mod query;
 pub mod relation;
 pub mod schema;
@@ -56,12 +57,13 @@ pub mod wal;
 
 pub use database::Database;
 pub use error::StorageError;
+pub use feed::ViolationFeed;
 pub use query::{evaluate, restrict, satisfiable, variables_of, Atom, Bindings, QueryMatch, Term};
 pub use relation::RelationStore;
 pub use schema::{Catalog, RelationId, RelationSchema};
 pub use snapshot::{DataView, OverlaySnapshot, Snapshot, TupleOverride};
 pub use speculate::{ChaseData, SpeculationReadSet, SpeculativeDb, SpeculativeView};
-pub use store::VersionStore;
+pub use store::{VersionStore, DELTA_BACKLOG_CAP};
 pub use tuple::{
     contains_null, is_more_specific, nulls_of, specialization, specificity_equivalent,
     substitute_nulls, Tuple, TupleData, TupleId,

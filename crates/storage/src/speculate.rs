@@ -37,11 +37,13 @@ use crate::value::{NullId, Value};
 use crate::version::{AppliedWrite, TupleChange, UpdateId, Write};
 
 /// What a chase step needs from its data source: visibility-filtered reads,
-/// relation write epochs, and id allocation. Implemented by [`Database`]
-/// (direct execution) and [`SpeculativeDb`] (speculative execution against a
-/// read-locked base); `UpdateExecution::begin_step` / `finish_step` are
-/// generic over it so both paths run the *same* chase code.
-pub trait ChaseData {
+/// relation write epochs, the committed-delta feed of the shared violation
+/// index (the [`ViolationFeed`](crate::feed::ViolationFeed) supertrait), and
+/// id allocation. Implemented by [`Database`] (direct execution) and
+/// [`SpeculativeDb`] (speculative execution against a read-locked base);
+/// `UpdateExecution::begin_step` / `finish_step` are generic over it so both
+/// paths run the *same* chase code.
+pub trait ChaseData: crate::feed::ViolationFeed {
     /// The read view handed to query evaluation.
     type View<'a>: DataView
     where
@@ -222,6 +224,27 @@ impl<'db> SpeculativeDb<'db> {
     fn record(&self, relation: RelationId) {
         let mut reads = self.reads.borrow_mut();
         reads.entry(relation).or_insert_with(|| self.base.relation_epoch(relation));
+    }
+
+    /// The read-locked base database this overlay speculates against.
+    pub(crate) fn base(&self) -> &Database {
+        self.base
+    }
+
+    /// Records a base epoch read (the violation feed pins its interest set
+    /// through this; see `crate::feed`).
+    pub(crate) fn record_read(&self, relation: RelationId) {
+        self.record(relation);
+    }
+
+    /// Total buffered overlay mutations (epoch bumps across all relations).
+    pub(crate) fn overlay_mutations(&self) -> u64 {
+        self.epoch_bumps.values().sum()
+    }
+
+    /// Whether the overlay itself buffered a mutation of `relation`.
+    pub(crate) fn overlay_mutated(&self, relation: RelationId) -> bool {
+        self.epoch_bumps.contains_key(&relation)
     }
 
     /// Records a dependency on *every* relation (null-occurrence queries and

@@ -8,13 +8,21 @@
 //! path a single owner: every mutation funnels through `VersionStore`, which
 //! is what lets the visible-set caches be invalidated exactly once per write.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 use crate::relation::RelationStore;
 use crate::schema::RelationId;
 use crate::tuple::{self, TupleData, TupleId};
 use crate::value::NullId;
 use crate::version::{TupleVersion, UpdateId, VersionChain};
+
+/// Upper bound on retained write deltas. The backlog is normally truncated at
+/// engine quiescence; the cap is the unconditional backstop for engines that
+/// never go quiescent. Consumers whose cursor falls behind the truncation
+/// point fall back to treating every indexed relation as dirty, which the
+/// per-entry epoch compare then filters exactly — truncation is always safe,
+/// only (slightly) slower.
+pub const DELTA_BACKLOG_CAP: usize = 32 * 1024;
 
 /// Versioned tuple storage for all relations of one database.
 #[derive(Clone, Debug, Default)]
@@ -25,6 +33,15 @@ pub struct VersionStore {
     /// Tuples whose some version contains a given labeled null
     /// (stale-tolerant: lookups re-check visible data).
     null_occurrences: HashMap<NullId, BTreeSet<TupleId>>,
+    /// Delta number of the oldest retained entry of `deltas`: entry `i` of the
+    /// queue is delta `delta_base + i`. Monotonically increasing; advanced by
+    /// truncation (and by the cap) so cursors can detect a gap.
+    delta_base: u64,
+    /// The committed write-delta log: one relation id per relation mutation,
+    /// in commit order — the feed the shared violation index replays. Every
+    /// mutation that bumps a relation's write epoch appends exactly one entry,
+    /// so a cursor over this queue sees precisely the epoch moves it missed.
+    deltas: VecDeque<RelationId>,
 }
 
 impl VersionStore {
@@ -58,6 +75,57 @@ impl VersionStore {
         self.relation(relation).map(|s| s.epoch()).unwrap_or(0)
     }
 
+    /// Appends one entry to the write-delta log, enforcing the backlog cap.
+    fn note_delta(&mut self, relation: RelationId) {
+        if self.deltas.len() >= DELTA_BACKLOG_CAP {
+            let drop = self.deltas.len() - DELTA_BACKLOG_CAP + 1;
+            self.deltas.drain(..drop);
+            self.delta_base += drop as u64;
+        }
+        self.deltas.push_back(relation);
+    }
+
+    /// The global delta sequence number: the number of relation mutations
+    /// committed so far. A consumer that remembers this value can later ask
+    /// [`VersionStore::deltas_since`] which relations changed in between.
+    pub fn delta_seq(&self) -> u64 {
+        self.delta_base + self.deltas.len() as u64
+    }
+
+    /// The relation mutations committed in the window `[since, delta_seq())`,
+    /// in commit order. Returns `None` when the backlog no longer reaches back
+    /// to `since` (it was truncated, or `since` is from a different store
+    /// history): the caller must then treat everything it watches as dirty.
+    pub fn deltas_since(&self, since: u64) -> Option<impl Iterator<Item = RelationId> + '_> {
+        if since < self.delta_base || since > self.delta_seq() {
+            return None;
+        }
+        let skip = (since - self.delta_base) as usize;
+        Some(self.deltas.iter().skip(skip).copied())
+    }
+
+    /// The subset of `interest` (in `interest` order) mutated in the window
+    /// `[since, delta_seq())`, or `None` when the backlog was truncated past
+    /// `since` (see [`VersionStore::deltas_since`]).
+    pub fn dirty_in_window(&self, since: u64, interest: &[RelationId]) -> Option<Vec<RelationId>> {
+        let window: HashSet<RelationId> = self.deltas_since(since)?.collect();
+        Some(interest.iter().copied().filter(|r| window.contains(r)).collect())
+    }
+
+    /// Drops the whole delta backlog, advancing the base watermark so stale
+    /// cursors observe a gap (and fall back to full revalidation) instead of
+    /// silently missing deltas. Called at engine quiescence, where no live
+    /// cursor exists.
+    pub fn truncate_delta_backlog(&mut self) {
+        self.delta_base += self.deltas.len() as u64;
+        self.deltas.clear();
+    }
+
+    /// Number of retained delta entries (diagnostics and memory-bound tests).
+    pub fn delta_backlog_len(&self) -> usize {
+        self.deltas.len()
+    }
+
     /// Registers a brand-new logical tuple.
     pub(crate) fn insert_new(
         &mut self,
@@ -70,6 +138,7 @@ impl VersionStore {
         }
         self.relations[relation.0 as usize].insert_new(tuple, version);
         self.tuple_locations.insert(tuple, relation);
+        self.note_delta(relation);
     }
 
     /// Appends a version to an existing tuple, keeping the null index fresh.
@@ -82,7 +151,11 @@ impl VersionStore {
         if let Some(data) = &version.data {
             self.register_nulls(tuple, data);
         }
-        self.relations[relation.0 as usize].push_version(tuple, version)
+        let pushed = self.relations[relation.0 as usize].push_version(tuple, version);
+        if pushed {
+            self.note_delta(relation);
+        }
+        pushed
     }
 
     /// Records which tuples mention which labeled nulls.
@@ -168,10 +241,18 @@ impl VersionStore {
     /// tuples that disappeared entirely.
     pub fn rollback_update(&mut self, update: UpdateId) -> Vec<TupleId> {
         let mut vanished = Vec::new();
-        for store in &mut self.relations {
-            for id in store.remove_versions_of(update) {
+        for idx in 0..self.relations.len() {
+            let store = &mut self.relations[idx];
+            let before = store.epoch();
+            let removed = store.remove_versions_of(update);
+            let touched = store.epoch() != before;
+            let relation = store.id();
+            for id in removed {
                 self.tuple_locations.remove(&id);
                 vanished.push(id);
+            }
+            if touched {
+                self.note_delta(relation);
             }
         }
         vanished

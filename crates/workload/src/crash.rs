@@ -10,8 +10,7 @@
 use std::path::Path;
 
 use youtopia_concurrency::{
-    DurabilityConfig, EngineConfig, ExchangeEngine, ResolverPump, RunMetrics, SchedulerConfig,
-    TrackerKind,
+    DurabilityConfig, EngineBuilder, ResolverPump, RunMetrics, SchedulerConfig, TrackerKind,
 };
 use youtopia_core::{ChaseError, InitialOp, RandomResolver};
 use youtopia_mappings::satisfies_all;
@@ -85,9 +84,14 @@ pub fn run_crash_recovery(
     let scheduler = SchedulerConfig::with_tracker(tracker)
         .with_frontier_delay_rounds(config.frontier_delay_rounds)
         .with_workers(config.chase_workers.max(1));
-    let engine_config =
-        EngineConfig::default().with_scheduler(scheduler).with_first_update_number(first_number);
-    let durability = || DurabilityConfig::new(dir).with_snapshot_every(16);
+    // One builder describes both lives of the engine: the run that crashes
+    // and the recovery must agree on every fingerprinted knob.
+    let builder = || {
+        EngineBuilder::new()
+            .scheduler(scheduler)
+            .first_update_number(first_number)
+            .durable(DurabilityConfig::new(dir).with_snapshot_every(16))
+    };
     let durable_err = |e: youtopia_concurrency::RecoveryError| {
         ChaseError::InvalidDecision(format!("durability failure: {e}"))
     };
@@ -99,13 +103,8 @@ pub fn run_crash_recovery(
     // Phase 1: the run that will crash.
     let mut submitted_before_crash = 0usize;
     {
-        let engine = ExchangeEngine::new_durable(
-            fixture.initial_db.clone(),
-            mappings.clone(),
-            engine_config,
-            durability(),
-        )
-        .map_err(durable_err)?;
+        let engine =
+            builder().build(fixture.initial_db.clone(), mappings.clone()).map_err(durable_err)?;
         for batch in &waves[..crash_at] {
             submitted_before_crash += batch.len();
             engine
@@ -128,8 +127,7 @@ pub fn run_crash_recovery(
     }
 
     // Phase 2: recover and finish.
-    let engine =
-        ExchangeEngine::recover(mappings, engine_config, durability()).map_err(durable_err)?;
+    let engine = builder().recover(mappings).map_err(durable_err)?;
     // Replay has re-admitted the interrupted wave and re-run its chase up to
     // the last logged event; pump the remaining frontier questions.
     ResolverPump::new(&engine, &mut resolver).run_until_quiescent()?;

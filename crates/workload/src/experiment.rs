@@ -13,8 +13,8 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use youtopia_concurrency::{
-    AveragedMetrics, ConcurrentRun, EngineConfig, ExchangeEngine, ResolverPump, RunMetrics,
-    SchedulerConfig, TrackerKind,
+    AveragedMetrics, ConcurrentRun, EngineBuilder, ResolverPump, RunMetrics, SchedulerConfig,
+    TrackerKind,
 };
 use youtopia_core::{ChaseError, InitialOp, RandomResolver};
 use youtopia_mappings::{satisfies_all, MappingSet};
@@ -194,11 +194,11 @@ fn run_single_through_engine(
     resolver: &mut RandomResolver,
 ) -> Result<RunMetrics, ChaseError> {
     let start = Instant::now();
-    let engine = ExchangeEngine::new(
-        db,
-        mappings,
-        EngineConfig::default().with_scheduler(scheduler).with_first_update_number(first_number),
-    );
+    let engine = EngineBuilder::new()
+        .scheduler(scheduler)
+        .first_update_number(first_number)
+        .build(db, mappings)
+        .expect("non-durable engines build infallibly");
     let submit = |batch: Vec<InitialOp>| {
         engine.submit_batch(batch).map_err(|e| ChaseError::InvalidDecision(e.to_string()))
     };

@@ -19,8 +19,8 @@
 //! Run with `cargo run --example live_session`.
 
 use youtopia::{
-    satisfies_all, Database, EngineConfig, ExchangeEngine, FrontierDecision, FrontierRequest,
-    InitialOp, MappingSet, SchedulerConfig, TrackerKind, UpdateId, UpdateStatus, Value,
+    satisfies_all, Database, EngineBuilder, FrontierDecision, FrontierRequest, InitialOp,
+    MappingSet, TrackerKind, UpdateId, UpdateStatus, Value,
 };
 
 fn figure2_fragment() -> (Database, MappingSet) {
@@ -65,13 +65,12 @@ fn main() {
     let review = db.scan(r, UpdateId::OMNISCIENT)[0].0;
 
     println!("== A live engine session (Example 3.1 as a service) ==\n");
-    let engine = ExchangeEngine::new(
-        db,
-        mappings,
-        EngineConfig::default().with_scheduler(
-            SchedulerConfig::with_tracker(TrackerKind::Precise).with_workers(2).free_running(),
-        ),
-    );
+    let engine = EngineBuilder::new()
+        .tracker(TrackerKind::Precise)
+        .workers(2)
+        .free_running()
+        .build(db, mappings)
+        .expect("non-durable engines build infallibly");
 
     // u1: XYZ discontinues its Geneva Winery tours; the review's deletion
     // blocks on a question only a human can answer.

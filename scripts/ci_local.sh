@@ -40,8 +40,12 @@ stage_stress() {
     cargo test -q --release --test scheduler_equivalence
     echo "==> [stress] engine equivalence (batch engine = ConcurrentRun; live session)"
     cargo test -q --release --test engine_equivalence
+    echo "==> [stress] violation-index equivalence (Shared = PerUpdate; bounded backlog)"
+    cargo test -q --release --test viewmaint_equivalence
     echo "==> [stress] determinism across worker counts"
     cargo test -q --release --test determinism
+    echo "==> [stress] million-user-day survival scenario (shared violation index)"
+    cargo test -q --release -p youtopia-workload scenario
     echo "==> [stress] fig3 smoke at chase-thread counts 1 2 4"
     for t in 1 2 4; do
         cargo run -p youtopia-bench --bin fig3 --release -- --runs 1 --updates 20 --no-naive --chase-threads "$t"

@@ -20,8 +20,7 @@
 //!
 //! ```
 //! use youtopia::{
-//!     satisfies_all, Database, EngineConfig, ExchangeEngine, InitialOp, MappingSet, UpdateId,
-//!     Value,
+//!     satisfies_all, Database, EngineBuilder, InitialOp, MappingSet, UpdateId, Value,
 //! };
 //!
 //! let mut db = Database::new();
@@ -32,7 +31,7 @@
 //!
 //! // A long-lived service: its worker pool outlives any one update.
 //! let c = db.relation_id("C").unwrap();
-//! let engine = ExchangeEngine::new(db, mappings, EngineConfig::default());
+//! let engine = EngineBuilder::new().build(db, mappings).unwrap();
 //! let handle = engine
 //!     .submit(InitialOp::Insert { relation: c, values: vec![Value::constant("Ithaca")] })
 //!     .unwrap();
@@ -73,16 +72,16 @@ pub use youtopia_concurrency as concurrency;
 pub use youtopia_workload as workload;
 
 pub use youtopia_concurrency::{
-    AnswerOutcome, ClientId, ConcurrentRun, DurabilityConfig, EngineConfig, ExchangeConfig,
-    ExchangeEngine, ParallelRun, Priority, RecoveryError, ResolverPump, RetryAfter, RunMetrics,
-    SchedulerConfig, SpeculationMode, SubmitError, SweepReport, TrackerKind, UpdateExchange,
-    UpdateHandle, UpdateStatus,
+    AnswerOutcome, ClientId, ConcurrentRun, DurabilityConfig, EngineBuilder, EngineConfig,
+    EngineError, ExchangeConfig, ExchangeEngine, ParallelRun, Priority, RecoveryError,
+    ResolverPump, RetryAfter, RunMetrics, SchedulerConfig, SpeculationMode, SubmitError,
+    SweepReport, TrackerKind, UpdateExchange, UpdateHandle, UpdateStatus, ViolationIndexStats,
 };
 pub use youtopia_core::{
     AutoDecision, ChaseError, EscalationPolicy, ExpandResolver, FrontierDecision, FrontierRequest,
     FrontierResolver, FrontierToken, InitialOp, LookupError, PendingFrontier, PositiveAction,
     RandomResolver, ResolutionOrigin, ScriptedResolver, UnifyResolver, UpdateExecution,
-    UpdateReport, UpdateState,
+    UpdateReport, UpdateState, ViolationStateMode,
 };
 pub use youtopia_mappings::{
     find_violations, satisfies_all, MappingGraph, MappingSet, Tgd, Violation, ViolationKind,

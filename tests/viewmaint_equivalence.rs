@@ -1,0 +1,305 @@
+//! Differential and lifecycle tests for the engine-shared violation index
+//! ([`youtopia::concurrency::viewmaint`]).
+//!
+//! * **Mode equivalence** — the shared violation index is a pure
+//!   representation change: for every generated workload, every tracker,
+//!   scheduling policy, chase mode, worker count and speculation mode, an
+//!   engine running [`ViolationStateMode::Shared`] must be byte-identical to
+//!   one running [`ViolationStateMode::PerUpdate`] *and* to the
+//!   single-threaded [`ConcurrentRun`] reference — the same final database
+//!   rendering, the same per-update statistics (hence the same abort sets)
+//!   and the same [`RunMetrics`] modulo wall clock. Both modes see the same
+//!   over-approximate dirty sets filtered by the same per-entry epoch check,
+//!   so nothing weaker than byte equality is acceptable.
+//! * **Bounded backlog** — a long-lived engine cycling through tens of
+//!   thousands of trivial updates must not accumulate delta-log backlog: the
+//!   quiescence GC truncates the shared feed whenever no cursor can still
+//!   need it.
+//! * **Speculative discards** — discarded speculations buffer deltas in
+//!   their overlay; none of that may leak into (or pin) the committed feed
+//!   once the engine is quiescent.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use youtopia::chase::ChaseMode;
+use youtopia::concurrency::{RunMetrics, SchedulerConfig, SchedulingPolicy, SpeculationMode};
+use youtopia::mappings::satisfies_all;
+use youtopia::storage::DELTA_BACKLOG_CAP;
+use youtopia::workload::{build_fixture, generate_workload, ExperimentConfig, WorkloadKind};
+use youtopia::{
+    ConcurrentRun, Database, EngineBuilder, ExchangeEngine, InitialOp, MappingSet, RandomResolver,
+    ResolverPump, TrackerKind, UpdateId, UpdateStatus, Value, ViolationStateMode,
+};
+
+/// Strips the wall-clock field and the speculation counters (scheduling
+/// artefacts) so metrics compare byte-exactly.
+fn scrub(mut m: RunMetrics) -> RunMetrics {
+    m.wall_time = std::time::Duration::ZERO;
+    m.speculations_started = 0;
+    m.speculations_committed = 0;
+    m.speculations_discarded = 0;
+    m
+}
+
+/// Byte-exact rendering of every relation's visible contents plus the null
+/// counter — the "final database state" the equivalence is pinned on.
+fn render(db: &Database) -> String {
+    let mut out = String::new();
+    for relation in db.catalog().relation_ids() {
+        out.push_str(&format!("{relation:?}: {:?}\n", db.scan(relation, UpdateId::OMNISCIENT)));
+    }
+    out.push_str(&format!("nulls: {}\n", db.null_counter()));
+    out
+}
+
+/// Runs one generated workload through the `PerUpdate` reference scheduler,
+/// then through engines in **both** violation-state modes across the
+/// speculation × worker grid, asserting byte equality throughout.
+fn shared_matches_per_update(
+    seed: u64,
+    tracker: TrackerKind,
+    kind: WorkloadKind,
+    policy: SchedulingPolicy,
+    chase_mode: ChaseMode,
+) {
+    let mut config = ExperimentConfig::tiny();
+    config.seed = seed;
+    let fixture = build_fixture(&config).expect("fixture builds");
+    let ops: Vec<InitialOp> = generate_workload(
+        &config,
+        &fixture.schema,
+        &fixture.initial_db,
+        &fixture.mappings,
+        kind,
+        seed,
+    )
+    .into_iter()
+    .take(16)
+    .collect();
+    let first_number = config.initial_tuples as u64 + 1_000;
+    let scheduler = SchedulerConfig::with_tracker(tracker)
+        .with_policy(policy)
+        .with_chase_mode(chase_mode)
+        .with_frontier_delay_rounds(3);
+
+    // The reference is the per-update differential baseline: every live
+    // execution maintains its own queue against its own epoch watermarks.
+    let mut reference = ConcurrentRun::new(
+        fixture.initial_db.clone(),
+        fixture.mappings.clone(),
+        ops.clone(),
+        first_number,
+        scheduler.with_violation_state(ViolationStateMode::PerUpdate),
+    );
+    let ref_metrics = reference.run(&mut RandomResolver::seeded(seed ^ 0xE61E)).unwrap();
+    let ref_stats = reference.update_stats();
+    let (ref_db, ref_mappings, _) = reference.into_parts();
+    assert!(satisfies_all(&ref_db.snapshot(UpdateId::OMNISCIENT), &ref_mappings));
+    let ref_abort_set: BTreeSet<UpdateId> =
+        ref_stats.iter().filter(|(_, s)| s.restarts > 0).map(|(id, _)| *id).collect();
+
+    for mode in [ViolationStateMode::Shared, ViolationStateMode::PerUpdate] {
+        for speculation in [SpeculationMode::Off, SpeculationMode::Eager] {
+            for workers in [1usize, 2, 4] {
+                let engine = EngineBuilder::new()
+                    .scheduler(scheduler.with_workers(workers).with_speculation(speculation))
+                    .violation_state(mode)
+                    .first_update_number(first_number)
+                    .build(fixture.initial_db.clone(), fixture.mappings.clone())
+                    .expect("non-durable engines build infallibly");
+                let handles = engine.submit_batch(ops.clone()).expect("uncapped submission");
+                let mut resolver = RandomResolver::seeded(seed ^ 0xE61E);
+                ResolverPump::new(&engine, &mut resolver).run_until_quiescent().unwrap();
+                let label = format!(
+                    "seed {seed}, {tracker}, {kind}, {policy:?}, {chase_mode:?}, \
+                     {mode:?}, {workers} workers, {speculation:?}"
+                );
+                for handle in &handles {
+                    assert_eq!(handle.status(), UpdateStatus::Terminated, "{label}");
+                }
+                let stats = engine.update_stats();
+                assert_eq!(stats, ref_stats, "{label}: per-update stats");
+                let abort_set: BTreeSet<UpdateId> =
+                    stats.iter().filter(|(_, s)| s.restarts > 0).map(|(id, _)| *id).collect();
+                assert_eq!(abort_set, ref_abort_set, "{label}: abort set");
+                let index = engine.violation_index();
+                assert_eq!(index.backlog_cap, DELTA_BACKLOG_CAP, "{label}: advertised cap");
+                assert!(index.backlog_len <= index.backlog_cap, "{label}: backlog within cap");
+                let (db, _, metrics) = engine.shutdown();
+                assert_eq!(scrub(metrics), scrub(ref_metrics.clone()), "{label}: metrics");
+                assert_eq!(render(&db), render(&ref_db), "{label}: final database state");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// PRECISE over the mixed workload (inserts + deletes, forward and
+    /// backward repairs) — the workhorse combination.
+    #[test]
+    fn precise_mixed_is_identical_across_violation_modes(seed in 0u64..10_000) {
+        shared_matches_per_update(
+            seed,
+            TrackerKind::Precise,
+            WorkloadKind::Mixed,
+            SchedulingPolicy::StepRoundRobin,
+            ChaseMode::Incremental,
+        );
+    }
+
+    /// COARSE over deep cascades: long violation queues, many epochs per
+    /// update — the regime where the shared feed does the most work.
+    #[test]
+    fn coarse_deep_cascade_is_identical_across_violation_modes(seed in 0u64..10_000) {
+        shared_matches_per_update(
+            seed,
+            TrackerKind::Coarse,
+            WorkloadKind::DeepCascade,
+            SchedulingPolicy::StepRoundRobin,
+            ChaseMode::Incremental,
+        );
+    }
+
+    /// NAIVE + the stratum policy + `FullRecheck`: the full-recheck chase
+    /// mode never consults the delta feed, so both violation modes must
+    /// degenerate to exactly the same rebuild-from-scratch behaviour.
+    #[test]
+    fn naive_stratum_full_recheck_is_identical_across_violation_modes(seed in 0u64..10_000) {
+        shared_matches_per_update(
+            seed,
+            TrackerKind::Naive,
+            WorkloadKind::Skewed,
+            SchedulingPolicy::StratumRoundRobin,
+            ChaseMode::FullRecheck,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Long-lived engines: the delta backlog stays bounded
+// ---------------------------------------------------------------------------
+
+/// A bare single-relation fixture whose updates terminate immediately (no
+/// mappings, so no chase beyond the initial operation) — every cycle still
+/// appends at least one entry to the shared delta feed.
+fn trivial_fixture() -> (Database, MappingSet, youtopia::RelationId) {
+    let mut db = Database::new();
+    db.add_relation("K", ["key", "value"]).unwrap();
+    let k = db.relation_id("K").unwrap();
+    (db, MappingSet::new(), k)
+}
+
+/// Spin-waits (with a deadline) until the quiescence GC has truncated the
+/// shared delta backlog. The pump observes quiescence the instant the last
+/// action commits, which can be a moment before the worker that committed it
+/// finishes its GC pass — so "drained" is an eventually-true condition, never
+/// an instantaneous one.
+fn await_drained_backlog(engine: &ExchangeEngine, context: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if engine.violation_index().backlog_len == 0 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{context}: backlog never drained ({} entries left)",
+            engine.violation_index().backlog_len
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// ≥16k submit/terminate cycles: each writes at least one delta, so without
+/// the quiescence GC the shared backlog would cross the assertion bound
+/// within the first ~1.5k cycles (and the `DELTA_BACKLOG_CAP` high-water
+/// mark soon after). With it, the feed is truncated every time the engine
+/// drains, and a long-lived engine holds O(1) delta memory.
+#[test]
+fn long_lived_engines_hold_bounded_delta_backlog() {
+    let (db, mappings, k) = trivial_fixture();
+    let engine = EngineBuilder::new()
+        .tracker(TrackerKind::Precise)
+        .workers(1)
+        .first_update_number(1_000)
+        .retention_horizon(32)
+        .build(db, mappings)
+        .expect("non-durable engines build infallibly");
+
+    // Far below the cap: backlog may transiently hold the deltas of updates
+    // admitted since the last GC, but never thousands of dead entries.
+    let bound = 1_024;
+    let cycles = 16_384u64;
+    for i in 0..cycles {
+        let handle = engine
+            .submit(InitialOp::Insert {
+                relation: k,
+                values: vec![Value::constant(&format!("k{i}")), Value::constant("v")],
+            })
+            .expect("admission");
+        assert!(handle.wait().expect("trivial update terminates").terminated);
+        if i % 512 == 0 {
+            let index = engine.violation_index();
+            assert!(
+                index.backlog_len <= bound,
+                "cycle {i}: {} buffered deltas, bound {bound}",
+                index.backlog_len
+            );
+            assert_eq!(index.backlog_cap, DELTA_BACKLOG_CAP);
+        }
+    }
+    engine.wait_quiescent().expect("engine drains");
+    await_drained_backlog(&engine, "trivial cycles");
+    // The sequence number itself never resets — cursors must keep advancing
+    // monotonically across truncations.
+    assert!(engine.violation_index().delta_seq >= cycles);
+    let (final_db, _, metrics) = engine.shutdown();
+    assert_eq!(metrics.workload_size, cycles as usize);
+    assert_eq!(final_db.visible_count(k, UpdateId::OMNISCIENT), cycles as usize);
+}
+
+/// Speculative discards must not leak buffered deltas: a multi-worker eager
+/// engine discards failed speculations (whose overlays buffered their own
+/// delta views), and once quiescent the committed feed still drains to
+/// empty — nothing a discarded speculation saw pins the shared backlog.
+#[test]
+fn discarded_speculations_leak_no_buffered_deltas() {
+    let mut config = ExperimentConfig::tiny();
+    config.seed = 2_718;
+    let fixture = build_fixture(&config).expect("fixture builds");
+    let ops: Vec<InitialOp> = generate_workload(
+        &config,
+        &fixture.schema,
+        &fixture.initial_db,
+        &fixture.mappings,
+        WorkloadKind::Mixed,
+        config.seed,
+    )
+    .into_iter()
+    .take(16)
+    .collect();
+    let engine = EngineBuilder::new()
+        .tracker(TrackerKind::Precise)
+        .workers(4)
+        .speculation(SpeculationMode::Eager)
+        .frontier_delay_rounds(3)
+        .first_update_number(config.initial_tuples as u64 + 1_000)
+        .build(fixture.initial_db.clone(), fixture.mappings.clone())
+        .expect("non-durable engines build infallibly");
+    engine.submit_batch(ops).expect("uncapped submission");
+    let mut resolver = RandomResolver::seeded(config.seed ^ 0xE61E);
+    ResolverPump::new(&engine, &mut resolver).run_until_quiescent().unwrap();
+    await_drained_backlog(&engine, "speculative run");
+    let (db, mappings, metrics) = engine.shutdown();
+    // Speculation bookkeeping balances: every started speculation was either
+    // committed or discarded, and discards left no residue above.
+    assert_eq!(
+        metrics.speculations_started,
+        metrics.speculations_committed + metrics.speculations_discarded,
+        "speculation counters balance"
+    );
+    assert!(satisfies_all(&db.snapshot(UpdateId::OMNISCIENT), &mappings));
+}
