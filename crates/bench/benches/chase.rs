@@ -8,8 +8,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use youtopia_concurrency::{
-    EngineBuilder, ExchangeConfig, ParallelRun, ResolverPump, SchedulerConfig, SpeculationMode,
-    TrackerKind, UpdateExchange,
+    EngineBuilder, ParallelRun, ResolverPump, SchedulerConfig, SpeculationMode, TrackerKind,
+    UpdateExchange,
 };
 use youtopia_core::{ChaseMode, InitialOp, RandomResolver, UnifyResolver, UpdateExecution};
 use youtopia_mappings::MappingSet;
@@ -278,11 +278,10 @@ fn bench_end_to_end_mapping_graph(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
             b.iter_batched(
                 || {
-                    let exchange_config = ExchangeConfig { chase_mode: mode, ..Default::default() };
-                    UpdateExchange::with_config(
+                    UpdateExchange::with_builder(
                         fixture.initial_db.clone(),
                         fixture.mappings.clone(),
-                        exchange_config,
+                        EngineBuilder::new().chase_mode(mode),
                     )
                 },
                 |mut exchange| {

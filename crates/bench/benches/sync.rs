@@ -1,0 +1,123 @@
+//! Micro-benchmarks for the replication layer: delta-batch encode/decode (the
+//! wire codec a transport pays per gossip message) and full catch-up of a
+//! node that slept through a partition (the dominant cost of heal — every
+//! missed event is re-ingested and the fold replayed).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use youtopia_core::replication::{decode_delta_batch, encode_delta_batch, StateVector};
+use youtopia_core::InitialOp;
+use youtopia_mappings::MappingSet;
+use youtopia_replication::{LinkFaults, NodeId, ReplicaNode, ReplicaSet, Topology};
+use youtopia_storage::{Database, UpdateId, Value};
+
+/// The Example 3.1 travel fragment every replica starts from.
+fn genesis() -> (Database, MappingSet) {
+    let mut db = Database::new();
+    db.add_relation("A", ["location", "name"]).unwrap();
+    db.add_relation("T", ["attraction", "company", "tour_start"]).unwrap();
+    db.add_relation("R", ["company", "attraction", "review"]).unwrap();
+    let mut mappings = MappingSet::new();
+    mappings
+        .add_parsed(db.catalog(), "sigma3: A(l, n) & T(n, c, cs) -> exists r. R(c, n, r)")
+        .unwrap();
+    let u = UpdateId(0);
+    db.insert_by_name("A", &["Geneva", "Geneva Winery"], u);
+    db.insert_by_name("T", &["Geneva Winery", "XYZ", "Syracuse"], u);
+    db.insert_by_name("R", &["XYZ", "Geneva Winery", "Great!"], u);
+    (db, mappings)
+}
+
+/// A tour insert: terminates without questions, so a node can accumulate an
+/// arbitrarily long event log unattended.
+fn tour_op(db: &Database, i: usize) -> InitialOp {
+    InitialOp::Insert {
+        relation: db.relation_id("T").unwrap(),
+        values: vec![
+            Value::constant("Geneva Winery"),
+            Value::constant(&format!("Co{i}")),
+            Value::constant(&format!("City{i}")),
+        ],
+    }
+}
+
+/// A node that has locally submitted `events` tour inserts.
+fn loaded_node(events: usize) -> ReplicaNode {
+    let (db, mappings) = genesis();
+    let ops: Vec<InitialOp> = (0..events).map(|i| tour_op(&db, i)).collect();
+    let mut node = ReplicaNode::new(NodeId(0), db, mappings);
+    for op in ops {
+        node.submit(op).unwrap();
+    }
+    node
+}
+
+/// Encoding a full-log delta batch to wire bytes, per backlog size: what a
+/// gossip responder pays to answer an empty state vector.
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync/encode_deltas");
+    for events in [16usize, 128] {
+        let node = loaded_node(events);
+        let empty = StateVector::new();
+        group.bench_with_input(BenchmarkId::from_parameter(events), &events, |b, _| {
+            b.iter(|| {
+                let batch = node.deltas_since(&empty).unwrap();
+                black_box(encode_delta_batch(&batch).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Decode + re-ingest of an already-known batch: the duplicate-suppression
+/// fast path every redundant gossip delivery takes.
+fn bench_decode_apply(c: &mut Criterion) {
+    let mut node = loaded_node(64);
+    let bytes = encode_delta_batch(&node.deltas_since(&StateVector::new()).unwrap());
+    c.bench_function("sync/decode_apply/redundant_64", |b| {
+        b.iter(|| {
+            let batch = decode_delta_batch(&bytes).unwrap();
+            let report = node.apply(&batch).unwrap();
+            black_box(report.duplicates)
+        })
+    });
+}
+
+/// Heal-and-converge after a partition during which one side accumulated a
+/// backlog: decode, ingest, canonical-order fold replay included.
+fn bench_catchup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync/catchup_after_partition");
+    group.sample_size(10);
+    for backlog in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(backlog), &backlog, |b, &backlog| {
+            b.iter_batched(
+                || {
+                    let (db, mappings) = genesis();
+                    let ops: Vec<InitialOp> = (0..backlog).map(|i| tour_op(&db, i)).collect();
+                    let mut set = ReplicaSet::new(
+                        2,
+                        Topology::FullMesh,
+                        LinkFaults::default(),
+                        9,
+                        db,
+                        mappings,
+                    );
+                    set.partition(0, 1);
+                    for op in ops {
+                        set.submit(0, op).unwrap();
+                    }
+                    set.heal();
+                    set
+                },
+                |mut set| {
+                    let rounds = set.converge(1, 32).unwrap();
+                    black_box(rounds)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode_apply, bench_catchup);
+criterion_main!(benches);

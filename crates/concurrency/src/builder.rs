@@ -164,6 +164,26 @@ impl EngineBuilder {
         self
     }
 
+    /// Retention bound for the shared violation index's delta backlog
+    /// (defaults to [`youtopia_storage::DELTA_BACKLOG_CAP`]; clamped to at
+    /// least 1). Smaller caps trade detection time (gap fallbacks) for
+    /// memory; not part of the durable config fingerprint. Replaces reaching
+    /// into the store by hand.
+    pub fn delta_backlog_cap(mut self, cap: usize) -> EngineBuilder {
+        self.config.delta_backlog_cap = cap;
+        self
+    }
+
+    /// Gives the engine a replica identity: it becomes a node of a
+    /// replicated deployment (see [`crate::replicate`]). Work enters through
+    /// `submit_replicated` / `apply_remote_deltas` instead of
+    /// [`ExchangeEngine::submit`]; implies deterministic scheduling and is
+    /// mutually exclusive with [`durable`](Self::durable).
+    pub fn replicated(mut self, node: youtopia_core::replication::NodeId) -> EngineBuilder {
+        self.config.replica = Some(node);
+        self
+    }
+
     // ---- durability ----
 
     /// Makes the engine durable under `durability.dir`:
@@ -254,6 +274,8 @@ mod tests {
             .max_steps_per_update(500)
             .admission_cap(8)
             .retention_horizon(16)
+            .delta_backlog_cap(7)
+            .replicated(youtopia_core::replication::NodeId(4))
             .inline()
             .escalation(EscalationPolicy::Wait);
         let c = b.config();
@@ -269,7 +291,48 @@ mod tests {
         assert_eq!(c.max_steps_per_update, 500);
         assert_eq!(c.admission_cap, 8);
         assert_eq!(c.retention_horizon, 16);
+        assert_eq!(c.delta_backlog_cap, 7);
+        assert_eq!(c.replica, Some(youtopia_core::replication::NodeId(4)));
         assert!(c.inline);
+    }
+
+    #[test]
+    fn delta_backlog_cap_reaches_the_violation_index() {
+        let (db, mappings) = travel();
+        let engine =
+            EngineBuilder::new().inline().delta_backlog_cap(3).build(db, mappings).unwrap();
+        assert_eq!(engine.violation_index().backlog_cap, 3);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn replicated_engines_refuse_plain_submission() {
+        let (db, mappings) = travel();
+        let c = db.relation_id("C").unwrap();
+        let engine = EngineBuilder::new()
+            .inline()
+            .replicated(youtopia_core::replication::NodeId(1))
+            .build(db, mappings)
+            .unwrap();
+        let err = engine
+            .submit(InitialOp::Insert { relation: c, values: vec![Value::constant("X")] })
+            .unwrap_err();
+        assert!(matches!(err, crate::engine::SubmitError::Replicated));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn durable_replicated_build_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("yt-builder-repl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (db, mappings) = travel();
+        let err = EngineBuilder::new()
+            .inline()
+            .replicated(youtopia_core::replication::NodeId(0))
+            .durable(DurabilityConfig::new(&dir))
+            .build(db, mappings);
+        assert!(matches!(err, Err(RecoveryError::ReplicatedUnsupported)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

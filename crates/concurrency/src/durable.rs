@@ -121,6 +121,12 @@ pub enum RecoveryError {
     /// engine's interleaving is not a function of the logged events, so its
     /// log could not be replayed. Configure deterministic or inline mode.
     FreeRunningUnsupported,
+    /// Durability and replication are mutually exclusive for now: a replica's
+    /// history is a function of its replicated event logs, not of a local
+    /// WAL, and recovering one without the other would desynchronise the
+    /// node. WAL-shipping (one log serving both roles) is the planned
+    /// follow-on.
+    ReplicatedUnsupported,
 }
 
 impl std::fmt::Display for RecoveryError {
@@ -135,6 +141,9 @@ impl std::fmt::Display for RecoveryError {
             RecoveryError::Replay(msg) => write!(f, "deterministic replay diverged: {msg}"),
             RecoveryError::FreeRunningUnsupported => {
                 write!(f, "durability requires the deterministic sequencer (or inline mode)")
+            }
+            RecoveryError::ReplicatedUnsupported => {
+                write!(f, "durability and replication are mutually exclusive (WAL-shipping is the planned marriage)")
             }
         }
     }

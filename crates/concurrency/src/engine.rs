@@ -74,7 +74,7 @@ use crate::metrics::RunMetrics;
 use crate::scheduler::{SchedulerConfig, SchedulingPolicy, SpeculationMode};
 use crate::striped::{StripedReadLog, StripedWriteLog};
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -143,6 +143,20 @@ pub struct EngineConfig {
     /// durable config fingerprint — a WAL written under one policy is not
     /// replayed under another.
     pub escalation: EscalationPolicy,
+    /// Bound on the shared violation feed's retained write-delta backlog
+    /// (applied to the engine's database at construction; defaults to
+    /// [`youtopia_storage::DELTA_BACKLOG_CAP`]). Performance-only: a consumer
+    /// behind the truncation point falls back to full revalidation, so the
+    /// knob never changes results — which is why it is *not* part of the
+    /// durable config fingerprint.
+    pub delta_backlog_cap: usize,
+    /// Replication identity: `Some(node)` turns the engine into a replica of
+    /// a multi-node deployment (see the `replicate` module). Replicated
+    /// engines apply updates through the canonical replicated fold —
+    /// [`ExchangeEngine::submit_replicated`] instead of plain `submit` — and
+    /// imply deterministic scheduling. Mutually exclusive with durability
+    /// (WAL-shipping is the planned marriage of the two).
+    pub replica: Option<youtopia_core::replication::NodeId>,
 }
 
 impl Default for EngineConfig {
@@ -162,6 +176,8 @@ impl Default for EngineConfig {
             retention_horizon: usize::MAX,
             inline: false,
             escalation: EscalationPolicy::Wait,
+            delta_backlog_cap: youtopia_storage::DELTA_BACKLOG_CAP,
+            replica: None,
         }
     }
 }
@@ -209,6 +225,20 @@ impl EngineConfig {
     /// [`EngineConfig::escalation`]).
     pub fn with_escalation_policy(mut self, policy: EscalationPolicy) -> EngineConfig {
         self.escalation = policy;
+        self
+    }
+
+    /// Replaces the violation-feed backlog bound (see
+    /// [`EngineConfig::delta_backlog_cap`]).
+    pub fn with_delta_backlog_cap(mut self, cap: usize) -> EngineConfig {
+        self.delta_backlog_cap = cap;
+        self
+    }
+
+    /// Makes the engine a replica with the given node identity (see
+    /// [`EngineConfig::replica`]).
+    pub fn with_replica(mut self, node: youtopia_core::replication::NodeId) -> EngineConfig {
+        self.replica = Some(node);
         self
     }
 }
@@ -289,6 +319,10 @@ pub enum SubmitError {
     /// The engine is durable and appending the submission record to the
     /// write-ahead log failed; nothing was admitted.
     Durability(String),
+    /// The engine is a replica: plain submissions would bypass the replicated
+    /// event log and silently diverge the node from its peers. Use
+    /// [`ExchangeEngine::submit_replicated`].
+    Replicated,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -302,6 +336,9 @@ impl std::fmt::Display for SubmitError {
             }
             SubmitError::ShutDown => write!(f, "engine is shut down"),
             SubmitError::Durability(msg) => write!(f, "write-ahead log append failed: {msg}"),
+            SubmitError::Replicated => {
+                write!(f, "engine is a replica: submit through submit_replicated")
+            }
         }
     }
 }
@@ -337,7 +374,7 @@ pub enum UpdateStatus {
 /// Generation-counting wakeup channel: every observable state change bumps the
 /// generation and notifies, waiters re-check their predicate. Coarse but
 /// lost-wakeup-free.
-struct Signal {
+pub(crate) struct Signal {
     gen: Mutex<u64>,
     cond: Condvar,
 }
@@ -347,18 +384,18 @@ impl Signal {
         Signal { gen: Mutex::new(0), cond: Condvar::new() }
     }
 
-    fn current(&self) -> u64 {
+    pub(crate) fn current(&self) -> u64 {
         *lock(&self.gen)
     }
 
-    fn bump(&self) {
+    pub(crate) fn bump(&self) {
         *lock(&self.gen) += 1;
         self.cond.notify_all();
     }
 
     /// Blocks until the generation moves past `seen` (returns immediately if
     /// it already has).
-    fn wait_past(&self, seen: u64) {
+    pub(crate) fn wait_past(&self, seen: u64) {
         let mut gen = lock(&self.gen);
         while *gen == seen {
             gen = self.cond.wait(gen).unwrap_or_else(|e| e.into_inner());
@@ -376,8 +413,8 @@ struct Speculation {
     reads: SpeculationReadSet,
 }
 
-struct Slot {
-    exec: UpdateExecution,
+pub(crate) struct Slot {
+    pub(crate) exec: UpdateExecution,
     /// A speculatively pre-executed next step (deterministic mode with
     /// [`SpeculationMode::Eager`] only). The sequencer validates it at the
     /// slot's commit point; aborts and failures clear it.
@@ -390,13 +427,13 @@ struct Slot {
     /// their state (an answer, an abort).
     parked: bool,
     /// Token of the published-but-unanswered frontier request, if any.
-    published: Option<FrontierToken>,
+    pub(crate) published: Option<FrontierToken>,
     /// Terminal per-update failure (step budget); never cleared.
-    failed: Option<ChaseError>,
+    pub(crate) failed: Option<ChaseError>,
 }
 
-struct SlotCell {
-    slot: Mutex<Slot>,
+pub(crate) struct SlotCell {
+    pub(crate) slot: Mutex<Slot>,
     /// Set by a validator that could not lock this slot (its owner holds it);
     /// the owner executes the abort at its next commit point. Cleared only by
     /// whoever performs the abort, under the slot lock.
@@ -408,14 +445,14 @@ struct SlotCell {
 /// [`EngineConfig::first_update_number`]) lives at `cells[i − base]`.
 /// Eviction is front-only and restricted to terminal slots, so every index
 /// below `base` names an update that is terminal forever.
-struct SlotTable {
+pub(crate) struct SlotTable {
     base: usize,
     cells: VecDeque<Arc<SlotCell>>,
 }
 
 impl SlotTable {
     /// Number of slots ever admitted (retained + evicted).
-    fn total(&self) -> usize {
+    pub(crate) fn total(&self) -> usize {
         self.base + self.cells.len()
     }
 
@@ -429,9 +466,9 @@ impl SlotTable {
 /// long-lived engine does not re-scan thousands of terminated slots per round.
 /// Iterating the live set in ascending order per round visits exactly the
 /// slots the reference loop would act on, in the same order.
-struct DetCursor {
+pub(crate) struct DetCursor {
     next: usize,
-    live: BTreeSet<usize>,
+    pub(crate) live: BTreeSet<usize>,
 }
 
 /// What one deterministic sequencer action accomplished.
@@ -444,9 +481,9 @@ enum DetProgress {
     AwaitingAnswer,
 }
 
-struct PendingEntry {
-    update: UpdateId,
-    slot: usize,
+pub(crate) struct PendingEntry {
+    pub(crate) update: UpdateId,
+    pub(crate) slot: usize,
     request: youtopia_core::FrontierRequest,
     /// Action stamp at publish time (0 on a plain engine, where the action
     /// counter does not run).
@@ -507,14 +544,14 @@ impl Drop for WorkerGuard<'_> {
     }
 }
 
-struct EngineShared {
+pub(crate) struct EngineShared {
     mappings: MappingSet,
     db: RwLock<Database>,
-    config: EngineConfig,
+    pub(crate) config: EngineConfig,
     deterministic: bool,
     /// Threadless mode: the deterministic sequencer runs on whichever thread
     /// pumps or waits (see [`EngineConfig::inline`]).
-    inline: bool,
+    pub(crate) inline: bool,
     /// Whether workers losing the cursor race pre-execute upcoming steps
     /// speculatively: deterministic multi-worker engines with
     /// [`SpeculationMode::Eager`]. Inline and free-running engines never
@@ -532,7 +569,7 @@ struct EngineShared {
     spec_penalty: AtomicUsize,
     /// Growable (and front-compacted) slot table; index = update number −
     /// `first_update_number`.
-    slots: RwLock<SlotTable>,
+    pub(crate) slots: RwLock<SlotTable>,
     all_ids: Mutex<Vec<UpdateId>>,
     read_log: StripedReadLog,
     write_log: StripedWriteLog,
@@ -541,13 +578,13 @@ struct EngineShared {
     /// Sharded run queues of slot indices (free-running mode).
     queues: Vec<Mutex<VecDeque<usize>>>,
     /// Deterministic sequencer state.
-    cursor: Mutex<DetCursor>,
+    pub(crate) cursor: Mutex<DetCursor>,
     /// Slot indices submitted since the sequencer last looked (deterministic
     /// mode; absorbed into the live set without taking the cursor lock on the
     /// submit path).
     det_incoming: Mutex<Vec<usize>>,
     /// Outstanding frontier requests, keyed by token (= publish order).
-    pending: Mutex<BTreeMap<u64, PendingEntry>>,
+    pub(crate) pending: Mutex<BTreeMap<u64, PendingEntry>>,
     /// Per-client fair-share admission state, keyed by [`ClientId`].
     /// Anonymous submissions (no client) bypass it entirely and see only the
     /// global cap — the pre-QoS admission path, byte-identical.
@@ -557,17 +594,20 @@ struct EngineShared {
     /// *applied* (or the token invalidated by an abort) — the deterministic
     /// sequencer gates on it, so no step can slip in between `answer()`
     /// removing the entry and the decision's effects landing.
-    unanswered: AtomicUsize,
+    pub(crate) unanswered: AtomicUsize,
     next_token: AtomicU64,
     /// Non-terminated, non-failed updates (admission + quiescence).
-    active: AtomicUsize,
+    pub(crate) active: AtomicUsize,
     /// Workers currently processing a slot (free mode).
     in_flight: AtomicUsize,
-    stop: AtomicBool,
+    pub(crate) stop: AtomicBool,
     error: Mutex<Option<ChaseError>>,
-    signal: Signal,
+    pub(crate) signal: Signal,
     /// Durable state (WAL writer, counters); `None` on a plain engine.
     durable: Option<DurableEngineState>,
+    /// Replication mechanism state (event logs, canonical fold bookkeeping);
+    /// `None` unless [`EngineConfig::replica`] is set. See `crate::replicate`.
+    pub(crate) replication: Option<Mutex<crate::replicate::ReplicationState>>,
 }
 
 impl EngineShared {
@@ -717,7 +757,7 @@ impl EngineShared {
     }
 
     /// Keyed lookup distinguishing "evicted" from "never admitted".
-    fn lookup(&self, update: UpdateId) -> Result<Arc<SlotCell>, LookupError> {
+    pub(crate) fn lookup(&self, update: UpdateId) -> Result<Arc<SlotCell>, LookupError> {
         let Some(idx) = update.0.checked_sub(self.config.first_update_number).map(|i| i as usize)
         else {
             return Err(LookupError::UnknownUpdate(update));
@@ -736,7 +776,7 @@ impl EngineShared {
     /// numbers, returning the new cells. Shared by the public submit path and
     /// recovery replay (which is why it does not build handles or touch the
     /// WAL).
-    fn admit_locked(
+    pub(crate) fn admit_locked(
         &self,
         slots: &mut SlotTable,
         ops: Vec<InitialOp>,
@@ -863,7 +903,7 @@ impl EngineShared {
         }
     }
 
-    fn fail(&self, e: ChaseError) {
+    pub(crate) fn fail(&self, e: ChaseError) {
         let mut slot = lock(&self.error);
         if slot.is_none() {
             *slot = Some(e);
@@ -1419,7 +1459,7 @@ impl EngineShared {
     /// Applies an answered decision to the owning slot. The pending entry has
     /// already been removed by the caller; on a rejected (invalid) decision it
     /// is restored under the same token so the user can retry.
-    fn apply_answer(
+    pub(crate) fn apply_answer(
         &self,
         token: FrontierToken,
         entry: PendingEntry,
@@ -1609,7 +1649,7 @@ impl EngineShared {
     /// Drives the deterministic sequencer on the calling thread (inline mode:
     /// there are no workers) until it goes idle or blocks on an unanswered
     /// frontier. A step error fails the engine, exactly as a worker would.
-    fn drive_inline(&self) -> Result<(), ChaseError> {
+    pub(crate) fn drive_inline(&self) -> Result<(), ChaseError> {
         let mut cur = lock(&self.cursor);
         loop {
             if self.stop.load(Ordering::SeqCst) {
@@ -2011,7 +2051,7 @@ impl EngineShared {
 /// via [`answer`](Self::answer) (or a [`ResolverPump`]), and read committed
 /// state with [`read`](Self::read).
 pub struct ExchangeEngine {
-    shared: Arc<EngineShared>,
+    pub(crate) shared: Arc<EngineShared>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -2054,6 +2094,9 @@ impl ExchangeEngine {
     ) -> Result<ExchangeEngine, RecoveryError> {
         if !(config.scheduler.deterministic || config.inline) {
             return Err(RecoveryError::FreeRunningUnsupported);
+        }
+        if config.replica.is_some() {
+            return Err(RecoveryError::ReplicatedUnsupported);
         }
         std::fs::create_dir_all(&durability.dir)?;
         let fingerprint = config_fingerprint(&config, &mappings);
@@ -2113,6 +2156,9 @@ impl ExchangeEngine {
     ) -> Result<ExchangeEngine, RecoveryError> {
         if !(config.scheduler.deterministic || config.inline) {
             return Err(RecoveryError::FreeRunningUnsupported);
+        }
+        if config.replica.is_some() {
+            return Err(RecoveryError::ReplicatedUnsupported);
         }
         let fingerprint = config_fingerprint(&config, &mappings);
         let bytes = std::fs::read(durability.snapshot_path())?;
@@ -2237,6 +2283,8 @@ impl ExchangeEngine {
         next_token: u64,
         metrics: RunMetrics,
     ) -> Arc<EngineShared> {
+        let mut db = db;
+        db.set_delta_backlog_cap(config.delta_backlog_cap);
         let workers = if config.scheduler.workers > 0 {
             config.scheduler.workers
         } else {
@@ -2244,8 +2292,9 @@ impl ExchangeEngine {
         };
         // Inline mode is caller-driven and therefore sequenced: it implies
         // the deterministic scheduler regardless of what the config says.
+        // Replication does too — the canonical fold *is* a schedule.
         let inline = config.inline;
-        let deterministic = config.scheduler.deterministic || inline;
+        let deterministic = config.scheduler.deterministic || inline || config.replica.is_some();
         let speculate = deterministic
             && !inline
             && workers >= 2
@@ -2277,6 +2326,9 @@ impl ExchangeEngine {
             error: Mutex::new(None),
             signal: Signal::new(),
             durable,
+            replication: config
+                .replica
+                .map(|node| Mutex::new(crate::replicate::ReplicationState::new(node))),
             config,
         })
     }
@@ -2367,6 +2419,9 @@ impl ExchangeEngine {
         let shared = &self.shared;
         if shared.stop.load(Ordering::SeqCst) {
             return Err(SubmitError::ShutDown);
+        }
+        if shared.replication.is_some() {
+            return Err(SubmitError::Replicated);
         }
         // A durable engine serialises admission against the sequencer: the
         // WAL record's action stamp fixes the exact interleaving point replay
@@ -2463,6 +2518,11 @@ impl ExchangeEngine {
         origin: ResolutionOrigin,
     ) -> Result<AnswerOutcome, ChaseError> {
         let shared = &self.shared;
+        // A replica records the decision as a replicated event (so peers
+        // replay it instead of re-asking) and continues the canonical fold.
+        if shared.replication.is_some() {
+            return crate::replicate::answer_replicated(self, token, decision, origin);
+        }
         // A durable engine holds the sequencer across remove → append → apply
         // so the log order is the order decisions' effects landed and the
         // stamp pins the interleaving point (this also closes the solo

@@ -44,6 +44,9 @@ pub enum EngineError {
     SlotEvicted(UpdateId),
     /// The update id was never assigned by this engine.
     UnknownUpdate(UpdateId),
+    /// The engine is a replica: plain submission is refused, work enters
+    /// through `submit_replicated` / `apply_remote_deltas`.
+    Replicated,
 }
 
 impl std::fmt::Display for EngineError {
@@ -61,6 +64,9 @@ impl std::fmt::Display for EngineError {
                 write!(f, "update {u} was evicted by the retention horizon")
             }
             EngineError::UnknownUpdate(u) => write!(f, "update {u} was never submitted"),
+            EngineError::Replicated => {
+                write!(f, "engine is a replica: submit through submit_replicated")
+            }
         }
     }
 }
@@ -75,6 +81,7 @@ impl From<SubmitError> for EngineError {
             }
             SubmitError::ShutDown => EngineError::ShutDown,
             SubmitError::Durability(msg) => EngineError::Durability(msg),
+            SubmitError::Replicated => EngineError::Replicated,
         }
     }
 }

@@ -32,6 +32,10 @@ use crate::engine::{ExchangeEngine, ResolverPump, UpdateHandle, UpdateStatus};
 /// configuration surface for all engines — this struct survives for existing
 /// `with_config` callers and is translated into a builder internally. New
 /// knobs are added to the builder only.
+#[deprecated(
+    since = "0.1.0",
+    note = "configure an EngineBuilder and use UpdateExchange::with_builder instead"
+)]
 #[derive(Clone, Copy, Debug)]
 pub struct ExchangeConfig {
     /// Safety valve: the maximum number of chase steps a single update may
@@ -44,6 +48,7 @@ pub struct ExchangeConfig {
     pub chase_mode: ChaseMode,
 }
 
+#[allow(deprecated)]
 impl Default for ExchangeConfig {
     fn default() -> Self {
         ExchangeConfig { max_steps_per_update: 100_000, chase_mode: ChaseMode::default() }
@@ -91,30 +96,49 @@ pub struct UpdateExchange {
 impl UpdateExchange {
     /// Creates an exchange over an existing database and mapping set.
     pub fn new(db: Database, mappings: MappingSet) -> UpdateExchange {
-        UpdateExchange::with_config(db, mappings, ExchangeConfig::default())
+        UpdateExchange::with_builder(db, mappings, EngineBuilder::new())
     }
 
-    /// Creates an exchange with a custom configuration. (Thin shim over
-    /// [`EngineBuilder`](crate::EngineBuilder) — callers wanting more than
-    /// these two knobs should build an engine directly.)
+    /// Creates an exchange whose engine is configured by `builder` — set any
+    /// knob ([`EngineBuilder::max_steps_per_update`],
+    /// [`EngineBuilder::chase_mode`], ...) before passing it in. The exchange
+    /// forces inline mode regardless: one update at a time needs no worker
+    /// threads, and a threadless engine keeps micro-chases at
+    /// single-threaded cost (no cross-thread handoff per step or frontier
+    /// answer). The step valve is per-update, not global (the builder's
+    /// default): a runaway chase fails its own update and leaves the
+    /// exchange usable.
+    pub fn with_builder(
+        db: Database,
+        mappings: MappingSet,
+        builder: EngineBuilder,
+    ) -> UpdateExchange {
+        let engine = builder
+            .workers(1)
+            .inline()
+            .build(db, mappings)
+            .expect("engine construction only fails for durable builders");
+        UpdateExchange { engine }
+    }
+
+    /// Creates an exchange with a custom configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure an EngineBuilder and use UpdateExchange::with_builder instead"
+    )]
+    #[allow(deprecated)]
     pub fn with_config(
         db: Database,
         mappings: MappingSet,
         config: ExchangeConfig,
     ) -> UpdateExchange {
-        // Inline mode: one update at a time needs no worker threads, and a
-        // threadless engine keeps micro-chases at single-threaded cost (no
-        // cross-thread handoff per step or frontier answer). The step valve
-        // is per-update, not global (the builder's default): a runaway chase
-        // fails its own update and leaves the exchange usable.
-        let engine = EngineBuilder::new()
-            .workers(1)
-            .chase_mode(config.chase_mode)
-            .max_steps_per_update(config.max_steps_per_update)
-            .inline()
-            .build(db, mappings)
-            .expect("non-durable engine construction is infallible");
-        UpdateExchange { engine }
+        UpdateExchange::with_builder(
+            db,
+            mappings,
+            EngineBuilder::new()
+                .chase_mode(config.chase_mode)
+                .max_steps_per_update(config.max_steps_per_update),
+        )
     }
 
     /// The underlying engine — for callers that want to graduate from
@@ -331,10 +355,10 @@ mod tests {
                 ",
             )
             .unwrap();
-        let mut ex = UpdateExchange::with_config(
+        let mut ex = UpdateExchange::with_builder(
             db,
             mappings,
-            ExchangeConfig { max_steps_per_update: 200, ..ExchangeConfig::default() },
+            EngineBuilder::new().max_steps_per_update(200),
         );
         let mut expand = ExpandResolver;
         let err = ex.insert_constants("C", &["Ithaca"], &mut expand);

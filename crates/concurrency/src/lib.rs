@@ -55,6 +55,7 @@ pub mod exchange;
 pub mod log;
 pub mod metrics;
 pub mod parallel;
+pub mod replicate;
 pub mod scheduler;
 pub mod striped;
 pub mod viewmaint;
@@ -73,10 +74,13 @@ pub use engine::{
     SubmitError, SweepReport, UpdateHandle, UpdateStatus,
 };
 pub use error::EngineError;
-pub use exchange::{DbRef, DbRefMut, ExchangeConfig, UpdateExchange};
+#[allow(deprecated)] // re-exported so existing `with_config` callers keep compiling
+pub use exchange::ExchangeConfig;
+pub use exchange::{DbRef, DbRefMut, UpdateExchange};
 pub use log::{ChangeSource, ReadLog, WriteLog};
 pub use metrics::{AveragedMetrics, RunMetrics};
 pub use parallel::ParallelRun;
+pub use replicate::{SyncError, SyncReport};
 pub use scheduler::{ConcurrentRun, SchedulerConfig, SchedulingPolicy, SpeculationMode};
 pub use striped::{StripedReadLog, StripedWriteLog};
 pub use viewmaint::ViolationIndexStats;

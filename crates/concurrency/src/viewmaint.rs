@@ -44,14 +44,16 @@
 //!   rather than being skipped. On commit the engine re-anchors the grafted
 //!   execution's cursor to the real sequence under the database write lock.
 //! * **Truncation** — quiescence GC clears the backlog (see [`clear`]), and
-//!   [`DELTA_BACKLOG_CAP`] unconditionally bounds it for engines that never
-//!   go quiescent. A cursor behind the truncation point observes a *gap*
+//!   the store's backlog cap ([`youtopia_storage::DELTA_BACKLOG_CAP`] by
+//!   default, `EngineBuilder::delta_backlog_cap` to override) unconditionally
+//!   bounds it for engines that never go quiescent. A cursor behind the
+//!   truncation point observes a *gap*
 //!   (`dirty_relations` returns `None`) and falls back to treating its whole
 //!   interest set as dirty; the per-violation epoch compare downstream then
 //!   filters exactly what the per-update baseline would have. Truncation is
 //!   therefore always safe — it costs time, never correctness.
 
-use youtopia_storage::{Database, DELTA_BACKLOG_CAP};
+use youtopia_storage::Database;
 
 /// A point-in-time observation of the shared violation index, exposed by
 /// [`ExchangeEngine::violation_index`](crate::ExchangeEngine::violation_index)
@@ -64,7 +66,8 @@ pub struct ViolationIndexStats {
     /// Retained (not yet truncated) delta entries. Bounded by
     /// [`ViolationIndexStats::backlog_cap`] and cleared at quiescence.
     pub backlog_len: usize,
-    /// The unconditional retention bound ([`DELTA_BACKLOG_CAP`]).
+    /// The unconditional retention bound of this store — the builder's
+    /// `delta_backlog_cap`, defaulting to [`DELTA_BACKLOG_CAP`].
     pub backlog_cap: usize,
 }
 
@@ -73,7 +76,7 @@ pub fn stats(db: &Database) -> ViolationIndexStats {
     ViolationIndexStats {
         delta_seq: db.version_store().delta_seq(),
         backlog_len: db.delta_backlog_len(),
-        backlog_cap: DELTA_BACKLOG_CAP,
+        backlog_cap: db.version_store().delta_backlog_cap(),
     }
 }
 
@@ -90,7 +93,7 @@ pub fn clear(db: &mut Database) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use youtopia_storage::UpdateId;
+    use youtopia_storage::{UpdateId, DELTA_BACKLOG_CAP};
 
     #[test]
     fn stats_track_the_feed_and_clear_frees_the_backlog() {

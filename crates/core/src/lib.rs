@@ -62,6 +62,7 @@ pub mod error;
 pub mod frontier;
 pub mod querying;
 pub mod read_query;
+pub mod replication;
 pub mod resolver;
 pub mod update;
 
@@ -79,6 +80,10 @@ pub use querying::{
     answer, keyword_search, AnswerRow, KeywordHit, QuerySemantics, RepositoryQuery,
 };
 pub use read_query::{more_specific_tuples, ReadQuery};
+pub use replication::{
+    decode_delta_batch, decode_state_vector, encode_delta_batch, encode_state_vector, DeltaBatch,
+    DeltaEntry, EventStamp, NodeId, ReplicationEvent, StateVector,
+};
 pub use resolver::{
     ExpandResolver, FrontierResolver, RandomResolver, ScriptedResolver, UnifyResolver,
 };

@@ -1,0 +1,72 @@
+//! Link-level wiring: who talks to whom ([`Topology`]) and how badly the
+//! links behave ([`LinkFaults`]).
+
+/// How the nodes of a [`ReplicaSet`](crate::ReplicaSet) are wired. Sync
+/// messages only flow along topology edges (both directions), so sparser
+/// topologies propagate events transitively over multiple rounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Topology {
+    /// Every pair of nodes exchanges directly — one round propagates
+    /// everything (absent faults).
+    #[default]
+    FullMesh,
+    /// Node 0 is the hub; spokes only talk to it. Spoke-to-spoke propagation
+    /// takes two rounds — the shape of a two-level CUP tree.
+    Star,
+    /// Node `i` talks to `i + 1` only; worst-case propagation is `n - 1`
+    /// rounds — a degenerate CUP tree (a path).
+    Chain,
+}
+
+impl Topology {
+    /// The undirected edges of this topology over `n` nodes.
+    pub fn edges(&self, n: usize) -> Vec<(usize, usize)> {
+        match self {
+            Topology::FullMesh => (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))).collect(),
+            Topology::Star => (1..n).map(|i| (0, i)).collect(),
+            Topology::Chain => (1..n).map(|i| (i - 1, i)).collect(),
+        }
+    }
+}
+
+/// Fault injection on every link of a set. Partitions are not a fault knob
+/// but an explicit act: [`ReplicaSet::partition`](crate::ReplicaSet::partition)
+/// / [`heal`](crate::ReplicaSet::heal).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Shuffle the round's messages before delivery (so a node may receive a
+    /// later suffix before an earlier one — observed as a harmless gap and
+    /// re-requested next round).
+    pub reorder: bool,
+    /// Probability that a message is delivered twice (exercises duplicate
+    /// suppression).
+    pub duplicate_prob: f64,
+}
+
+impl Default for LinkFaults {
+    /// Faultless links.
+    fn default() -> LinkFaults {
+        LinkFaults { reorder: false, duplicate_prob: 0.0 }
+    }
+}
+
+impl LinkFaults {
+    /// Reordering plus 25% duplication — the standard hostile-network preset
+    /// used by the convergence tests.
+    pub fn hostile() -> LinkFaults {
+        LinkFaults { reorder: true, duplicate_prob: 0.25 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_edge_counts() {
+        assert_eq!(Topology::FullMesh.edges(4).len(), 6);
+        assert_eq!(Topology::Star.edges(4), vec![(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(Topology::Chain.edges(4), vec![(0, 1), (1, 2), (2, 3)]);
+        assert!(Topology::FullMesh.edges(1).is_empty());
+    }
+}

@@ -1,0 +1,292 @@
+//! [`ReplicaSet`]: N replica nodes exchanging encoded deltas over in-process
+//! fault-injectable links.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use youtopia_concurrency::replicate::SyncError;
+use youtopia_core::replication::{decode_delta_batch, encode_delta_batch, StateVector};
+use youtopia_core::{ChaseError, EventStamp, FrontierResolver, InitialOp, RandomResolver};
+use youtopia_mappings::MappingSet;
+use youtopia_storage::wal::{deserialize_database, serialize_database, WalError};
+use youtopia_storage::Database;
+
+use crate::link::{LinkFaults, Topology};
+use crate::node::ReplicaNode;
+use crate::NodeId;
+
+/// A failure of the replica-set harness.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// A node's sync or fold failed.
+    Sync(SyncError),
+    /// A node's engine failed while answering a frontier.
+    Engine(ChaseError),
+    /// A wire message failed to decode (links don't corrupt in this harness,
+    /// so this indicates a codec bug).
+    Codec(WalError),
+    /// [`ReplicaSet::converge`] ran out of rounds. Carries the round budget
+    /// that was exhausted.
+    NoConvergence(usize),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Sync(e) => write!(f, "sync failed: {e}"),
+            HarnessError::Engine(e) => write!(f, "engine failed: {e}"),
+            HarnessError::Codec(e) => write!(f, "delta batch failed to decode: {e}"),
+            HarnessError::NoConvergence(rounds) => {
+                write!(f, "replica set failed to converge within {rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<SyncError> for HarnessError {
+    fn from(e: SyncError) -> HarnessError {
+        HarnessError::Sync(e)
+    }
+}
+
+impl From<ChaseError> for HarnessError {
+    fn from(e: ChaseError) -> HarnessError {
+        HarnessError::Engine(e)
+    }
+}
+
+impl From<WalError> for HarnessError {
+    fn from(e: WalError) -> HarnessError {
+        HarnessError::Codec(e)
+    }
+}
+
+/// What one [`ReplicaSet::sync_round`] accomplished, summed over every
+/// delivered message.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundReport {
+    /// Messages delivered (after fault injection; includes duplicates).
+    pub messages: usize,
+    /// Events newly appended across all nodes.
+    pub appended: usize,
+    /// Events skipped as already-known duplicates.
+    pub duplicates: usize,
+    /// Suffix gaps observed (reordered delivery); re-requested next round.
+    pub gaps: usize,
+    /// Rebuilds performed this round (events landed behind a fold).
+    pub rebuilds: usize,
+}
+
+/// N replicated engines over one shared genesis, wired by a [`Topology`],
+/// exchanging **encoded** delta batches (the real wire format, codec
+/// included) over in-process links with injectable [`LinkFaults`] and
+/// explicit partitions.
+///
+/// This is both the test harness behind the convergence proptests and the
+/// reference for what a network transport must do: per edge and direction,
+/// ship `encode_delta_batch(src.deltas_since(&dst.state_vector()))` and apply
+/// it at `dst`.
+pub struct ReplicaSet {
+    nodes: Vec<ReplicaNode>,
+    topology: Topology,
+    faults: LinkFaults,
+    rng: StdRng,
+    /// Severed undirected edges, stored normalized (`low < high`).
+    cut: BTreeSet<(usize, usize)>,
+}
+
+impl ReplicaSet {
+    /// Builds `n` nodes, each over its own copy of `db` (cloned through the
+    /// snapshot codec, so every node starts from identical bytes).
+    pub fn new(
+        n: usize,
+        topology: Topology,
+        faults: LinkFaults,
+        seed: u64,
+        db: Database,
+        mappings: MappingSet,
+    ) -> ReplicaSet {
+        let genesis = serialize_database(&db);
+        drop(db);
+        let nodes = (0..n)
+            .map(|i| {
+                let copy = deserialize_database(&genesis)
+                    .expect("genesis bytes came from serialize_database");
+                ReplicaNode::new(NodeId(i as u32), copy, mappings.clone())
+            })
+            .collect();
+        ReplicaSet {
+            nodes,
+            topology,
+            faults,
+            rng: StdRng::seed_from_u64(seed),
+            cut: BTreeSet::new(),
+        }
+    }
+
+    /// The number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the set is empty (it never usefully is).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node at `i`.
+    pub fn node(&self, i: usize) -> &ReplicaNode {
+        &self.nodes[i]
+    }
+
+    /// The node at `i`, mutably (e.g. to [`ReplicaNode::submit`]).
+    pub fn node_mut(&mut self, i: usize) -> &mut ReplicaNode {
+        &mut self.nodes[i]
+    }
+
+    /// Submits `op` at node `i`.
+    pub fn submit(&mut self, i: usize, op: InitialOp) -> Result<EventStamp, HarnessError> {
+        Ok(self.nodes[i].submit(op)?)
+    }
+
+    /// Severs the link between nodes `a` and `b` (no-op on non-edges; the
+    /// nodes keep running, they just stop hearing from each other).
+    pub fn partition(&mut self, a: usize, b: usize) {
+        self.cut.insert((a.min(b), a.max(b)));
+    }
+
+    /// Restores every severed link.
+    pub fn heal(&mut self) {
+        self.cut.clear();
+    }
+
+    /// Every node's state vector, in node order.
+    pub fn state_vectors(&self) -> Result<Vec<StateVector>, HarnessError> {
+        self.nodes.iter().map(|n| Ok(n.state_vector()?)).collect()
+    }
+
+    /// Every node's rendered database, serialized, in node order.
+    pub fn rendered(&self) -> Vec<Vec<u8>> {
+        self.nodes.iter().map(|n| n.rendered()).collect()
+    }
+
+    /// One gossip round: for every un-severed topology edge, both directions
+    /// request what they are missing (by state vector), and the responses —
+    /// encoded to wire bytes — are delivered subject to the configured
+    /// faults. All requests are computed against the pre-round state, so a
+    /// duplicated or reordered delivery within the round exercises the
+    /// duplicate/gap handling rather than being trivially fresh.
+    pub fn sync_round(&mut self) -> Result<RoundReport, HarnessError> {
+        let mut wire: Vec<(usize, Vec<u8>)> = Vec::new();
+        for (a, b) in self.topology.edges(self.nodes.len()) {
+            if self.cut.contains(&(a.min(b), a.max(b))) {
+                continue;
+            }
+            for (src, dst) in [(a, b), (b, a)] {
+                let want = self.nodes[dst].state_vector()?;
+                let batch = self.nodes[src].deltas_since(&want)?;
+                if batch.is_empty() {
+                    continue;
+                }
+                let bytes = encode_delta_batch(&batch);
+                if self.faults.duplicate_prob > 0.0 && self.rng.gen_bool(self.faults.duplicate_prob)
+                {
+                    wire.push((dst, bytes.clone()));
+                }
+                wire.push((dst, bytes));
+            }
+        }
+        if self.faults.reorder {
+            wire.shuffle(&mut self.rng);
+        }
+        let mut report = RoundReport::default();
+        for (dst, bytes) in wire {
+            let batch = decode_delta_batch(&bytes)?;
+            let before = self.nodes[dst].rebuilds();
+            let sync = self.nodes[dst].apply(&batch)?;
+            report.messages += 1;
+            report.appended += sync.appended;
+            report.duplicates += sync.duplicates;
+            report.gaps += sync.gaps.len();
+            report.rebuilds += self.nodes[dst].rebuilds() - before;
+        }
+        Ok(report)
+    }
+
+    /// Whether every node is settled on the same event set: equal state
+    /// vectors, no pending frontiers, no stalled or queued fold work. By the
+    /// canonical-fold guarantee this implies byte-identical rendered
+    /// databases.
+    pub fn converged(&self) -> Result<bool, HarnessError> {
+        let mut svs = self.nodes.iter().map(|n| n.state_vector());
+        let Some(first) = svs.next() else { return Ok(true) };
+        let first = first?;
+        for sv in svs {
+            if sv? != first {
+                return Ok(false);
+            }
+        }
+        for node in &self.nodes {
+            if !node.settled()? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Drives the set to convergence: gossip rounds, with stalled frontier
+    /// questions answered by a [`RandomResolver`] seeded from `answer_seed` —
+    /// always at the **lowest-indexed** node currently asking, so decisions
+    /// made on one node demonstrably propagate instead of every node
+    /// answering its own. Returns the number of rounds taken.
+    pub fn converge(&mut self, answer_seed: u64, max_rounds: usize) -> Result<usize, HarnessError> {
+        let mut resolver = RandomResolver::seeded(answer_seed);
+        self.converge_with(&mut resolver, max_rounds)
+    }
+
+    /// [`converge`](Self::converge) with a caller-supplied resolver.
+    pub fn converge_with(
+        &mut self,
+        resolver: &mut dyn FrontierResolver,
+        max_rounds: usize,
+    ) -> Result<usize, HarnessError> {
+        for round in 1..=max_rounds {
+            self.sync_round()?;
+            if let Some(node) =
+                self.nodes.iter_mut().find(|n| !n.engine().pending_frontiers().is_empty())
+            {
+                node.answer_pending(resolver)?;
+            }
+            if self.converged()? {
+                return Ok(round);
+            }
+        }
+        Err(HarnessError::NoConvergence(max_rounds))
+    }
+
+    /// Total rebuilds performed across all nodes since construction.
+    pub fn total_rebuilds(&self) -> usize {
+        self.nodes.iter().map(|n| n.rebuilds()).sum()
+    }
+
+    /// Panics unless every node renders byte-identical databases — the
+    /// convergence assertion the tests lean on, with a useful message.
+    pub fn assert_identical(&self) {
+        let rendered = self.rendered();
+        let Some((first, rest)) = rendered.split_first() else { return };
+        for (i, bytes) in rest.iter().enumerate() {
+            assert!(
+                bytes == first,
+                "node {} renders {} bytes, node 0 renders {} — replicas diverged",
+                i + 1,
+                bytes.len(),
+                first.len()
+            );
+        }
+    }
+}

@@ -16,16 +16,18 @@ use crate::tuple::{self, TupleData, TupleId};
 use crate::value::NullId;
 use crate::version::{TupleVersion, UpdateId, VersionChain};
 
-/// Upper bound on retained write deltas. The backlog is normally truncated at
-/// engine quiescence; the cap is the unconditional backstop for engines that
-/// never go quiescent. Consumers whose cursor falls behind the truncation
-/// point fall back to treating every indexed relation as dirty, which the
-/// per-entry epoch compare then filters exactly — truncation is always safe,
-/// only (slightly) slower.
+/// Default upper bound on retained write deltas. The backlog is normally
+/// truncated at engine quiescence; the cap is the unconditional backstop for
+/// engines that never go quiescent. Consumers whose cursor falls behind the
+/// truncation point fall back to treating every indexed relation as dirty,
+/// which the per-entry epoch compare then filters exactly — truncation is
+/// always safe, only (slightly) slower. Per-store override:
+/// [`VersionStore::set_delta_backlog_cap`] (surfaced as
+/// `EngineBuilder::delta_backlog_cap`).
 pub const DELTA_BACKLOG_CAP: usize = 32 * 1024;
 
 /// Versioned tuple storage for all relations of one database.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct VersionStore {
     relations: Vec<RelationStore>,
     /// Which relation each tuple id belongs to.
@@ -42,12 +44,39 @@ pub struct VersionStore {
     /// mutation that bumps a relation's write epoch appends exactly one entry,
     /// so a cursor over this queue sees precisely the epoch moves it missed.
     deltas: VecDeque<RelationId>,
+    /// This store's backlog bound (defaults to [`DELTA_BACKLOG_CAP`]).
+    delta_backlog_cap: usize,
+}
+
+impl Default for VersionStore {
+    fn default() -> VersionStore {
+        VersionStore {
+            relations: Vec::new(),
+            tuple_locations: HashMap::new(),
+            null_occurrences: HashMap::new(),
+            delta_base: 0,
+            deltas: VecDeque::new(),
+            delta_backlog_cap: DELTA_BACKLOG_CAP,
+        }
+    }
 }
 
 impl VersionStore {
     /// Creates an empty store.
     pub fn new() -> VersionStore {
         VersionStore::default()
+    }
+
+    /// This store's delta-backlog bound.
+    pub fn delta_backlog_cap(&self) -> usize {
+        self.delta_backlog_cap
+    }
+
+    /// Overrides the delta-backlog bound (minimum 1). Shrinking below the
+    /// current backlog takes effect on the next mutation; consumers behind the
+    /// new truncation point observe a gap, exactly as under the default cap.
+    pub fn set_delta_backlog_cap(&mut self, cap: usize) {
+        self.delta_backlog_cap = cap.max(1);
     }
 
     /// Registers storage for a newly added relation.
@@ -77,8 +106,8 @@ impl VersionStore {
 
     /// Appends one entry to the write-delta log, enforcing the backlog cap.
     fn note_delta(&mut self, relation: RelationId) {
-        if self.deltas.len() >= DELTA_BACKLOG_CAP {
-            let drop = self.deltas.len() - DELTA_BACKLOG_CAP + 1;
+        if self.deltas.len() >= self.delta_backlog_cap {
+            let drop = self.deltas.len() - self.delta_backlog_cap + 1;
             self.deltas.drain(..drop);
             self.delta_base += drop as u64;
         }

@@ -13,7 +13,9 @@
 //! * the sweep over mapping densities and trackers that produces the series of
 //!   Figures 3 and 4 ([`experiment`]), and text/CSV reports ([`report`]);
 //! * the fault-injected "million-user day" survival scenario for admission
-//!   QoS and frontier lifecycle management ([`scenario`]).
+//!   QoS and frontier lifecycle management ([`scenario`]);
+//! * the multi-node replication scenario driving a generated workload across
+//!   gossiping replicated engines to byte-identical convergence ([`sync`]).
 //!
 //! ```no_run
 //! use youtopia_concurrency::TrackerKind;
@@ -41,6 +43,7 @@ pub mod mapping_gen;
 pub mod report;
 pub mod scenario;
 pub mod schema_gen;
+pub mod sync;
 pub mod update_gen;
 
 pub use config::{poisson_arrival_ticks, ArrivalProcess, ExperimentConfig, WorkloadKind};
@@ -57,6 +60,7 @@ pub use scenario::{
     ScenarioReport, SlowResolver,
 };
 pub use schema_gen::{generate_schema, GeneratedSchema};
+pub use sync::{run_sync_scenario, SyncScenarioReport};
 pub use update_gen::{
     cascade_depths, cascade_relations, generate_workload, hot_relation, visible_nulls,
     workload_mix, WorkloadMix,

@@ -18,7 +18,6 @@
 
 use youtopia::chase::{FrontierDecision, FrontierRequest, PositiveAction};
 use youtopia::mappings::is_weakly_acyclic;
-use youtopia::ExchangeConfig;
 use youtopia::{
     ChaseError, DataView, Database, ExpandResolver, FrontierResolver, MappingGraph, MappingSet,
     UnifyResolver, UpdateExchange, UpdateId,
@@ -107,10 +106,10 @@ fn main() {
     println!();
 
     println!("== The classical chase (always expand) never terminates ==");
-    let mut exchange = UpdateExchange::with_config(
+    let mut exchange = UpdateExchange::with_builder(
         db,
         mappings,
-        ExchangeConfig { max_steps_per_update: 500, ..ExchangeConfig::default() },
+        youtopia::EngineBuilder::new().max_steps_per_update(500),
     );
     let mut classical = ExpandResolver;
     match exchange.insert_constants("Person", &["John"], &mut classical) {

@@ -5,7 +5,7 @@
 # in CI.
 #
 # Usage: scripts/ci_local.sh [stage...]
-#   stages: lint test stress recovery bench   (default: all, in order)
+#   stages: lint test stress recovery replication bench   (default: all, in order)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +31,7 @@ stage_test() {
     cargo run --release --example concurrent_updates
     cargo run --release --example live_session
     cargo run --release --example experiment
+    cargo run --release --example two_node_sync
 }
 
 stage_stress() {
@@ -61,6 +62,13 @@ stage_recovery() {
     cargo test -q --release -p youtopia-workload crash
 }
 
+stage_replication() {
+    echo "==> [replication] convergence suite (smokes + proptest fault matrix)"
+    cargo test -q --release --test replication_convergence
+    echo "==> [replication] partition-storm stress (ignored tests)"
+    cargo test -q --release --test replication_convergence -- --ignored
+}
+
 stage_bench() {
     echo "==> [bench] cargo bench --no-run --workspace"
     cargo bench --no-run --workspace
@@ -71,6 +79,7 @@ stage_bench() {
     cargo bench -p youtopia-bench --bench chase
     cargo bench -p youtopia-bench --bench engine
     cargo bench -p youtopia-bench --bench wal
+    cargo bench -p youtopia-bench --bench sync
     echo "==> [bench] two-tier regression gate"
     bash scripts/check_bench_regression.sh 25 100
     echo "==> [bench] fig3 smoke (quick profile)"
@@ -79,7 +88,7 @@ stage_bench() {
 
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(lint test stress recovery bench)
+    stages=(lint test stress recovery replication bench)
 fi
 for stage in "${stages[@]}"; do
     case "$stage" in
@@ -87,9 +96,10 @@ for stage in "${stages[@]}"; do
         test) stage_test ;;
         stress) stage_stress ;;
         recovery) stage_recovery ;;
+        replication) stage_replication ;;
         bench) stage_bench ;;
         *)
-            echo "unknown stage '$stage' (expected: lint test stress recovery bench)" >&2
+            echo "unknown stage '$stage' (expected: lint test stress recovery replication bench)" >&2
             exit 2
             ;;
     esac

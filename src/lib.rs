@@ -10,6 +10,7 @@
 //! | [`mappings`] | `youtopia-mappings` | tgds, parser, violations, violation queries, mapping graph |
 //! | [`chase`] | `youtopia-core` | the cooperative forward/backward chase, frontier operations, resolvers |
 //! | [`concurrency`] | `youtopia-concurrency` | the long-lived `ExchangeEngine`, optimistic schedulers, conflict detection, NAIVE/COARSE/PRECISE |
+//! | [`replication`] | `youtopia-replication` | state-vector delta sync between replicated engines |
 //! | [`workload`] | `youtopia-workload` | Section 6 generators, experiment runner, figure reports |
 //!
 //! The most common entry points are also re-exported at the top level. The
@@ -67,15 +68,21 @@ pub use youtopia_core as chase;
 /// Optimistic concurrency control (re-export of `youtopia-concurrency`).
 pub use youtopia_concurrency as concurrency;
 
+/// State-vector delta sync between replicated engines (re-export of
+/// `youtopia-replication`).
+pub use youtopia_replication as replication;
+
 /// Synthetic workloads and the Section 6 experiment harness (re-export of
 /// `youtopia-workload`).
 pub use youtopia_workload as workload;
 
+#[allow(deprecated)] // kept for existing `with_config` callers
+pub use youtopia_concurrency::ExchangeConfig;
 pub use youtopia_concurrency::{
     AnswerOutcome, ClientId, ConcurrentRun, DurabilityConfig, EngineBuilder, EngineConfig,
-    EngineError, ExchangeConfig, ExchangeEngine, ParallelRun, Priority, RecoveryError,
-    ResolverPump, RetryAfter, RunMetrics, SchedulerConfig, SpeculationMode, SubmitError,
-    SweepReport, TrackerKind, UpdateExchange, UpdateHandle, UpdateStatus, ViolationIndexStats,
+    EngineError, ExchangeEngine, ParallelRun, Priority, RecoveryError, ResolverPump, RetryAfter,
+    RunMetrics, SchedulerConfig, SpeculationMode, SubmitError, SweepReport, TrackerKind,
+    UpdateExchange, UpdateHandle, UpdateStatus, ViolationIndexStats,
 };
 pub use youtopia_core::{
     AutoDecision, ChaseError, EscalationPolicy, ExpandResolver, FrontierDecision, FrontierRequest,
@@ -85,6 +92,10 @@ pub use youtopia_core::{
 };
 pub use youtopia_mappings::{
     find_violations, satisfies_all, MappingGraph, MappingSet, Tgd, Violation, ViolationKind,
+};
+pub use youtopia_replication::{
+    EventStamp, LinkFaults, NodeId, ReplicaNode, ReplicaSet, StateVector, SyncError, SyncReport,
+    Topology,
 };
 pub use youtopia_storage::{
     DataView, Database, NullId, RelationId, Snapshot, Symbol, Tuple, TupleId, UpdateId, Value,

@@ -3,7 +3,6 @@
 //! genealogical mapping of Section 2.2).
 
 use youtopia::chase::{FrontierDecision, FrontierRequest, PositiveAction};
-use youtopia::ExchangeConfig;
 use youtopia::{
     find_violations, satisfies_all, ChaseError, ConcurrentRun, Database, ExpandResolver, InitialOp,
     MappingSet, RandomResolver, SchedulerConfig, ScriptedResolver, TrackerKind, UpdateExchange,
@@ -187,10 +186,10 @@ fn genealogy_cycle_is_controlled_by_cooperation() {
         .unwrap();
 
     // The classical chase (always expand) diverges…
-    let mut classical = UpdateExchange::with_config(
+    let mut classical = UpdateExchange::with_builder(
         db.clone(),
         mappings.clone(),
-        ExchangeConfig { max_steps_per_update: 300, ..ExchangeConfig::default() },
+        youtopia::EngineBuilder::new().max_steps_per_update(300),
     );
     assert!(matches!(
         classical.insert_constants("Person", &["John"], &mut ExpandResolver),
